@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark suite.
+
+Every module here regenerates one paper artifact (figure or table) at
+the benchmark scale: large enough that the paper's qualitative shape —
+who wins, by roughly what factor, where trends bend — is visible in the
+reported numbers, small enough that ``pytest benchmarks/
+--benchmark-only`` finishes in minutes.  The full parameter sweeps live
+in ``python -m repro.bench`` (see EXPERIMENTS.md).
+
+Workloads are generated once per session and shared; algorithms never
+mutate partitions, so reuse is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workload import make_nyse_workload, make_synthetic_workload
+
+# The benchmark scale: one order below the default harness scale.
+N = 4_000
+SITES = 8
+DIM = 3
+Q = 0.3
+SEED = 77
+
+
+@pytest.fixture(scope="session")
+def independent_workload():
+    return make_synthetic_workload("independent", n=N, d=DIM, sites=SITES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def anticorrelated_workload():
+    return make_synthetic_workload(
+        "anticorrelated", n=N, d=DIM, sites=SITES, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def nyse_workload():
+    return make_nyse_workload(n=N, sites=SITES, seed=SEED)
+
+
+def run_algorithm(workload, algorithm, q=Q, **kwargs):
+    from repro.distributed.query import distributed_skyline
+
+    return distributed_skyline(
+        workload.partitions, q, algorithm=algorithm,
+        preference=workload.preference, **kwargs,
+    )

@@ -1,0 +1,55 @@
+"""Ablation — which e-DSUD ingredient buys which share of the win.
+
+DESIGN.md calls out three feedback-policy choices: Corollary-2 ordering
+(vs DSUD's local ordering), eager server-side expunge, and eager bound
+refresh; plus the beyond-paper probe-factor reuse.  Each benchmark runs
+one variant on identical data, so comparing `tuples_transmitted` across
+rows reads as the ablation table.
+"""
+
+import pytest
+
+from repro.distributed.edsud import EDSUDConfig
+
+from .conftest import run_algorithm
+
+VARIANTS = {
+    "dsud-anchor": ("dsud", None),
+    "edsud-paper": ("edsud", EDSUDConfig()),
+    "edsud-no-expunge": ("edsud", EDSUDConfig(server_expunge=False)),
+    "edsud-lazy-bounds": ("edsud", EDSUDConfig(eager_bound_refresh=False)),
+    "edsud-reuse-factors": ("edsud", EDSUDConfig(reuse_probe_factors=True)),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_variant(benchmark, anticorrelated_workload, variant):
+    algorithm, config = VARIANTS[variant]
+    kwargs = {"edsud_config": config} if config is not None else {}
+    result = benchmark.pedantic(
+        run_algorithm, args=(anticorrelated_workload, algorithm), kwargs=kwargs,
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_ablation_relations(benchmark, anticorrelated_workload):
+    def run_all():
+        out = {}
+        for name, (algorithm, config) in VARIANTS.items():
+            kwargs = {"edsud_config": config} if config is not None else {}
+            out[name] = run_algorithm(anticorrelated_workload, algorithm, **kwargs)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    answers = list(results.values())
+    for other in answers[1:]:
+        assert answers[0].answer.agrees_with(other.answer, tol=1e-9)
+    # The paper configuration beats the DSUD anchor...
+    assert results["edsud-paper"].bandwidth <= results["dsud-anchor"].bandwidth
+    # ...and the beyond-paper factor reuse never costs bandwidth.
+    assert (
+        results["edsud-reuse-factors"].bandwidth
+        <= results["edsud-paper"].bandwidth
+    )

@@ -1,0 +1,78 @@
+"""Ablation — the PR-tree's non-occurrence product aggregate (§6.3+).
+
+DESIGN.md's index optimization: storing ``∏(1 − P)`` per subtree lets
+the probe consume fully-dominated subtrees in O(1).  These benchmarks
+measure the probe with and without the aggregate (node accesses and
+wall time) and the cost of maintaining it through updates.
+"""
+
+import pytest
+
+from repro.core.tuples import UncertainTuple
+from repro.data.workload import make_synthetic_workload
+from repro.index.prtree import PRTree
+
+N = 6_000
+PROBES = 200
+
+
+@pytest.fixture(scope="module")
+def database():
+    wl = make_synthetic_workload("independent", n=N, d=3, sites=1, seed=5)
+    return wl.global_database
+
+
+@pytest.fixture(scope="module")
+def probe_targets(database):
+    return database[:: max(1, N // PROBES)]
+
+
+@pytest.mark.parametrize("store_products", [True, False], ids=["with-product", "without-product"])
+def test_probe_cost(benchmark, database, probe_targets, store_products):
+    tree = PRTree.build(database, store_products=store_products)
+
+    def run_probes():
+        tree.node_accesses = 0
+        for t in probe_targets:
+            tree.dominators_product(t)
+        return tree.node_accesses
+
+    accesses = benchmark.pedantic(run_probes, rounds=3, iterations=1)
+    benchmark.extra_info["node_accesses"] = accesses
+    benchmark.extra_info["probes"] = len(probe_targets)
+
+
+def test_product_aggregate_reduces_node_accesses(benchmark, database, probe_targets):
+    def compare():
+        counts = {}
+        for flag in (True, False):
+            tree = PRTree.build(database, store_products=flag)
+            tree.node_accesses = 0
+            for t in probe_targets:
+                tree.dominators_product(t)
+            counts[flag] = tree.node_accesses
+        return counts
+
+    counts = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["with_product"] = counts[True]
+    benchmark.extra_info["without_product"] = counts[False]
+    assert counts[True] < counts[False]
+
+
+@pytest.mark.parametrize("store_products", [True, False], ids=["with-product", "without-product"])
+def test_update_maintenance_cost(benchmark, database, store_products):
+    """Aggregate upkeep is the price paid at insert/delete time."""
+    tree = PRTree.build(database, store_products=store_products)
+    fresh = [
+        UncertainTuple(10_000_000 + i, t.values, t.probability)
+        for i, t in enumerate(database[:300])
+    ]
+
+    def churn():
+        for t in fresh:
+            tree.add(t)
+        for t in fresh:
+            tree.remove(t)
+
+    benchmark.pedantic(churn, rounds=3, iterations=1)
+    assert len(tree) == N

@@ -1,0 +1,48 @@
+"""Fig. 10 — bandwidth vs probability threshold q.
+
+Paper shape: raising q shrinks the qualified skyline (p-skyline ⊆
+p'-skyline for p ≥ p') and sharpens every pruning bound, so bandwidth
+falls steeply with q for both algorithms, e-DSUD below DSUD throughout.
+"""
+
+import pytest
+
+from .conftest import run_algorithm
+
+THRESHOLDS = (0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("q", THRESHOLDS)
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+def test_bandwidth_vs_threshold(benchmark, independent_workload, algorithm, q):
+    result = benchmark.pedantic(
+        run_algorithm, args=(independent_workload, algorithm), kwargs={"q": q},
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    benchmark.extra_info["skyline_size"] = result.result_count
+
+
+def test_fig10_shape(benchmark, independent_workload, anticorrelated_workload):
+    def run_sweep():
+        rows = {}
+        for name, wl in (("independent", independent_workload),
+                         ("anticorrelated", anticorrelated_workload)):
+            rows[name] = {
+                q: {a: run_algorithm(wl, a, q=q) for a in ("dsud", "edsud")}
+                for q in (0.3, 0.9)
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    for name, by_q in rows.items():
+        for algo in ("dsud", "edsud"):
+            # monotone drop in bandwidth and in result count
+            assert by_q[0.9][algo].bandwidth < by_q[0.3][algo].bandwidth
+            assert by_q[0.9][algo].result_count <= by_q[0.3][algo].result_count
+        for q in (0.3, 0.9):
+            assert by_q[q]["edsud"].bandwidth <= by_q[q]["dsud"].bandwidth
+            # nested answers: every 0.9-qualified tuple also 0.3-qualified
+            assert set(by_q[0.9][algo].answer.keys()) <= set(
+                by_q[0.3][algo].answer.keys()
+            )

@@ -1,0 +1,73 @@
+"""Fig. 11 — the NYSE (real-data substitute) study, four panels.
+
+Paper shape: (a) bandwidth grows with m and (b) falls with q, mirroring
+the synthetic trends; (c) bandwidth and (d) skyline size peak around a
+Gaussian probability mean of 0.5 and decline towards 0.9 — dominated
+low-μ tuples fail the q = 0.3 threshold on one side, while confident
+tuples resolve instantly on the other — and both algorithms return
+identical skyline counts at every μ (panel d's claim).
+"""
+
+import pytest
+
+from repro.data.workload import make_nyse_workload
+
+from .conftest import SEED, Q, run_algorithm
+
+N = 4_000
+
+
+def nyse(sites=8, kind="uniform", mean=0.5):
+    return make_nyse_workload(
+        n=N, sites=sites, probability_kind=kind, probability_mean=mean, seed=SEED
+    )
+
+
+@pytest.mark.parametrize("m", [4, 8, 16])
+def test_panel_a_bandwidth_vs_sites(benchmark, m):
+    workload = nyse(sites=m)
+    result = benchmark.pedantic(
+        run_algorithm, args=(workload, "edsud"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+
+
+@pytest.mark.parametrize("q", [0.3, 0.6, 0.9])
+def test_panel_b_bandwidth_vs_threshold(benchmark, nyse_workload, q):
+    result = benchmark.pedantic(
+        run_algorithm, args=(nyse_workload, "edsud"), kwargs={"q": q},
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+
+
+@pytest.mark.parametrize("mu", [0.3, 0.5, 0.7, 0.9])
+def test_panels_cd_gaussian_mean(benchmark, mu):
+    workload = nyse(kind="gaussian", mean=mu)
+
+    def run_pair():
+        return {a: run_algorithm(workload, a) for a in ("dsud", "edsud")}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    benchmark.extra_info["dsud_bandwidth"] = results["dsud"].bandwidth
+    benchmark.extra_info["edsud_bandwidth"] = results["edsud"].bandwidth
+    benchmark.extra_info["skyline_size"] = results["edsud"].result_count
+    # Panel d's headline: identical counts, cheaper e-DSUD.
+    assert results["dsud"].result_count == results["edsud"].result_count
+    assert results["edsud"].bandwidth <= results["dsud"].bandwidth
+
+
+def test_fig11_shapes(benchmark):
+    def run_all():
+        a = {m: run_algorithm(nyse(sites=m), "edsud") for m in (4, 16)}
+        b = {q: run_algorithm(nyse(), "edsud", q=q) for q in (0.3, 0.9)}
+        d = {
+            mu: run_algorithm(nyse(kind="gaussian", mean=mu), "edsud")
+            for mu in (0.5, 0.9)
+        }
+        return a, b, d
+
+    a, b, d = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert a[16].bandwidth > a[4].bandwidth           # (a) grows with m
+    assert b[0.9].bandwidth < b[0.3].bandwidth        # (b) falls with q
+    assert d[0.9].result_count <= d[0.5].result_count # (d) declines past 0.5

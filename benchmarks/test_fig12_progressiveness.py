@@ -1,0 +1,51 @@
+"""Fig. 12 — progressiveness on synthetic data.
+
+Paper shape: both algorithms emit their first result after a tiny
+fraction of the total bandwidth/CPU; cumulative cost then grows roughly
+linearly in the number of reported results, with e-DSUD's curve the
+flatter of the two (fewer tuples per additional result).
+"""
+
+import pytest
+
+from .conftest import run_algorithm
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+@pytest.mark.parametrize("workload_name", ["independent", "anticorrelated"])
+def test_progressive_run(
+    benchmark, algorithm, workload_name, independent_workload, anticorrelated_workload
+):
+    workload = (
+        independent_workload if workload_name == "independent" else anticorrelated_workload
+    )
+    result = benchmark.pedantic(
+        run_algorithm, args=(workload, algorithm), rounds=3, iterations=1
+    )
+    events = result.progress.events
+    assert len(events) == result.result_count >= 3
+    benchmark.extra_info["first_result_tuples"] = events[0].tuples_transmitted
+    benchmark.extra_info["final_tuples"] = result.bandwidth
+
+    # Progressiveness: the first result costs a small fraction of the run.
+    assert events[0].tuples_transmitted <= result.bandwidth * 0.35
+    # Cumulative series are monotone.
+    bandwidth_series = result.progress.bandwidth_series()
+    assert bandwidth_series == sorted(bandwidth_series)
+    cpu_series = result.progress.cpu_series()
+    assert cpu_series == sorted(cpu_series)
+
+
+def test_edsud_flatter_than_dsud(benchmark, independent_workload):
+    """Average tuples per reported result — the slope of Fig. 12a."""
+
+    def run_pair():
+        return {a: run_algorithm(independent_workload, a) for a in ("dsud", "edsud")}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    slopes = {
+        a: r.bandwidth / max(1, r.result_count) for a, r in results.items()
+    }
+    benchmark.extra_info["dsud_tuples_per_result"] = slopes["dsud"]
+    benchmark.extra_info["edsud_tuples_per_result"] = slopes["edsud"]
+    assert slopes["edsud"] <= slopes["dsud"]

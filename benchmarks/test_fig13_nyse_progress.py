@@ -1,0 +1,48 @@
+"""Fig. 13 — progressiveness on the NYSE substitute trace.
+
+Paper shape: same qualitative progressiveness as Fig. 12; under
+Gaussian(0.5, 0.2) probabilities the run consumes no more bandwidth
+than under uniform probabilities, because confident central tuples
+prune more per broadcast.
+"""
+
+import pytest
+
+from repro.data.workload import make_nyse_workload
+
+from .conftest import SEED, run_algorithm
+
+N = 4_000
+
+
+def nyse(kind):
+    return make_nyse_workload(
+        n=N, sites=8, probability_kind=kind, probability_mean=0.5, seed=SEED
+    )
+
+
+@pytest.mark.parametrize("kind", ["uniform", "gaussian"])
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+def test_progressive_nyse_run(benchmark, kind, algorithm):
+    workload = nyse(kind)
+    result = benchmark.pedantic(
+        run_algorithm, args=(workload, algorithm), rounds=3, iterations=1
+    )
+    events = result.progress.events
+    assert len(events) == result.result_count >= 1
+    benchmark.extra_info["results"] = result.result_count
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    series = result.progress.bandwidth_series()
+    assert series == sorted(series)
+    # First result arrives well before the run completes.
+    assert events[0].tuples_transmitted <= result.bandwidth
+
+
+def test_gaussian_no_costlier_than_uniform(benchmark):
+    def run_pair():
+        return {k: run_algorithm(nyse(k), "edsud") for k in ("uniform", "gaussian")}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    benchmark.extra_info["uniform_tuples"] = results["uniform"].bandwidth
+    benchmark.extra_info["gaussian_tuples"] = results["gaussian"].bandwidth
+    assert results["gaussian"].bandwidth <= results["uniform"].bandwidth * 1.5

@@ -1,0 +1,74 @@
+"""Fig. 8 — bandwidth vs dimensionality d.
+
+Paper shape: bandwidth of both algorithms grows with d; e-DSUD needs
+considerably less than DSUD; anticorrelated data costs more than
+independent; e-DSUD lands within a small factor of the Ceiling
+``|SKY(H)| × m``.  Each benchmark runs one (algorithm, d) cell and the
+assertions pin the between-cell relations.
+"""
+
+import pytest
+
+from repro.data.workload import make_synthetic_workload
+
+from .conftest import SEED, SITES, Q, run_algorithm
+
+N = 2_500
+DIMS = (2, 3, 5)
+
+
+def workload_for(d, distribution="independent"):
+    return make_synthetic_workload(distribution, n=N, d=d, sites=SITES, seed=SEED)
+
+
+@pytest.mark.parametrize("d", DIMS)
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+def test_bandwidth_vs_dimensionality(benchmark, algorithm, d):
+    workload = workload_for(d)
+    result = benchmark.pedantic(
+        run_algorithm, args=(workload, algorithm), rounds=3, iterations=1
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    benchmark.extra_info["skyline_size"] = result.result_count
+    benchmark.extra_info["ceiling"] = result.ceiling(SITES)
+    assert result.bandwidth >= result.ceiling(SITES)
+
+
+def test_fig8_shape(benchmark):
+    """The full figure-8 relations at d = 2 and d = 5."""
+
+    def run_all():
+        rows = {}
+        for d in (2, 5):
+            wl = workload_for(d)
+            rows[d] = {
+                algo: run_algorithm(wl, algo) for algo in ("dsud", "edsud")
+            }
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for d, row in rows.items():
+        assert row["edsud"].bandwidth <= row["dsud"].bandwidth
+    # bandwidth grows with dimensionality for both algorithms
+    assert rows[5]["dsud"].bandwidth > rows[2]["dsud"].bandwidth
+    assert rows[5]["edsud"].bandwidth > rows[2]["edsud"].bandwidth
+
+
+def test_fig8_anticorrelated_costs_more(benchmark):
+    """Averaged over seeds, as the paper averages 10 queries per point."""
+
+    def run_pairs():
+        totals = {"independent": [0, 0], "anticorrelated": [0, 0]}
+        for seed in (SEED, SEED + 1, SEED + 2):
+            for name in totals:
+                wl = make_synthetic_workload(name, n=N, d=3, sites=SITES, seed=seed)
+                result = run_algorithm(wl, "edsud")
+                totals[name][0] += result.bandwidth
+                totals[name][1] += result.result_count
+        return totals
+
+    totals = benchmark.pedantic(run_pairs, rounds=1, iterations=1)
+    benchmark.extra_info["independent_tuples"] = totals["independent"][0] / 3
+    benchmark.extra_info["anticorrelated_tuples"] = totals["anticorrelated"][0] / 3
+    assert totals["anticorrelated"][0] > totals["independent"][0]
+    assert totals["anticorrelated"][1] > totals["independent"][1]

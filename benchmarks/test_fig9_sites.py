@@ -1,0 +1,50 @@
+"""Fig. 9 — bandwidth vs number of local sites m.
+
+Paper shape: bandwidth of both algorithms grows with m (every feedback
+costs m − 1 deliveries against a roughly fixed result set), with e-DSUD
+below DSUD at every m, on both distributions.
+"""
+
+import pytest
+
+from repro.data.workload import make_synthetic_workload
+
+from .conftest import SEED, Q, run_algorithm
+
+N = 3_000
+SITE_COUNTS = (4, 8, 16)
+
+
+def workload_for(m, distribution="independent"):
+    return make_synthetic_workload(distribution, n=N, d=3, sites=m, seed=SEED)
+
+
+@pytest.mark.parametrize("m", SITE_COUNTS)
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+def test_bandwidth_vs_sites(benchmark, algorithm, m):
+    workload = workload_for(m)
+    result = benchmark.pedantic(
+        run_algorithm, args=(workload, algorithm), rounds=3, iterations=1
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    benchmark.extra_info["sites"] = m
+    assert result.result_count > 0
+
+
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_fig9_shape(benchmark, distribution):
+    def run_sweep():
+        out = {}
+        for m in (4, 16):
+            wl = workload_for(m, distribution)
+            out[m] = {a: run_algorithm(wl, a) for a in ("dsud", "edsud")}
+        return out
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # same data, same answer, regardless of partitioning width
+    assert rows[4]["dsud"].result_count == rows[16]["dsud"].result_count
+    # more sites -> more bandwidth; e-DSUD <= DSUD throughout
+    for algo in ("dsud", "edsud"):
+        assert rows[16][algo].bandwidth > rows[4][algo].bandwidth
+    for m in (4, 16):
+        assert rows[m]["edsud"].bandwidth <= rows[m]["dsud"].bandwidth

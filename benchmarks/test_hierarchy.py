@@ -1,0 +1,60 @@
+"""Benchmark — two-tier topology: WAN vs LAN traffic across region sizes.
+
+Beyond-paper extension (DESIGN.md §8): grouping sites into regions
+shrinks the root's broadcast fan-out from m sites to m/region_size
+endpoints, trading WAN tuples (the expensive kind) for intra-region
+LAN probes.  Expected shape: WAN bandwidth falls monotonically as
+regions grow; total (WAN + LAN) stays in the flat run's ballpark; the
+answer never changes.
+"""
+
+import pytest
+
+from repro.data.workload import make_synthetic_workload
+from repro.distributed.edsud import EDSUD
+from repro.distributed.hierarchy import build_regions
+from repro.distributed.query import distributed_skyline
+
+N = 4_000
+SITES = 12
+Q = 0.3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_synthetic_workload("independent", n=N, d=3, sites=SITES, seed=31)
+
+
+@pytest.fixture(scope="module")
+def flat_result(workload):
+    return distributed_skyline(workload.partitions, Q, algorithm="edsud")
+
+
+@pytest.mark.parametrize("region_size", [1, 2, 3, 4, 6])
+def test_region_size_sweep(benchmark, workload, flat_result, region_size):
+    def run():
+        regions = build_regions(workload.partitions, region_size)
+        result = EDSUD(regions, Q).run()
+        return result, regions
+
+    result, regions = benchmark.pedantic(run, rounds=2, iterations=1)
+    lan = sum(r.local_stats.tuples_transmitted for r in regions)
+    benchmark.extra_info["wan_tuples"] = result.bandwidth
+    benchmark.extra_info["lan_tuples"] = lan
+    benchmark.extra_info["regions"] = len(regions)
+    assert result.answer.agrees_with(flat_result.answer, tol=1e-9)
+
+
+def test_wan_falls_with_region_size(benchmark, workload, flat_result):
+    def sweep():
+        wan = {}
+        for region_size in (1, 3, 6):
+            regions = build_regions(workload.partitions, region_size)
+            result = EDSUD(regions, Q).run()
+            wan[region_size] = result.bandwidth
+        return wan
+
+    wan = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"wan_rs{k}": v for k, v in wan.items()})
+    assert wan[6] < wan[3] < wan[1]
+    assert wan[1] == flat_result.bandwidth  # degenerate regions = flat

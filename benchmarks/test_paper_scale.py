@@ -1,0 +1,50 @@
+"""The paper's own scale: N = 2,000,000, m = 60 — one spot-check cell.
+
+Skipped unless ``REPRO_PAPER_SCALE=1`` (each query takes tens of
+seconds and ~1 GB of RSS; the rest of the suite should stay fast).
+Measured reference on a single laptop core: generation ≈ 15 s, e-DSUD
+≈ 39 s at 9,682 tuples vs DSUD 28,680, |SKY(H)| = 101, Ceiling 6,060 —
+a 3× e-DSUD saving, the magnitude the paper's full-size plots show.
+"""
+
+import os
+
+import pytest
+
+from repro.data.workload import make_synthetic_workload
+
+from .conftest import run_algorithm
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in: set REPRO_PAPER_SCALE=1",
+)
+
+N = 2_000_000
+SITES = 60
+
+
+@pytest.fixture(scope="module")
+def paper_workload():
+    return make_synthetic_workload("independent", n=N, d=3, sites=SITES, seed=1)
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+def test_paper_scale_cell(benchmark, paper_workload, algorithm):
+    result = benchmark.pedantic(
+        run_algorithm, args=(paper_workload, algorithm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["tuples_transmitted"] = result.bandwidth
+    benchmark.extra_info["skyline_size"] = result.result_count
+    assert result.result_count > 0
+    assert result.bandwidth >= result.ceiling(SITES)
+
+
+def test_paper_scale_edsud_beats_dsud(benchmark, paper_workload):
+    def run_pair():
+        return {a: run_algorithm(paper_workload, a) for a in ("dsud", "edsud")}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert results["edsud"].answer.agrees_with(results["dsud"].answer, tol=1e-9)
+    # At full scale the feedback-selection advantage is large.
+    assert results["edsud"].bandwidth < results["dsud"].bandwidth * 0.6

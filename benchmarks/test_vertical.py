@@ -1,0 +1,66 @@
+"""Benchmark — the §8 future-work algorithm (vertical partitioning).
+
+Not a paper figure (the paper leaves vertical partitioning open); these
+benches size the TA-style coordinator's three phases and pin the
+efficiency property that justifies it: on data with confident leaders
+the probabilistic stopping bound halts sorted access long before the
+columns are exhausted.
+"""
+
+import pytest
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.data.workload import make_synthetic_workload
+from repro.distributed.vertical import vertical_skyline
+
+N = 3_000
+
+
+def workload(distribution, seed=21):
+    return make_synthetic_workload(distribution, n=N, d=3, sites=1, seed=seed)
+
+
+@pytest.mark.parametrize("distribution", ["independent", "correlated", "anticorrelated"])
+def test_vertical_query(benchmark, distribution):
+    db = workload(distribution).global_database
+
+    def run():
+        return vertical_skyline(db, 0.3)
+
+    answer, stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["sorted_accesses"] = stats.sorted_accesses
+    benchmark.extra_info["random_accesses"] = stats.random_accesses
+    benchmark.extra_info["dominator_entries"] = stats.dominator_entries
+    benchmark.extra_info["answer_size"] = len(answer)
+    assert answer.agrees_with(prob_skyline_sfs(db, 0.3))
+
+
+def test_early_stop_on_correlated_data(benchmark):
+    db = workload("correlated").global_database
+
+    def run():
+        return vertical_skyline(db, 0.3)
+
+    _, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Correlated data surfaces dominating leaders immediately; sorted
+    # access must stop far below the d * N exhaustion ceiling.
+    assert stats.sorted_accesses < 3 * N * 0.5
+
+
+def test_vertical_vs_horizontal_entry_cost(benchmark):
+    """Contrast with e-DSUD at the paper's tuple≙d-entries exchange rate."""
+    from repro.distributed.query import distributed_skyline
+
+    wl = make_synthetic_workload("independent", n=N, d=3, sites=3, seed=22)
+
+    def run_both():
+        answer, stats = vertical_skyline(wl.global_database, 0.3)
+        horizontal = distributed_skyline(wl.partitions, 0.3, algorithm="edsud")
+        return stats, horizontal
+
+    stats, horizontal = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["vertical_entries"] = stats.total_entries
+    benchmark.extra_info["horizontal_entries"] = horizontal.bandwidth * 3
+    # No assertion on which wins — the architectures trade random access
+    # against broadcasts — but both must be finite and recorded.
+    assert stats.total_entries > 0 and horizontal.bandwidth > 0

@@ -1,0 +1,4 @@
+"""Setuptools shim enabling legacy editable installs on offline hosts without the wheel package."""
+from setuptools import setup
+
+setup()

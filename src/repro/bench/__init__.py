@@ -1,0 +1,41 @@
+"""Experiment harness regenerating every table and figure of §7."""
+
+from .experiments import (
+    ALL_FIGURES,
+    run_ablation_edsud,
+    run_ablation_partition,
+    run_ablation_site,
+    run_cost_model,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+)
+from .harness import SCALES, FigureResult, Scale, Series, average_runs, measure
+from .reporting import print_figure, render_figure
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "Series",
+    "FigureResult",
+    "measure",
+    "average_runs",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_cost_model",
+    "run_ablation_edsud",
+    "run_ablation_partition",
+    "run_ablation_site",
+    "ALL_FIGURES",
+    "render_figure",
+    "print_figure",
+]

@@ -1,0 +1,72 @@
+"""CLI for regenerating paper figures: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench fig8 fig10 --scale ci
+    python -m repro.bench all --scale default --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_FIGURES
+from .harness import SCALES
+from .reporting import render_figure
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help=f"figure ids ({', '.join(ALL_FIGURES)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="ci",
+        help="experiment sizing (default: ci)",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids and exit")
+    parser.add_argument("--out", default=None, help="also append output to this file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in ALL_FIGURES.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} {doc}")
+        return 0
+
+    wanted = list(ALL_FIGURES) if "all" in args.figures else args.figures
+    unknown = [f for f in wanted if f not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; use --list")
+
+    scale = SCALES[args.scale]
+    print(f"# {scale.describe()}")
+    blocks = []
+    for name in wanted:
+        start = time.perf_counter()
+        result = ALL_FIGURES[name](scale)
+        elapsed = time.perf_counter() - start
+        block = render_figure(result) + f"\n    [{elapsed:.1f}s]"
+        print(block)
+        print()
+        blocks.append(block)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write(f"# {scale.describe()}\n")
+            fh.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

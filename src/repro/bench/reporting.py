@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results.
+
+The paper shows line plots; a terminal reproduction prints the same
+series as aligned tables, one block per panel, so "who wins, by what
+factor, where the lines cross" can be read straight off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .harness import FigureResult, Series
+
+__all__ = ["render_figure", "print_figure", "downsample"]
+
+
+def downsample(series: Series, max_points: int = 12) -> Series:
+    """Thin a long series (progressiveness timelines) for printing.
+
+    Keeps the first and last point and an even spread in between.
+    """
+    n = len(series.x)
+    if n <= max_points:
+        return series
+    idx = sorted({round(i * (n - 1) / (max_points - 1)) for i in range(max_points)})
+    return Series(series.label, [series.x[i] for i in idx], [series.y[i] for i in idx])
+
+
+def _format_value(v) -> str:
+    if isinstance(v, float):
+        if v != 0 and (abs(v) < 0.01 or abs(v) >= 1e6):
+            return f"{v:.3g}"
+        return f"{v:,.2f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_figure(figure: FigureResult, max_points: int = 12) -> str:
+    """Render one figure's panels as aligned text tables."""
+    lines: List[str] = []
+    lines.append(f"=== {figure.figure}: {figure.title} ===")
+    for note in figure.notes:
+        lines.append(f"    note: {note}")
+    for panel_name, series_list in figure.panels.items():
+        lines.append("")
+        lines.append(f"-- panel {panel_name} --")
+        thinned = [downsample(s, max_points) for s in series_list]
+        xs: List = []
+        for s in thinned:
+            for x in s.x:
+                if x not in xs:
+                    xs.append(x)
+        header = [figure.x_label] + [s.label for s in thinned]
+        rows = [header]
+        for x in xs:
+            row = [_format_value(x)]
+            for s in thinned:
+                if x in s.x:
+                    row.append(_format_value(s.y[s.x.index(x)]))
+                else:
+                    row.append("-")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        for i, row in enumerate(rows):
+            lines.append("  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  " + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_figure(figure: FigureResult, max_points: int = 12) -> None:
+    print(render_figure(figure, max_points=max_points))

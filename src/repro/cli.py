@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands make the library usable without writing Python:
+
+``generate``
+    Produce an uncertain relation (synthetic distributions or the
+    NYSE-like trade trace) as CSV/JSONL.
+
+``query``
+    Load a relation, partition it over ``m`` simulated sites, run any
+    of the four algorithms (optionally top-k, preference, subspace),
+    and print the qualified skyline plus the bandwidth bill.
+
+``info``
+    Describe a relation file: cardinality, dimensionality, probability
+    stats, conventional skyline size, and the H(d, N) estimate.
+
+Figure regeneration lives in its own entry point,
+``python -m repro.bench`` (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core.dominance import Preference
+from .core.cardinality import expected_skyline_cardinality
+from .core.skyline import skyline
+from .core.tuples import UncertainTuple, tuples_from_arrays, validate_database
+from .data.io import load_tuples, save_tuples
+from .data.nyse import attach_uncertainty, generate_nyse_trades
+from .data.partition import (
+    partition_angle,
+    partition_range,
+    partition_round_robin,
+    partition_uniform,
+)
+from .data.probabilities import generate_probabilities
+from .data.synthetic import DISTRIBUTIONS, generate_values
+from .distributed.query import ALGORITHMS, distributed_skyline
+
+__all__ = ["main"]
+
+_PARTITIONERS = {
+    "uniform": lambda ts, m, seed: partition_uniform(ts, m, rng=random.Random(seed)),
+    "round-robin": lambda ts, m, seed: partition_round_robin(ts, m),
+    "range": lambda ts, m, seed: partition_range(ts, m),
+    "angle": lambda ts, m, seed: partition_angle(ts, m),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Distributed skyline queries over uncertain data.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an uncertain relation")
+    gen.add_argument("output", help="output file (.csv or .jsonl)")
+    gen.add_argument(
+        "--distribution",
+        choices=sorted(DISTRIBUTIONS) + ["nyse"],
+        default="independent",
+    )
+    gen.add_argument("-n", "--cardinality", type=int, default=10_000)
+    gen.add_argument("-d", "--dimensionality", type=int, default=3)
+    gen.add_argument(
+        "--probabilities", choices=["uniform", "gaussian", "constant"],
+        default="uniform",
+    )
+    gen.add_argument("--mean", type=float, default=0.5, help="gaussian mean")
+    gen.add_argument("--std", type=float, default=0.2, help="gaussian std")
+    gen.add_argument("--seed", type=int, default=None)
+
+    query = sub.add_parser("query", help="run a distributed skyline query")
+    query.add_argument("data", help="relation file (.csv or .jsonl)")
+    query.add_argument("-q", "--threshold", type=float, default=0.3)
+    query.add_argument(
+        "-a", "--algorithm", choices=sorted(ALGORITHMS), default="edsud"
+    )
+    query.add_argument("-m", "--sites", type=int, default=10)
+    query.add_argument(
+        "--partition", choices=sorted(_PARTITIONERS), default="uniform"
+    )
+    query.add_argument(
+        "--preference",
+        default=None,
+        help="comma-separated directions, e.g. 'min,max,min'",
+    )
+    query.add_argument(
+        "--subspace",
+        default=None,
+        help="comma-separated dimension indices, e.g. '0,2'",
+    )
+    query.add_argument("-k", "--limit", type=int, default=None, help="top-k")
+    query.add_argument("--seed", type=int, default=0, help="partitioning seed")
+    query.add_argument(
+        "--max-print", type=int, default=20, help="result rows to print"
+    )
+    query.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="dump the full protocol conversation as JSONL",
+    )
+
+    info = sub.add_parser("info", help="describe a relation file")
+    info.add_argument("data", help="relation file (.csv or .jsonl)")
+
+    advise = sub.add_parser(
+        "advise", help="recommend an algorithm from the Eqs. 6-8 cost model"
+    )
+    advise.add_argument("-n", "--cardinality", type=int, required=True)
+    advise.add_argument("-d", "--dimensionality", type=int, required=True)
+    advise.add_argument("-m", "--sites", type=int, required=True)
+    advise.add_argument("-q", "--threshold", type=float, default=0.3)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.distribution == "nyse":
+        trades = generate_nyse_trades(args.cardinality, rng=rng)
+        tuples = attach_uncertainty(
+            trades, kind=args.probabilities, rng=rng, mean=args.mean, std=args.std
+        )
+    else:
+        values = generate_values(
+            args.distribution, args.cardinality, args.dimensionality, rng=rng
+        )
+        probs = generate_probabilities(
+            args.probabilities, args.cardinality, rng=rng,
+            mean=args.mean, std=args.std,
+        )
+        tuples = tuples_from_arrays(values, probs)
+    save_tuples(args.output, tuples)
+    d = tuples[0].dimensionality if tuples else 0
+    print(f"wrote {len(tuples)} tuples (d={d}) to {args.output}")
+    return 0
+
+
+def _parse_preference(args: argparse.Namespace) -> Optional[Preference]:
+    directions = None
+    subspace = None
+    if args.preference:
+        directions = Preference.of(args.preference).directions
+    if args.subspace:
+        subspace = tuple(int(x) for x in args.subspace.split(","))
+    if directions is None and subspace is None:
+        return None
+    return Preference(directions=directions, subspace=subspace)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tuples = load_tuples(args.data)
+    if not tuples:
+        print("relation is empty; nothing to query")
+        return 0
+    preference = _parse_preference(args)
+    partitions = _PARTITIONERS[args.partition](tuples, args.sites, args.seed)
+    if args.trace:
+        from .distributed.query import ALGORITHMS, build_sites
+        from .net.trace import ProtocolTracer, summarize_trace
+
+        tracer = ProtocolTracer()
+        sites = tracer.wrap(build_sites(partitions, preference=preference))
+        coordinator_cls = ALGORITHMS[args.algorithm]
+        kwargs = {"limit": args.limit} if args.algorithm in ("dsud", "edsud") else {}
+        result = coordinator_cls(sites, args.threshold, preference, **kwargs).run()
+        tracer.save(args.trace)
+        summary = summarize_trace(tracer.records)
+        print(f"trace: {len(tracer)} RPCs -> {args.trace} "
+              f"(pruned {summary['candidates_pruned_at_sites']} at sites)")
+    else:
+        result = distributed_skyline(
+            partitions,
+            args.threshold,
+            algorithm=args.algorithm,
+            preference=preference,
+            limit=args.limit,
+        )
+    print(result.summary())
+    print(
+        f"simulated network time: {result.stats.simulated_time:.3f}s over "
+        f"{result.stats.rounds} rounds"
+    )
+    print()
+    shown = list(result.answer)[: args.max_print]
+    width = max((len(str(m.key)) for m in shown), default=3)
+    print(f"{'key'.rjust(width)}  {'P_g-sky':>8}  values")
+    for member in shown:
+        values = ", ".join(f"{v:g}" for v in member.tuple.values)
+        print(f"{str(member.key).rjust(width)}  {member.probability:>8.4f}  ({values})")
+    hidden = result.result_count - len(shown)
+    if hidden > 0:
+        print(f"... and {hidden} more (raise --max-print)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tuples = load_tuples(args.data)
+    d = validate_database(tuples)
+    n = len(tuples)
+    print(f"{args.data}: N={n} d={d}")
+    if not tuples:
+        return 0
+    probs = [t.probability for t in tuples]
+    print(
+        f"probabilities: min={min(probs):.4f} mean={sum(probs) / n:.4f} "
+        f"max={max(probs):.4f}"
+    )
+    sample = tuples if n <= 20_000 else tuples[:20_000]
+    conventional = len(skyline(sample))
+    suffix = "" if sample is tuples else f" (first {len(sample)} tuples)"
+    print(f"conventional skyline: {conventional}{suffix}")
+    print(f"H(d, N) estimate: {expected_skyline_cardinality(d, n):.1f}")
+
+    from .core.statistics import (
+        dimension_correlations,
+        dominance_profile,
+        probability_profile,
+        skyline_layers,
+    )
+
+    profile = probability_profile(sample)
+    bar = " ".join(str(c) for c in profile.histogram)
+    print(f"probability histogram (10 bins): {bar}")
+    corr = dimension_correlations(sample)
+    if d > 1:
+        off = [corr[i][j] for i in range(d) for j in range(d) if i < j]
+        print(f"mean pairwise correlation: {sum(off) / len(off):+.3f}")
+    layers = skyline_layers(sample, max_layers=5)
+    print(f"skyline layer sizes (first 5): {[len(l) for l in layers]}")
+    dom = dominance_profile(sample, sample=min(200, n))
+    print(
+        f"dominators per tuple (sampled): mean={dom['mean_dominators']:.1f} "
+        f"max={dom['max_dominators']:.0f} "
+        f"undominated={dom['undominated_fraction'] * 100:.1f}%"
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .distributed.advisor import recommend_algorithm
+
+    algorithm, estimates = recommend_algorithm(
+        args.cardinality, args.dimensionality, args.sites, args.threshold
+    )
+    print(
+        f"N={args.cardinality} d={args.dimensionality} m={args.sites} "
+        f"q={args.threshold}"
+    )
+    for name, value in estimates.as_dict().items():
+        print(f"  expected tuples ({name}): {value:,.0f}")
+    print(f"recommendation: {algorithm}")
+    if algorithm == "ship-all":
+        print(
+            "  (the broadcast lower bound |SKY| x m already rivals N; "
+            "iterating cannot pay off)"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "query": _cmd_query,
+        "info": _cmd_info,
+        "advise": _cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

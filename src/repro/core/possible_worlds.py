@@ -1,0 +1,125 @@
+"""Possible-world semantics: the ground-truth oracle for every probability.
+
+An uncertain database of ``N`` independent tuples induces ``2^N``
+possible worlds; world ``W`` appears with probability
+
+    P(W) = ∏_{t ∈ W} P(t) × ∏_{t ∉ W} (1 − P(t))          (Eq. 1)
+
+and the skyline probability of a tuple is the total probability of the
+worlds whose (conventional) skyline contains it (Eq. 2).  The paper
+collapses that sum into the closed form of Eq. 3; this module keeps the
+*uncollapsed* semantics alive so tests can verify the closed form, plus
+a Monte-Carlo sampler usable when exhaustive enumeration is infeasible.
+
+Exhaustive enumeration is exponential and deliberately guarded — it is
+a validation oracle, not a query engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .dominance import Preference, dominates
+from .tuples import UncertainTuple
+
+__all__ = [
+    "world_probability",
+    "enumerate_worlds",
+    "conventional_skyline",
+    "skyline_probabilities_exhaustive",
+    "skyline_probabilities_monte_carlo",
+]
+
+#: Refuse exhaustive enumeration beyond this many tuples (2^22 worlds).
+MAX_EXHAUSTIVE = 22
+
+
+def world_probability(
+    world: Iterable[UncertainTuple], database: Sequence[UncertainTuple]
+) -> float:
+    """Probability of one possible world per Eq. 1."""
+    present = {t.key for t in world}
+    p = 1.0
+    for t in database:
+        p *= t.probability if t.key in present else (1.0 - t.probability)
+    return p
+
+
+def enumerate_worlds(
+    database: Sequence[UncertainTuple],
+) -> Iterator[Tuple[Tuple[UncertainTuple, ...], float]]:
+    """Yield every possible world with its probability.
+
+    Worlds are produced lazily; probabilities over a full iteration sum
+    to 1 (a tested invariant).  Raises :class:`ValueError` when the
+    database is too large to enumerate.
+    """
+    n = len(database)
+    if n > MAX_EXHAUSTIVE:
+        raise ValueError(
+            f"refusing to enumerate 2^{n} possible worlds; "
+            f"use skyline_probabilities_monte_carlo instead"
+        )
+    for mask in itertools.product((False, True), repeat=n):
+        world = tuple(t for t, present in zip(database, mask) if present)
+        p = 1.0
+        for t, present in zip(database, mask):
+            p *= t.probability if present else (1.0 - t.probability)
+        yield world, p
+
+
+def conventional_skyline(
+    tuples: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> List[UncertainTuple]:
+    """The certain-data skyline of a world: tuples dominated by nobody.
+
+    Quadratic on purpose — this is the semantic definition used by the
+    oracle, not a performance path (see :mod:`repro.core.skyline` for
+    the real algorithms).
+    """
+    result = []
+    for t in tuples:
+        if not any(dominates(other, t, preference) for other in tuples if other.key != t.key):
+            result.append(t)
+    return result
+
+
+def skyline_probabilities_exhaustive(
+    database: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> Dict[int, float]:
+    """Skyline probability of every tuple straight from Eq. 2.
+
+    Sums ``P(W)`` over all worlds whose skyline contains the tuple.
+    Exponential; intended for validating the closed form on small
+    instances.
+    """
+    totals: Dict[int, float] = {t.key: 0.0 for t in database}
+    for world, p in enumerate_worlds(database):
+        for t in conventional_skyline(world, preference):
+            totals[t.key] += p
+    return totals
+
+
+def skyline_probabilities_monte_carlo(
+    database: Sequence[UncertainTuple],
+    samples: int = 10_000,
+    preference: Optional[Preference] = None,
+    rng: Optional[random.Random] = None,
+) -> Dict[int, float]:
+    """Estimate skyline probabilities by sampling possible worlds.
+
+    Draws ``samples`` independent worlds (each tuple keeps its own
+    Bernoulli coin) and returns the fraction of sampled worlds in which
+    each tuple was a skyline member.  Standard error per tuple is at
+    most ``0.5 / sqrt(samples)``.
+    """
+    if rng is None:
+        rng = random.Random()
+    counts: Dict[int, float] = {t.key: 0 for t in database}
+    for _ in range(samples):
+        world = [t for t in database if rng.random() < t.probability]
+        for t in conventional_skyline(world, preference):
+            counts[t.key] += 1
+    return {key: c / samples for key, c in counts.items()}

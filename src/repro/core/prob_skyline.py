@@ -1,0 +1,158 @@
+"""Centralized probabilistic skyline computation.
+
+Given an uncertain database and a threshold ``q``, the *probabilistic
+skyline* is ``{ t : P_sky(t, D) ≥ q }`` with ``P_sky`` per Eq. 3.  Two
+unindexed algorithms live here; the PR-tree-accelerated one (the
+paper's §6.2) lives in :mod:`repro.index.bbs` next to the index it
+needs.
+
+* :func:`prob_skyline_brute_force` — the §3.2 baseline: ``O(N)`` per
+  tuple, ``O(N²)`` total, no shortcuts.  The correctness oracle.
+* :func:`prob_skyline_sfs` — processes tuples in a monotone
+  (coordinate-sum) order so all dominators of a tuple precede it, and
+  abandons a tuple as soon as its running product proves it below
+  ``q``.  Same worst case, far fewer dominance tests in practice.
+
+Both return :class:`ProbabilisticSkyline`, which also powers the
+distributed layers' result reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .dominance import Preference, dominates
+from .probability import skyline_probability
+from .tuples import UncertainTuple
+
+__all__ = [
+    "SkylineMember",
+    "ProbabilisticSkyline",
+    "prob_skyline_brute_force",
+    "prob_skyline_sfs",
+    "all_skyline_probabilities",
+]
+
+
+@dataclass(frozen=True)
+class SkylineMember:
+    """One qualified tuple together with its skyline probability."""
+
+    tuple: UncertainTuple
+    probability: float
+
+    @property
+    def key(self) -> int:
+        return self.tuple.key
+
+
+@dataclass
+class ProbabilisticSkyline:
+    """An answer set: qualified tuples, ordered by descending probability.
+
+    Supports the operations tests and benchmarks use most — membership
+    by key, comparison with another answer up to float tolerance, and
+    iteration in probability order.
+    """
+
+    threshold: float
+    members: List[SkylineMember] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.members = sorted(
+            self.members, key=lambda m: (-m.probability, m.key)
+        )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[SkylineMember]:
+        return iter(self.members)
+
+    def keys(self) -> List[int]:
+        return [m.key for m in self.members]
+
+    def probabilities(self) -> Dict[int, float]:
+        return {m.key: m.probability for m in self.members}
+
+    def __contains__(self, key: int) -> bool:
+        return any(m.key == key for m in self.members)
+
+    def agrees_with(self, other: "ProbabilisticSkyline", tol: float = 1e-9) -> bool:
+        """True iff both answers qualify the same keys with matching probabilities."""
+        mine = self.probabilities()
+        theirs = other.probabilities()
+        if set(mine) != set(theirs):
+            return False
+        return all(abs(mine[k] - theirs[k]) <= tol for k in mine)
+
+
+def all_skyline_probabilities(
+    database: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> Dict[int, float]:
+    """Eq. 3 evaluated for every tuple; the quadratic reference computation."""
+    return {
+        t.key: skyline_probability(t, database, preference) for t in database
+    }
+
+
+def prob_skyline_brute_force(
+    database: Sequence[UncertainTuple],
+    threshold: float,
+    preference: Optional[Preference] = None,
+) -> ProbabilisticSkyline:
+    """The baseline quadratic algorithm over a centralized database."""
+    _check_threshold(threshold)
+    members = []
+    for t in database:
+        p = skyline_probability(t, database, preference)
+        if p >= threshold:
+            members.append(SkylineMember(t, p))
+    return ProbabilisticSkyline(threshold, members)
+
+
+def prob_skyline_sfs(
+    database: Sequence[UncertainTuple],
+    threshold: float,
+    preference: Optional[Preference] = None,
+) -> ProbabilisticSkyline:
+    """Sort-first probabilistic skyline with threshold early exit.
+
+    Tuples are visited in ascending canonical coordinate-sum order, so
+    each tuple's dominators all precede it.  A tuple whose existential
+    probability is already below ``q`` is skipped without any dominance
+    tests (its skyline probability cannot exceed ``P(t)``), and the
+    dominator scan for the rest stops the moment the running product
+    sinks below ``q / P(t)``.
+    """
+    _check_threshold(threshold)
+    if not database:
+        return ProbabilisticSkyline(threshold, [])
+    if preference is None:
+        keyed = [(t.coordinate_sum(), t) for t in database]
+    else:
+        keyed = [(sum(preference.project(t.values)), t) for t in database]
+    keyed.sort(key=lambda pair: pair[0])
+    ordered = [t for _, t in keyed]
+    members = []
+    for i, t in enumerate(ordered):
+        if t.probability < threshold:
+            continue
+        floor = threshold / t.probability
+        product = 1.0
+        qualified = True
+        for other in ordered[:i]:
+            if dominates(other, t, preference):
+                product *= 1.0 - other.probability
+                if product < floor:
+                    qualified = False
+                    break
+        if qualified:
+            members.append(SkylineMember(t, t.probability * product))
+    return ProbabilisticSkyline(threshold, members)
+
+
+def _check_threshold(threshold: float) -> None:
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")

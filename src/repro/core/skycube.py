@@ -1,0 +1,119 @@
+"""The probabilistic skycube: threshold skylines of every subspace.
+
+§4 of the paper notes the whole framework applies to "any prespecified
+subset attributes of size k ≤ d" by checking dominance on those
+dimensions only.  Analysts rarely know the one subspace they want, so
+this module materialises the *skycube* — the answer for every non-empty
+subspace at once (ref. [3] of the paper studies the certain-data
+version).
+
+Unlike the certain-data skycube, probabilistic answers enjoy **no
+containment relation between parent and child subspaces** in either
+direction: projecting away a dimension can create new dominators (a
+tuple better only on the removed dimension stops mattering) *and*
+destroy old ones, moving each tuple's probability both ways.  The
+implementation therefore computes each subspace independently — with
+the sort-and-floor pruning of :func:`prob_skyline_sfs` — and shares
+only the projection bookkeeping.  A test demonstrates the
+non-containment concretely.
+
+For ``d`` attributes there are ``2^d − 1`` subspaces; construction is
+guarded at 12 dimensions (4095 subspaces) as an honesty check rather
+than a real limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .dominance import Preference
+from .prob_skyline import ProbabilisticSkyline, prob_skyline_sfs
+from .tuples import UncertainTuple
+
+__all__ = ["ProbabilisticSkycube", "compute_skycube", "enumerate_subspaces"]
+
+_MAX_CUBE_DIMENSIONALITY = 12
+
+
+def enumerate_subspaces(
+    dimensionality: int, max_size: Optional[int] = None
+) -> Iterator[Tuple[int, ...]]:
+    """Every non-empty dimension subset, smallest first, sorted indices."""
+    if dimensionality < 1:
+        raise ValueError("need at least one dimension")
+    cap = dimensionality if max_size is None else min(max_size, dimensionality)
+    for size in range(1, cap + 1):
+        yield from itertools.combinations(range(dimensionality), size)
+
+
+@dataclass
+class ProbabilisticSkycube:
+    """All subspace answers of one relation at one threshold."""
+
+    threshold: float
+    dimensionality: int
+    answers: Dict[Tuple[int, ...], ProbabilisticSkyline] = field(default_factory=dict)
+
+    def answer(self, dims: Sequence[int]) -> ProbabilisticSkyline:
+        """The skyline of one subspace (any order of indices)."""
+        key = tuple(sorted(dims))
+        if key not in self.answers:
+            raise KeyError(f"subspace {key} not materialised in this cube")
+        return self.answers[key]
+
+    def subspaces(self) -> List[Tuple[int, ...]]:
+        return sorted(self.answers, key=lambda s: (len(s), s))
+
+    def membership_counts(self) -> Dict[int, int]:
+        """For each tuple key: in how many subspace skylines it appears.
+
+        The natural "how robustly interesting is this tuple" score a
+        skycube supports.
+        """
+        counts: Dict[int, int] = {}
+        for answer in self.answers.values():
+            for member in answer:
+                counts[member.key] = counts.get(member.key, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+def compute_skycube(
+    database: Sequence[UncertainTuple],
+    threshold: float,
+    max_subspace_size: Optional[int] = None,
+    base_preference: Optional[Preference] = None,
+) -> ProbabilisticSkycube:
+    """Materialise the probabilistic skycube of ``database``.
+
+    Parameters
+    ----------
+    max_subspace_size:
+        Only build subspaces with at most this many dimensions (the
+        low-dimensional layers are the ones analysts browse).
+    base_preference:
+        Optional per-dimension directions applied inside every
+        subspace (its own ``subspace`` field, if any, must be unset).
+    """
+    if base_preference is not None and base_preference.subspace is not None:
+        raise ValueError(
+            "base_preference must not fix a subspace; the cube enumerates them"
+        )
+    if not database:
+        return ProbabilisticSkycube(threshold, 0)
+    d = database[0].dimensionality
+    if d > _MAX_CUBE_DIMENSIONALITY and max_subspace_size is None:
+        raise ValueError(
+            f"a full {d}-dimensional skycube has {2 ** d - 1} subspaces; "
+            f"pass max_subspace_size to bound the enumeration"
+        )
+    directions = base_preference.directions if base_preference is not None else None
+    cube = ProbabilisticSkycube(threshold=threshold, dimensionality=d)
+    for dims in enumerate_subspaces(d, max_subspace_size):
+        preference = Preference(directions=directions, subspace=dims)
+        cube.answers[dims] = prob_skyline_sfs(database, threshold, preference)
+    return cube

@@ -1,0 +1,131 @@
+"""Centralized skyline algorithms for certain (precise) data.
+
+The distributed machinery repeatedly needs a conventional skyline —
+the server computes ``SKY(D_0)`` over the representatives it has
+gathered, the possible-world oracle needs per-world skylines, and the
+generators use skyline size for sanity checks.  Three classic
+algorithms are provided; all take the same arguments and return tuples
+in input order:
+
+* :func:`block_nested_loop` — Börzsönyi et al.'s BNL, the robust
+  default for unsorted input.
+* :func:`sort_filter_skyline` — SFS: sort by a monotone function
+  (coordinate sum in min-space) so every tuple can only be dominated by
+  tuples already in the window; a single pass then suffices.
+* :func:`divide_and_conquer` — the textbook D&C scheme; mostly of
+  interest for cross-validation and as the asymptotically strongest
+  choice at high dimensionality.
+
+:func:`skyline` picks SFS, the best all-rounder here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .dominance import Preference, dominates, dominates_values
+from .tuples import UncertainTuple
+
+__all__ = [
+    "skyline",
+    "block_nested_loop",
+    "sort_filter_skyline",
+    "divide_and_conquer",
+]
+
+
+def skyline(
+    tuples: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> List[UncertainTuple]:
+    """The conventional skyline of ``tuples``; dispatches to SFS."""
+    return sort_filter_skyline(tuples, preference)
+
+
+def block_nested_loop(
+    tuples: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> List[UncertainTuple]:
+    """Block-nested-loop skyline.
+
+    Maintains a window of incomparable tuples; each incoming tuple is
+    checked against the window, evicting window members it dominates
+    and being discarded if any member dominates it.
+    """
+    window: List[UncertainTuple] = []
+    for t in tuples:
+        dominated = False
+        survivors: List[UncertainTuple] = []
+        for w in window:
+            if dominates(w, t, preference):
+                dominated = True
+                survivors = window  # keep the window untouched
+                break
+            if not dominates(t, w, preference):
+                survivors.append(w)
+        if not dominated:
+            survivors.append(t)
+        window = survivors
+    order = {t.key: i for i, t in enumerate(tuples)}
+    window.sort(key=lambda t: order[t.key])
+    return window
+
+
+def sort_filter_skyline(
+    tuples: Sequence[UncertainTuple], preference: Optional[Preference] = None
+) -> List[UncertainTuple]:
+    """Sort-Filter-Skyline.
+
+    Sorting by the coordinate sum in canonical min-space is a monotone
+    (topological) order for dominance: a dominator always sorts
+    strictly earlier, so one pass against the accumulating skyline
+    window is enough and window members never need eviction.
+    """
+    if not tuples:
+        return []
+    if preference is None:
+        keyed = [(t.coordinate_sum(), t) for t in tuples]
+    else:
+        keyed = [(sum(preference.project(t.values)), t) for t in tuples]
+    keyed.sort(key=lambda pair: pair[0])
+    window: List[UncertainTuple] = []
+    for _, t in keyed:
+        if not any(dominates(w, t, preference) for w in window):
+            window.append(t)
+    order = {t.key: i for i, t in enumerate(tuples)}
+    window.sort(key=lambda t: order[t.key])
+    return window
+
+
+def divide_and_conquer(
+    tuples: Sequence[UncertainTuple],
+    preference: Optional[Preference] = None,
+    base_size: int = 32,
+) -> List[UncertainTuple]:
+    """Divide-and-conquer skyline.
+
+    Splits on the median of the first effective dimension, recursively
+    computes both halves' skylines, and merges by re-running BNL over
+    the (small) union — robust against value ties straddling the median
+    boundary, where a high-half tuple can still dominate a low-half
+    one.  Small partitions fall back to BNL directly.
+    """
+    if not tuples:
+        return []
+    d = tuples[0].dimensionality
+    dims = preference.effective_dims(d) if preference is not None else tuple(range(d))
+    signs = preference.signs(d) if preference is not None else tuple(1.0 for _ in range(d))
+    split_dim = dims[0]
+    sign = signs[split_dim]
+
+    def recurse(items: List[UncertainTuple]) -> List[UncertainTuple]:
+        if len(items) <= base_size:
+            return block_nested_loop(items, preference)
+        items = sorted(items, key=lambda t: t.values[split_dim] * sign)
+        mid = len(items) // 2
+        low = recurse(items[:mid])
+        high = recurse(items[mid:])
+        return block_nested_loop(low + high, preference)
+
+    result = recurse(list(tuples))
+    order = {t.key: i for i, t in enumerate(tuples)}
+    result.sort(key=lambda t: order[t.key])
+    return result

@@ -1,0 +1,174 @@
+"""Relation profiling: the numbers that predict skyline behaviour.
+
+Before running distributed queries over a new data set, one wants to
+know what to expect: how heavy is the skyline, how deep do its layers
+go, how do the dimensions relate, how is the uncertainty distributed?
+This module computes those profiles — they power the CLI's ``info``
+command, the sanity checks in the generators' tests, and any capacity
+planning done with :mod:`repro.distributed.advisor`.
+
+* :func:`probability_profile` — moments and a histogram of the
+  existential probabilities.
+* :func:`dimension_correlations` — pairwise Pearson correlations (the
+  independent/correlated/anticorrelated signature).
+* :func:`skyline_layers` — the onion decomposition: layer 1 is the
+  conventional skyline, layer 2 the skyline of what remains, and so
+  on.  Probabilistic threshold skylines live almost entirely in the
+  first few layers (a tuple in layer L has ≥ L−1 dominators), which
+  :func:`layer_of_qualified` quantifies.
+* :func:`dominance_profile` — sampled dominated-counts per tuple, the
+  quantity that drives every pruning bound in the system.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .dominance import Preference, dominates
+from .prob_skyline import prob_skyline_sfs
+from .skyline import sort_filter_skyline
+from .tuples import UncertainTuple
+
+__all__ = [
+    "ProbabilityProfile",
+    "probability_profile",
+    "dimension_correlations",
+    "skyline_layers",
+    "layer_of_qualified",
+    "dominance_profile",
+]
+
+
+@dataclass(frozen=True)
+class ProbabilityProfile:
+    """Summary of the existential-probability distribution."""
+
+    count: int
+    minimum: float
+    mean: float
+    maximum: float
+    histogram: Tuple[int, ...]  # equal-width bins over (0, 1]
+
+    @property
+    def bins(self) -> int:
+        return len(self.histogram)
+
+
+def probability_profile(
+    tuples: Sequence[UncertainTuple], bins: int = 10
+) -> ProbabilityProfile:
+    """Moments + an equal-width histogram of ``P(t)`` over ``(0, 1]``."""
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    if not tuples:
+        return ProbabilityProfile(0, 0.0, 0.0, 0.0, tuple(0 for _ in range(bins)))
+    probs = [t.probability for t in tuples]
+    counts = [0] * bins
+    for p in probs:
+        counts[min(bins - 1, int(p * bins))] += 1
+    return ProbabilityProfile(
+        count=len(probs),
+        minimum=min(probs),
+        mean=sum(probs) / len(probs),
+        maximum=max(probs),
+        histogram=tuple(counts),
+    )
+
+
+def dimension_correlations(tuples: Sequence[UncertainTuple]) -> List[List[float]]:
+    """Pairwise Pearson correlation matrix of the attribute values."""
+    import numpy as np
+
+    if not tuples:
+        return []
+    values = np.array([t.values for t in tuples], dtype=float)
+    if values.shape[0] < 2:
+        d = values.shape[1]
+        return [[1.0 if i == j else 0.0 for j in range(d)] for i in range(d)]
+    with np.errstate(invalid="ignore"):
+        corr = np.corrcoef(values.T)
+    corr = np.nan_to_num(np.atleast_2d(corr), nan=0.0)
+    out = corr.tolist()
+    for i in range(len(out)):
+        out[i][i] = 1.0
+    return out
+
+
+def skyline_layers(
+    tuples: Sequence[UncertainTuple],
+    preference: Optional[Preference] = None,
+    max_layers: Optional[int] = None,
+) -> List[List[UncertainTuple]]:
+    """The onion decomposition: peel conventional skylines repeatedly.
+
+    Layer ``k`` (1-based) is the skyline of everything not in layers
+    ``1 … k−1``; every tuple lands in exactly one layer.  ``max_layers``
+    truncates the peeling (the remainder is simply not returned).
+    """
+    remaining = list(tuples)
+    layers: List[List[UncertainTuple]] = []
+    while remaining and (max_layers is None or len(layers) < max_layers):
+        layer = sort_filter_skyline(remaining, preference)
+        layer_keys = {t.key for t in layer}
+        layers.append(layer)
+        remaining = [t for t in remaining if t.key not in layer_keys]
+    return layers
+
+
+def layer_of_qualified(
+    tuples: Sequence[UncertainTuple],
+    threshold: float,
+    preference: Optional[Preference] = None,
+) -> Dict[int, int]:
+    """How deep into the onion the qualified tuples sit.
+
+    Returns ``{layer_index (1-based): count of qualified tuples}`` —
+    empirically concentrated in the first handful of layers, since a
+    layer-L tuple carries at least L−1 dominator factors.
+    """
+    qualified = {m.key for m in prob_skyline_sfs(tuples, threshold, preference)}
+    out: Dict[int, int] = {}
+    for i, layer in enumerate(skyline_layers(tuples, preference), start=1):
+        hits = sum(1 for t in layer if t.key in qualified)
+        if hits:
+            out[i] = hits
+        if sum(out.values()) == len(qualified):
+            break
+    return out
+
+
+def dominance_profile(
+    tuples: Sequence[UncertainTuple],
+    preference: Optional[Preference] = None,
+    sample: int = 200,
+    rng: Optional[random.Random] = None,
+) -> Dict[str, float]:
+    """Sampled dominated-count statistics.
+
+    For ``sample`` random tuples, count how many others dominate each;
+    reports mean/max and the fraction with no dominators at all.  On
+    independent uniform data the mean is ≈ N/2^d — the quantity that
+    makes threshold pruning effective.
+    """
+    if not tuples:
+        return {"sampled": 0, "mean_dominators": 0.0, "max_dominators": 0.0,
+                "undominated_fraction": 0.0}
+    rng = rng or random.Random(0)
+    chosen = tuples if len(tuples) <= sample else rng.sample(list(tuples), sample)
+    counts = []
+    for target in chosen:
+        counts.append(
+            sum(
+                1
+                for other in tuples
+                if other.key != target.key and dominates(other, target, preference)
+            )
+        )
+    return {
+        "sampled": float(len(chosen)),
+        "mean_dominators": sum(counts) / len(counts),
+        "max_dominators": float(max(counts)),
+        "undominated_fraction": sum(1 for c in counts if c == 0) / len(counts),
+    }

@@ -1,0 +1,159 @@
+"""Uncertain tuple model.
+
+The paper's data model (Fig. 2) is a relation of ``N`` tuples, each
+carrying ``d`` real-valued attributes and an *existential probability*
+``0 < P(t) <= 1`` giving the chance the tuple truly occurs.  Tuples
+select their existential state independently of one another, which is
+what makes the closed form for skyline probabilities (Eq. 3) valid.
+
+This module defines :class:`UncertainTuple`, the value type used by
+every other layer of the library, together with helpers for building
+collections of tuples from plain Python data or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "UncertainTuple",
+    "make_tuples",
+    "tuples_from_arrays",
+    "validate_database",
+]
+
+
+@dataclass(frozen=True)
+class UncertainTuple:
+    """A single uncertain record.
+
+    Parameters
+    ----------
+    key:
+        A globally unique identifier.  The paper assumes every tuple in
+        the unified database ``D = D_1 ∪ … ∪ D_m`` is unique; we enforce
+        that through this key rather than through value equality so
+        that two hotels may share price and distance yet remain
+        distinct records.
+    values:
+        The ``d`` attribute values.  Smaller is better on every
+        dimension unless a :class:`~repro.core.dominance.Preference`
+        says otherwise.
+    probability:
+        Existential probability ``P(t)`` with ``0 < P(t) <= 1``.
+    """
+
+    key: int
+    values: Tuple[float, ...]
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            # Accept any sequence at construction time but normalise to
+            # a tuple so the dataclass stays hashable and immutable.
+            object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+        else:
+            object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+        if len(self.values) == 0:
+            raise ValueError("an uncertain tuple needs at least one attribute")
+        for v in self.values:
+            if math.isnan(v):
+                raise ValueError(f"tuple {self.key} has a NaN attribute value")
+        p = float(self.probability)
+        if not 0.0 < p <= 1.0:
+            raise ValueError(
+                f"existential probability must be in (0, 1], got {p!r} for tuple {self.key}"
+            )
+        object.__setattr__(self, "probability", p)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes ``d``."""
+        return len(self.values)
+
+    @property
+    def non_occurrence(self) -> float:
+        """``1 - P(t)``, the factor this tuple contributes to tuples it dominates."""
+        return 1.0 - self.probability
+
+    def value(self, dim: int) -> float:
+        """Return the attribute value on dimension ``dim`` (0-based)."""
+        return self.values[dim]
+
+    def coordinate_sum(self) -> float:
+        """Sum of attribute values; a monotone topological order for dominance.
+
+        If ``t ≺ s`` then ``t.coordinate_sum() < s.coordinate_sum()``,
+        which is what sort-first skyline algorithms rely on.
+        """
+        return float(sum(self.values))
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __repr__(self) -> str:  # compact, example-friendly repr
+        vals = ", ".join(f"{v:g}" for v in self.values)
+        return f"UncertainTuple({self.key}: ({vals}), p={self.probability:g})"
+
+
+def make_tuples(
+    rows: Iterable[Sequence[float]],
+    probabilities: Iterable[float],
+    start_key: int = 0,
+) -> List[UncertainTuple]:
+    """Build a list of tuples from parallel iterables of rows and probabilities.
+
+    Keys are assigned sequentially starting at ``start_key``.
+
+    >>> make_tuples([(1, 2), (3, 4)], [0.5, 1.0])
+    [UncertainTuple(0: (1, 2), p=0.5), UncertainTuple(1: (3, 4), p=1)]
+    """
+    out: List[UncertainTuple] = []
+    key = start_key
+    rows = list(rows)
+    probs = list(probabilities)
+    if len(rows) != len(probs):
+        raise ValueError(
+            f"got {len(rows)} rows but {len(probs)} probabilities; they must align"
+        )
+    for row, p in zip(rows, probs):
+        out.append(UncertainTuple(key=key, values=tuple(row), probability=float(p)))
+        key += 1
+    return out
+
+
+def tuples_from_arrays(values, probabilities, start_key: int = 0) -> List[UncertainTuple]:
+    """Build tuples from a ``(n, d)`` array of values and ``(n,)`` probabilities.
+
+    Thin convenience wrapper around :func:`make_tuples` for numpy input;
+    accepts anything with a ``tolist`` method or plain nested sequences.
+    """
+    if hasattr(values, "tolist"):
+        values = values.tolist()
+    if hasattr(probabilities, "tolist"):
+        probabilities = probabilities.tolist()
+    return make_tuples(values, probabilities, start_key=start_key)
+
+
+def validate_database(tuples: Sequence[UncertainTuple]) -> int:
+    """Check that ``tuples`` form a well-formed uncertain database.
+
+    Verifies key uniqueness and a consistent dimensionality, returning
+    the common dimensionality ``d``.  Raises :class:`ValueError` on any
+    violation.  An empty database is allowed and reported as ``d = 0``.
+    """
+    if not tuples:
+        return 0
+    d = tuples[0].dimensionality
+    seen = set()
+    for t in tuples:
+        if t.dimensionality != d:
+            raise ValueError(
+                f"tuple {t.key} has dimensionality {t.dimensionality}, expected {d}"
+            )
+        if t.key in seen:
+            raise ValueError(f"duplicate tuple key {t.key}")
+        seen.add(t.key)
+    return d

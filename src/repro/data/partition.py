@@ -1,0 +1,142 @@
+"""Horizontal partitioning of the global database onto local sites.
+
+The paper's setting (§7): after generating the global database ``D``,
+"each tuple … is assigned to site S_i chosen uniformly", every site
+holding a mutually disjoint random sample of equal size ``|D| / m`` —
+so all sites share the global distribution.  :func:`partition_uniform`
+reproduces that exactly.
+
+Two further partitioners support sensitivity studies beyond the paper:
+round-robin (deterministic, still distribution-preserving) and range
+partitioning on one attribute (deliberately *skewed* sites, the regime
+where feedback pruning behaves very differently — used by the ablation
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.tuples import UncertainTuple
+
+__all__ = [
+    "partition_uniform",
+    "partition_round_robin",
+    "partition_range",
+    "partition_angle",
+]
+
+
+def partition_uniform(
+    tuples: Sequence[UncertainTuple],
+    sites: int,
+    rng: Optional[random.Random] = None,
+) -> List[List[UncertainTuple]]:
+    """Random disjoint equal-size assignment (the paper's scheme).
+
+    Sizes differ by at most one when ``m`` does not divide ``N``.
+    """
+    _check_sites(sites)
+    if rng is None:
+        rng = random.Random()
+    shuffled = list(tuples)
+    rng.shuffle(shuffled)
+    return _deal(shuffled, sites)
+
+
+def partition_round_robin(
+    tuples: Sequence[UncertainTuple], sites: int
+) -> List[List[UncertainTuple]]:
+    """Deterministic round-robin assignment (reproducible, unskewed)."""
+    _check_sites(sites)
+    out: List[List[UncertainTuple]] = [[] for _ in range(sites)]
+    for i, t in enumerate(tuples):
+        out[i % sites].append(t)
+    return out
+
+
+def partition_range(
+    tuples: Sequence[UncertainTuple], sites: int, dim: int = 0
+) -> List[List[UncertainTuple]]:
+    """Contiguous ranges of attribute ``dim`` — maximally skewed sites.
+
+    Site 0 receives the smallest values (and with min-preference
+    therefore almost the entire global skyline); the last site's tuples
+    are nearly all dominated.  Useful for stress-testing feedback
+    pruning under non-uniform placement.
+    """
+    _check_sites(sites)
+    ordered = sorted(tuples, key=lambda t: t.values[dim])
+    return _deal_contiguous(ordered, sites)
+
+
+def partition_angle(
+    tuples: Sequence[UncertainTuple], sites: int
+) -> List[List[UncertainTuple]]:
+    """Angle-based partitioning (Vlachou et al., the paper's ref. [21]).
+
+    Tuples are bucketed by the direction of their value vector from the
+    origin rather than by position: each site receives one angular
+    wedge.  The scheme is purpose-built for skyline workloads — every
+    wedge touches the origin region, so *every* site holds a share of
+    the global skyline and contributes useful candidates early, unlike
+    range partitioning where trailing sites hold only dominated data.
+
+    Implemented for any dimensionality by sorting on the first
+    hyper-spherical angle tuple (computed on rank-normalised values so
+    skewed attribute scales do not collapse the wedges) and cutting
+    into equal-size groups, which keeps the per-site load balanced
+    exactly while preserving the angular contiguity that matters.
+    """
+    _check_sites(sites)
+    tuples = list(tuples)
+    if not tuples:
+        return [[] for _ in range(sites)]
+    d = tuples[0].dimensionality
+    if d == 1:
+        # No angles in one dimension; fall back to balanced ranges.
+        return partition_range(tuples, sites, dim=0)
+
+    # Rank-normalise each dimension into (0, 1] so angles are scale-free.
+    ranks: List[dict] = []
+    for j in range(d):
+        ordered = sorted(t.values[j] for t in tuples)
+        ranks.append({v: (i + 1) / len(ordered) for i, v in enumerate(ordered)})
+
+    def angles(t: UncertainTuple):
+        import math
+
+        coords = [ranks[j][t.values[j]] for j in range(d)]
+        out = []
+        for j in range(d - 1):
+            rest = math.sqrt(sum(c * c for c in coords[j + 1 :]))
+            out.append(math.atan2(rest, coords[j]))
+        return tuple(out)
+
+    ordered = sorted(tuples, key=angles)
+    return _deal_contiguous(ordered, sites)
+
+
+def _deal(tuples: List[UncertainTuple], sites: int) -> List[List[UncertainTuple]]:
+    """Contiguous equal slices of an (already shuffled) list."""
+    return _deal_contiguous(tuples, sites)
+
+
+def _deal_contiguous(
+    tuples: List[UncertainTuple], sites: int
+) -> List[List[UncertainTuple]]:
+    n = len(tuples)
+    base, extra = divmod(n, sites)
+    out = []
+    start = 0
+    for i in range(sites):
+        size = base + (1 if i < extra else 0)
+        out.append(tuples[start : start + size])
+        start += size
+    return out
+
+
+def _check_sites(sites: int) -> None:
+    if sites < 1:
+        raise ValueError("need at least one site")

@@ -1,0 +1,73 @@
+"""Existential-probability assignment (§7, "Data set" and §7.4).
+
+The paper makes generated tuples uncertain by attaching an occurrence
+probability drawn from either
+
+* **uniform** — uniform on (0, 1] (its default for all synthetic
+  experiments), or
+* **gaussian** — ``N(μ, σ=0.2)`` with μ swept over {0.3 … 0.9} for the
+  NYSE study (Figs. 11c/11d, 13), clipped into (0, 1].
+
+``constant`` is provided as the degenerate case: with every probability
+equal to 1 the probabilistic skyline collapses to the conventional one,
+which several tests exploit as a cross-check against the certain-data
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "uniform_probabilities",
+    "gaussian_probabilities",
+    "constant_probabilities",
+    "generate_probabilities",
+]
+
+#: Smallest probability ever assigned; the model requires P(t) > 0.
+_EPSILON = 1e-9
+
+
+def uniform_probabilities(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform on ``(ε, 1]`` occurrence probabilities."""
+    return np.clip(rng.random(n), _EPSILON, 1.0)
+
+
+def gaussian_probabilities(
+    n: int, rng: np.random.Generator, mean: float = 0.5, std: float = 0.2
+) -> np.ndarray:
+    """Gaussian ``N(mean, std)`` probabilities clipped into ``(ε, 1]``."""
+    return np.clip(rng.normal(mean, std, size=n), _EPSILON, 1.0)
+
+
+def constant_probabilities(n: int, value: float = 1.0) -> np.ndarray:
+    """Every tuple occurs with the same probability ``value``."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"probability must be in (0, 1], got {value!r}")
+    return np.full(n, value)
+
+
+def generate_probabilities(
+    kind: str,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    mean: float = 0.5,
+    std: float = 0.2,
+    value: float = 1.0,
+) -> np.ndarray:
+    """Dispatch by kind (``uniform`` / ``gaussian`` / ``constant``)."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if kind == "uniform":
+        return uniform_probabilities(n, rng)
+    if kind == "gaussian":
+        return gaussian_probabilities(n, rng, mean=mean, std=std)
+    if kind == "constant":
+        return constant_probabilities(n, value=value)
+    raise ValueError(
+        f"unknown probability kind {kind!r}; expected uniform, gaussian, or constant"
+    )

@@ -1,0 +1,140 @@
+"""Synthetic attribute-value generators (§7, "Data set").
+
+The paper evaluates on the two canonical skyline benchmark
+distributions introduced by Börzsönyi et al. and sketched in its
+Fig. 7:
+
+* **Independent** — every attribute i.i.d. uniform on [0, 1].
+* **Anticorrelated** — points concentrate around the hyperplane
+  ``Σ x_j = d/2``: a point good in one dimension tends to be bad in the
+  others, which inflates skyline cardinality and is the adversarial
+  case for every skyline algorithm.
+
+A **correlated** generator (points hugging the diagonal, tiny skylines)
+is included as the customary third benchmark even though the paper
+omits it — it rounds out sensitivity studies, and several tests use it
+as the easy extreme.
+
+All generators take a :class:`numpy.random.Generator` and return an
+``(n, d)`` float array in ``[0, 1]^d``; attach probabilities with
+:mod:`repro.data.probabilities` and wrap into tuples with
+:func:`repro.core.tuples.tuples_from_arrays`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "generate_values",
+    "DISTRIBUTIONS",
+]
+
+
+def independent(n: int, d: int, rng: np.random.Generator) -> np.ndarray:
+    """I.i.d. uniform values on ``[0, 1]^d``."""
+    _check(n, d)
+    return rng.random((n, d))
+
+
+def correlated(
+    n: int, d: int, rng: np.random.Generator, spread: float = 0.15
+) -> np.ndarray:
+    """Values clustered around the main diagonal.
+
+    Each point is a diagonal anchor ``(v, …, v)`` plus per-dimension
+    Gaussian noise of scale ``spread``, clipped back to the unit cube.
+    Positive inter-dimension correlation ⇒ tiny skylines.
+    """
+    _check(n, d)
+    anchor = rng.random((n, 1))
+    points = anchor + rng.normal(0.0, spread, size=(n, d))
+    return np.clip(points, 0.0, 1.0)
+
+
+def anticorrelated(
+    n: int, d: int, rng: np.random.Generator, spread: float = 0.05
+) -> np.ndarray:
+    """Values concentrated around the hyperplane ``Σ x_j = d/2``.
+
+    A per-point budget ``s ~ N(d/2, spread·d)`` is split across the
+    dimensions with exponential weights, so dimensions trade off
+    against each other — the defining negative correlation.  Clipping
+    to the unit cube keeps the domain identical to the other
+    generators.
+    """
+    _check(n, d)
+    if d == 1:
+        # With one dimension there is nothing to anticorrelate.
+        return rng.random((n, 1))
+    budget = rng.normal(d / 2.0, spread * d, size=(n, 1))
+    budget = np.clip(budget, 0.05 * d, 0.95 * d)
+    weights = rng.exponential(1.0, size=(n, d))
+    weights /= weights.sum(axis=1, keepdims=True)
+    points = weights * budget
+    return np.clip(points, 0.0, 1.0)
+
+
+def clustered(
+    n: int,
+    d: int,
+    rng: np.random.Generator,
+    clusters: int = 5,
+    spread: float = 0.05,
+) -> np.ndarray:
+    """A Gaussian-mixture cloud: ``clusters`` centers, tight blobs.
+
+    Not used by the paper's experiments, but the customary fourth
+    benchmark shape (it stresses index locality: whole blobs fall
+    inside or outside a dominance region together, which is exactly
+    what the PR-tree's subtree aggregates exploit).
+    """
+    _check(n, d)
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    if n == 0:
+        return np.zeros((0, d))
+    centers = rng.random((clusters, d)) * 0.8 + 0.1
+    assignment = rng.integers(0, clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(n, d))
+    return np.clip(points, 0.0, 1.0)
+
+
+DISTRIBUTIONS = {
+    "independent": independent,
+    "correlated": correlated,
+    "anticorrelated": anticorrelated,
+    "clustered": clustered,
+}
+
+
+def generate_values(
+    distribution: str,
+    n: int,
+    d: int,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Dispatch by distribution name (``independent`` / ``correlated`` /
+    ``anticorrelated``)."""
+    if distribution not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {sorted(DISTRIBUTIONS)}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return DISTRIBUTIONS[distribution](n, d, rng)
+
+
+def _check(n: int, d: int) -> None:
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if d < 1:
+        raise ValueError("dimensionality must be at least 1")

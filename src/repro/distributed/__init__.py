@@ -1,0 +1,57 @@
+"""Distributed query processing: sites, coordinator, DSUD, e-DSUD,
+the comparison baselines, and §5.4 update maintenance."""
+
+from .advisor import CostEstimates, estimate_costs, recommend_algorithm
+from .baseline import ShipAllBaseline
+from .coordinator import Coordinator
+from .dsud import DSUD
+from .edsud import EDSUD, EDSUDConfig
+from .hierarchy import RegionCoordinator, build_regions
+from .naive import NaiveLocalSkylines
+from .query import ALGORITHMS, build_sites, distributed_skyline
+from .runner import RunResult
+from .site import LocalSite, ProbeReply, SiteConfig
+from .streaming import DistributedStreamSkyline, StreamEvent
+from .synopsis import GridSynopsis, SynopsisEDSUD, build_site_synopsis
+from .updates import IncrementalMaintainer, MaintenanceReport, NaiveMaintainer
+from .vertical import (
+    VerticalRunStats,
+    VerticalSite,
+    VerticalSkylineCoordinator,
+    vertical_partition,
+    vertical_skyline,
+)
+
+__all__ = [
+    "CostEstimates",
+    "estimate_costs",
+    "recommend_algorithm",
+    "RegionCoordinator",
+    "build_regions",
+    "GridSynopsis",
+    "SynopsisEDSUD",
+    "build_site_synopsis",
+    "DistributedStreamSkyline",
+    "StreamEvent",
+    "VerticalSite",
+    "VerticalSkylineCoordinator",
+    "VerticalRunStats",
+    "vertical_partition",
+    "vertical_skyline",
+    "LocalSite",
+    "SiteConfig",
+    "ProbeReply",
+    "Coordinator",
+    "ShipAllBaseline",
+    "NaiveLocalSkylines",
+    "DSUD",
+    "EDSUD",
+    "EDSUDConfig",
+    "RunResult",
+    "ALGORITHMS",
+    "build_sites",
+    "distributed_skyline",
+    "IncrementalMaintainer",
+    "NaiveMaintainer",
+    "MaintenanceReport",
+]

@@ -1,0 +1,43 @@
+"""The §3.2 baseline: ship every local database to the server.
+
+Each site transmits its entire partition; the coordinator unions the
+``m`` partitions and runs a centralized probabilistic skyline.  Total
+bandwidth is ``|D| = Σ |D_i|`` tuples — the yardstick everything else
+is measured against — and progressiveness is the worst possible: not a
+single result can be reported before all data has arrived and the full
+centralized computation has finished.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.prob_skyline import prob_skyline_sfs
+from ..core.tuples import UncertainTuple
+from ..net.message import Message, MessageKind
+from .coordinator import Coordinator
+
+__all__ = ["ShipAllBaseline"]
+
+
+class ShipAllBaseline(Coordinator):
+    """Transmit everything, compute centrally."""
+
+    algorithm = "ship-all"
+
+    def _execute(self) -> None:
+        union: List[UncertainTuple] = []
+        for site in self.sites:
+            shipped = site.ship_all()
+            for _ in shipped:
+                self.stats.record(
+                    Message.bearing(
+                        MessageKind.DATA, self._name(site), "server", payload=None
+                    )
+                )
+            self.stats.record_round(tuples_in_round=len(shipped))
+            union.extend(shipped)
+        self.iterations = 1
+        answer = prob_skyline_sfs(union, self.threshold, self.preference)
+        for member in answer:
+            self.report(member.tuple, member.probability)

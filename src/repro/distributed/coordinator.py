@@ -1,0 +1,232 @@
+"""The central server H: shared machinery of the §4 framework.
+
+:class:`Coordinator` implements everything the four algorithms have in
+common — preparing sites, fetching representatives (To-Server phase),
+broadcasting feedback and combining the returned factors into exact
+global probabilities (Server-Delivery phase, Lemma 1), reporting
+qualified tuples progressively, and accounting every protocol message
+against the paper's bandwidth metric.  The concrete algorithms
+(:mod:`~repro.distributed.baseline`, :mod:`~repro.distributed.naive`,
+:mod:`~repro.distributed.dsud`, :mod:`~repro.distributed.edsud`)
+subclass it and supply only their iteration policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.dominance import Preference
+from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
+from ..core.tuples import UncertainTuple
+from ..net.message import Message, MessageKind, Quaternion
+from ..net.stats import LatencyModel, NetworkStats, ProgressLog
+from ..net.transport import SiteEndpoint
+from .runner import RunResult
+
+__all__ = ["Coordinator", "TopKBuffer"]
+
+_SERVER = "server"
+
+
+class TopKBuffer:
+    """Order-correct top-k emission for progressive coordinators.
+
+    The iteration policies resolve candidates in *bound* order, not in
+    exact-probability order, so under a result limit a resolved tuple
+    may only be emitted once nothing still unresolved could beat it.
+    The buffer holds resolved qualified tuples and releases them while
+    the best buffered exact probability is at least the caller-supplied
+    cap on everything unresolved; k emitted results end the query —
+    that early stop is the whole bandwidth win of ``limit=``.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit!r}")
+        self.limit = limit
+        self.emitted = 0
+        self._heap: List = []
+
+    def offer(self, t: UncertainTuple, probability: float) -> None:
+        import heapq
+
+        heapq.heappush(self._heap, (-probability, t.key, t))
+
+    def drain(self, remaining_cap: float, report) -> bool:
+        """Emit everything provably next-best; True once the limit is hit."""
+        import heapq
+
+        while self._heap and self.emitted < self.limit:
+            probability = -self._heap[0][0]
+            if probability < remaining_cap:
+                break
+            _, _, t = heapq.heappop(self._heap)
+            report(t, probability)
+            self.emitted += 1
+        return self.emitted >= self.limit
+
+    def flush(self, report) -> None:
+        """Natural termination: nothing unresolved remains."""
+        self.drain(remaining_cap=0.0, report=report)
+
+
+class Coordinator:
+    """Base class for the central server of a distributed skyline query."""
+
+    algorithm = "abstract"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteEndpoint],
+        threshold: float,
+        preference: Optional[Preference] = None,
+        latency_model: Optional[LatencyModel] = None,
+        parallel_broadcast: bool = False,
+    ) -> None:
+        if not sites:
+            raise ValueError("a distributed query needs at least one site")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
+        self.sites = list(sites)
+        self.threshold = threshold
+        self.preference = preference
+        self.stats = NetworkStats(latency_model=latency_model or LatencyModel())
+        self.progress = ProgressLog()
+        self.results: List[SkylineMember] = []
+        self.iterations = 0
+        #: Issue the per-broadcast probes concurrently (one thread per
+        #: target site).  Pays off over real sockets, where each probe
+        #: is a network round-trip; in-process sites gain nothing.
+        #: Accounting is unaffected either way — the simulated clock
+        #: already treats a broadcast as one parallel round.
+        self.parallel_broadcast = parallel_broadcast
+
+    # ------------------------------------------------------------------
+    # protocol building blocks
+    # ------------------------------------------------------------------
+
+    def prepare_sites(self) -> List[int]:
+        """Local computing phase on every site; returns |SKY(D_i)| sizes."""
+        sizes = []
+        for site in self.sites:
+            self._account(MessageKind.PREPARE, _SERVER, self._name(site))
+            sizes.append(site.prepare(self.threshold))
+            self._account(MessageKind.PREPARE_REPLY, self._name(site), _SERVER)
+        self.stats.record_round()
+        return sizes
+
+    def fetch_representative(
+        self, site: SiteEndpoint, request: bool = True
+    ) -> Optional[Quaternion]:
+        """To-Server phase against one site.
+
+        ``request=False`` models the initial fill, where every site
+        pushes its head spontaneously and no NEXT_REQUEST is paid.
+        """
+        if request:
+            self._account(MessageKind.NEXT_REQUEST, _SERVER, self._name(site))
+        quaternion = site.pop_representative()
+        if quaternion is None:
+            self._account(MessageKind.EXHAUSTED, self._name(site), _SERVER)
+            return None
+        self._account(MessageKind.REPRESENTATIVE, self._name(site), _SERVER)
+        return quaternion
+
+    def initial_fill(self) -> List[Quaternion]:
+        """First To-Server round: every site's head, in parallel."""
+        out = []
+        for site in self.sites:
+            quaternion = self.fetch_representative(site, request=False)
+            if quaternion is not None:
+                out.append(quaternion)
+        self.stats.record_round(tuples_in_round=len(out))
+        return out
+
+    def broadcast(self, quaternion: Quaternion) -> float:
+        """Server-Delivery + Local-Pruning round for one candidate.
+
+        Sends the tuple to every site except its origin, folds the
+        returned Eq.-9 factors into the exact global probability via
+        Lemma 1, and advances the simulated clock by one parallel
+        round.
+        """
+        global_probability = quaternion.local_probability
+        for _site_id, reply in self.broadcast_probes(quaternion):
+            global_probability *= reply.factor
+        return global_probability
+
+    def broadcast_probes(self, quaternion: Quaternion):
+        """Deliver one feedback tuple to every other site; yield replies.
+
+        Returns ``(site_id, ProbeReply)`` pairs and does all the
+        accounting; :meth:`broadcast` and e-DSUD's factor-tracking
+        variant both build on it.  With ``parallel_broadcast`` the
+        probes run concurrently — safe because each target site only
+        ever receives its own call.
+        """
+        t = quaternion.tuple
+        targets = [s for s in self.sites if s.site_id != quaternion.site]
+        for site in targets:
+            self._account(MessageKind.FEEDBACK, _SERVER, self._name(site))
+        if self.parallel_broadcast and len(targets) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(targets)) as pool:
+                replies = list(pool.map(lambda s: s.probe_and_prune(t), targets))
+        else:
+            replies = [site.probe_and_prune(t) for site in targets]
+        for site in targets:
+            self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
+        self.stats.record_round(tuples_in_round=len(targets))
+        return [(site.site_id, reply) for site, reply in zip(targets, replies)]
+
+    def report(self, t: UncertainTuple, global_probability: float) -> bool:
+        """Progressively emit a resolved candidate; True if it qualified."""
+        if global_probability < self.threshold:
+            return False
+        self.results.append(SkylineMember(t, global_probability))
+        self.progress.report(t.key, global_probability, self.stats)
+        self._account(MessageKind.RESULT, _SERVER, "client")
+        return True
+
+    # ------------------------------------------------------------------
+    # the run loop contract
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the query; subclasses implement :meth:`_execute`."""
+        self.progress.restart_clock()
+        self._execute()
+        extra = self._extra()
+        pruned = [
+            getattr(site, "pruned_total", None) for site in self.sites
+        ]
+        if all(p is not None for p in pruned):
+            # Local-pruning effectiveness; available for in-process
+            # sites (TCP proxies do not expose internals).
+            extra["site_pruned_total"] = float(sum(pruned))
+        return RunResult(
+            algorithm=self.algorithm,
+            answer=ProbabilisticSkyline(self.threshold, list(self.results)),
+            stats=self.stats,
+            progress=self.progress,
+            iterations=self.iterations,
+            extra=extra,
+        )
+
+    def _execute(self) -> None:
+        raise NotImplementedError
+
+    def _extra(self) -> dict:
+        return {}
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+
+    def _account(self, kind: MessageKind, sender: str, receiver: str) -> None:
+        self.stats.record(Message.bearing(kind, sender, receiver, payload=None))
+
+    @staticmethod
+    def _name(site: SiteEndpoint) -> str:
+        return f"site-{site.site_id}"

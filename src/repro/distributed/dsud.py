@@ -1,0 +1,96 @@
+"""The DSUD algorithm (§5.1).
+
+The coordinator maintains the priority queue ``L`` of one
+representative quaternion per site, ordered by descending *local*
+skyline probability.  Each iteration pops the head, broadcasts it to
+the other sites — simultaneously resolving its exact global skyline
+probability (Lemma 1) and letting every site prune dominated
+candidates (Local-Pruning phase) — reports it if qualified, and refills
+``L`` from the head's origin site.
+
+Corollary 1 justifies the order and the halt: the global probability of
+anything still unfetched is bounded by the head's local probability, so
+once every site is exhausted (each site's queue holds only candidates
+above ``q``; anything below never leaves the site) no qualified tuple
+can have been missed.
+
+``limit=k`` turns the query into a *top-k probabilistic skyline*: the
+same iteration stops as soon as the ``k`` globally most probable
+qualified tuples are provably resolved — the head of ``L`` caps the
+exact probability of everything unresolved, so emission order stays
+correct while the tail of the queue is never transmitted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence
+
+from ..core.dominance import Preference
+from ..net.message import Quaternion
+from ..net.stats import LatencyModel
+from ..net.transport import SiteEndpoint
+from .coordinator import Coordinator, TopKBuffer
+
+__all__ = ["DSUD"]
+
+
+class DSUD(Coordinator):
+    """Distributed Skyline over Uncertain Data — the paper's base algorithm."""
+
+    algorithm = "DSUD"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteEndpoint],
+        threshold: float,
+        preference: Optional[Preference] = None,
+        latency_model: Optional[LatencyModel] = None,
+        limit: Optional[int] = None,
+        parallel_broadcast: bool = False,
+    ) -> None:
+        super().__init__(
+            sites, threshold, preference, latency_model,
+            parallel_broadcast=parallel_broadcast,
+        )
+        self.limit = limit
+
+    def _execute(self) -> None:
+        self.prepare_sites()
+        counter = itertools.count()
+        heap: List = []
+        for quaternion in self.initial_fill():
+            heapq.heappush(
+                heap, (-quaternion.local_probability, next(counter), quaternion)
+            )
+        exhausted = set()
+        site_by_id = {site.site_id: site for site in self.sites}
+        buffer = TopKBuffer(self.limit) if self.limit is not None else None
+
+        while heap:
+            self.iterations += 1
+            _, _, head = heapq.heappop(heap)
+            if head.local_probability < self.threshold:
+                # Corollary 1: nothing in L (or unfetched) can qualify.
+                break
+            global_probability = self.broadcast(head)
+            if buffer is None:
+                self.report(head.tuple, global_probability)
+            elif global_probability >= self.threshold:
+                buffer.offer(head.tuple, global_probability)
+            if head.site not in exhausted:
+                refill = self.fetch_representative(site_by_id[head.site])
+                if refill is None:
+                    exhausted.add(head.site)
+                else:
+                    heapq.heappush(
+                        heap, (-refill.local_probability, next(counter), refill)
+                    )
+                    self.stats.record_round(tuples_in_round=1)
+            if buffer is not None:
+                remaining_cap = -heap[0][0] if heap else 0.0
+                if buffer.drain(remaining_cap, self.report):
+                    return
+        if buffer is not None:
+            buffer.flush(self.report)

@@ -1,0 +1,265 @@
+"""The enhanced DSUD algorithm, e-DSUD (§5.2).
+
+e-DSUD keeps DSUD's protocol but changes *which* tuple the server
+broadcasts: instead of the largest local skyline probability (head of
+``L``), it maintains a second ordering ``G`` keyed by the Corollary-2
+approximate global bound ``P*_g-sky`` — computable from information the
+server already holds, at zero extra bandwidth — and broadcasts its
+head.  A candidate with the largest *achievable* global probability is
+simultaneously the most likely qualified result and the strongest
+pruner for the Local-Pruning phase.
+
+Two further consequences of the bound:
+
+* **Server-side expunge** — a resident whose bound sinks below ``q``
+  can never qualify; it is dropped without being broadcast and its
+  origin site is immediately asked for its next candidate.  (The
+  paper's §5.2 prescribes this eagerly; its §5.3 worked example keeps
+  dead residents around until the end — both behaviours are available
+  via ``EDSUDConfig.server_expunge``, and both are correct because
+  bounds only ever decrease.)
+* **Sound termination** — the query is complete when every site is
+  exhausted and every remaining resident's bound is below ``q``.
+
+``EDSUDConfig.reuse_probe_factors`` adds an optimization beyond the
+paper: the exact Eq.-9 factors returned by a broadcast are remembered
+and reused as per-site bounds for residents the broadcast tuple
+dominates (always at least as tight as the Observation-2 estimate).
+It defaults off to stay faithful; the ablation benchmark measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dominance import Preference, dominates
+from ..core.probability import observation2_bound
+from ..net.message import Quaternion
+from ..net.stats import LatencyModel
+from ..net.transport import SiteEndpoint
+from .coordinator import Coordinator
+
+__all__ = ["EDSUDConfig", "EDSUD"]
+
+
+@dataclass(frozen=True)
+class EDSUDConfig:
+    """Feedback-selection policy knobs (ablation switches).
+
+    ``server_expunge``      — eagerly drop residents whose bound falls
+                              below ``q`` (paper §5.2); if False they
+                              linger until termination needs progress
+                              (paper §5.3 example behaviour).
+    ``eager_bound_refresh`` — tighten existing residents' bounds with
+                              every newly arrived quaternion; if False
+                              bounds are only computed on arrival.
+    ``reuse_probe_factors`` — fold exact broadcast factors back into
+                              resident bounds (beyond-paper
+                              optimization).
+    """
+
+    server_expunge: bool = True
+    eager_bound_refresh: bool = True
+    reuse_probe_factors: bool = False
+
+
+@dataclass
+class _Resident:
+    """A server-resident candidate with its per-site bound factors."""
+
+    quaternion: Quaternion
+    factors: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def bound(self) -> float:
+        b = self.quaternion.local_probability
+        for f in self.factors.values():
+            b *= f
+        return b
+
+
+@dataclass
+class _SeenTuple:
+    """Everything ever shipped to the server (the paper's 'tuples in L')."""
+
+    quaternion: Quaternion
+    exact_factors: Dict[int, float] = field(default_factory=dict)
+
+
+class EDSUD(Coordinator):
+    """Enhanced DSUD with Corollary-2 feedback selection."""
+
+    algorithm = "e-DSUD"
+
+    def __init__(
+        self,
+        sites: Sequence[SiteEndpoint],
+        threshold: float,
+        preference: Optional[Preference] = None,
+        latency_model: Optional[LatencyModel] = None,
+        config: Optional[EDSUDConfig] = None,
+        limit: Optional[int] = None,
+        parallel_broadcast: bool = False,
+    ) -> None:
+        super().__init__(
+            sites, threshold, preference, latency_model,
+            parallel_broadcast=parallel_broadcast,
+        )
+        self.config = config or EDSUDConfig()
+        self.limit = limit
+        self.expunged_total = 0
+        self._seen: List[_SeenTuple] = []
+        self._residents: Dict[int, _Resident] = {}
+        self._exhausted: set = set()
+
+    # ------------------------------------------------------------------
+    # bound bookkeeping
+    # ------------------------------------------------------------------
+
+    def _apply_seen_to(self, resident: _Resident, seen: _SeenTuple) -> None:
+        """Tighten one resident's factors with one seen tuple, if it dominates."""
+        q = seen.quaternion
+        r = resident.quaternion
+        if q.tuple.key == r.tuple.key:
+            return
+        if not dominates(q.tuple, r.tuple, self.preference):
+            return
+        if q.site != r.site:
+            factor = observation2_bound(q.local_probability, q.tuple.probability)
+            prev = resident.factors.get(q.site)
+            if prev is None or factor < prev:
+                resident.factors[q.site] = factor
+        if self.config.reuse_probe_factors:
+            for site_id, exact in seen.exact_factors.items():
+                if site_id == r.site:
+                    continue
+                prev = resident.factors.get(site_id)
+                if prev is None or exact < prev:
+                    resident.factors[site_id] = exact
+
+    def _admit(self, quaternion: Quaternion) -> None:
+        """Install a freshly fetched quaternion as its site's resident."""
+        resident = _Resident(quaternion=quaternion)
+        for seen in self._seen:
+            self._apply_seen_to(resident, seen)
+        entry = _SeenTuple(quaternion=quaternion)
+        if self.config.eager_bound_refresh:
+            for other in self._residents.values():
+                self._apply_seen_to(other, entry)
+        self._seen.append(entry)
+        self._residents[quaternion.site] = resident
+
+    # ------------------------------------------------------------------
+    # the iteration policy
+    # ------------------------------------------------------------------
+
+    def _execute(self) -> None:
+        from .coordinator import TopKBuffer
+
+        self.prepare_sites()
+        site_by_id = {site.site_id: site for site in self.sites}
+        for quaternion in self.initial_fill():
+            self._admit(quaternion)
+        for site in self.sites:
+            if site.site_id not in self._residents:
+                self._exhausted.add(site.site_id)
+        buffer = TopKBuffer(self.limit) if self.limit is not None else None
+
+        while True:
+            if self.config.server_expunge:
+                self._expunge_dead(site_by_id)
+            head = self._max_bound_resident()
+            if head is None or head.bound < self.threshold:
+                if self._all_sites_drained():
+                    break
+                # Lazy mode: dead residents block non-exhausted sites;
+                # drop them so those sites can surface fresh candidates.
+                self._expunge_dead(site_by_id)
+                continue
+            self.iterations += 1
+            quaternion = head.quaternion
+            del self._residents[quaternion.site]
+            global_probability = self._broadcast_tracking_factors(quaternion)
+            if buffer is None:
+                self.report(quaternion.tuple, global_probability)
+            elif global_probability >= self.threshold:
+                buffer.offer(quaternion.tuple, global_probability)
+            self._refill(site_by_id, quaternion.site)
+            if buffer is not None:
+                # Everything unresolved — residents and their sites'
+                # unfetched tails alike — is capped by the residents'
+                # local skyline probabilities (Corollary 1 plus the
+                # per-site descending queue order).
+                remaining_cap = max(
+                    (
+                        r.quaternion.local_probability
+                        for r in self._residents.values()
+                    ),
+                    default=0.0,
+                )
+                if buffer.drain(remaining_cap, self.report):
+                    return
+        if buffer is not None:
+            buffer.flush(self.report)
+
+    def _broadcast_tracking_factors(self, quaternion: Quaternion) -> float:
+        """Broadcast like the base class, but remember exact factors."""
+        global_probability = quaternion.local_probability
+        exact: Dict[int, float] = {}
+        for site_id, reply in self.broadcast_probes(quaternion):
+            global_probability *= reply.factor
+            exact[site_id] = reply.factor
+        for seen in self._seen:
+            if seen.quaternion.tuple.key == quaternion.tuple.key:
+                seen.exact_factors = exact
+                break
+        if self.config.reuse_probe_factors and self.config.eager_bound_refresh:
+            entry = _SeenTuple(quaternion=quaternion, exact_factors=exact)
+            for other in self._residents.values():
+                self._apply_seen_to(other, entry)
+        return global_probability
+
+    def _refill(self, site_by_id: Dict[int, SiteEndpoint], site_id: int) -> None:
+        """Ask a site whose resident was consumed for its next candidate."""
+        if site_id in self._exhausted:
+            return
+        quaternion = self.fetch_representative(site_by_id[site_id])
+        if quaternion is None:
+            self._exhausted.add(site_id)
+            return
+        self.stats.record_round(tuples_in_round=1)
+        self._admit(quaternion)
+
+    def _expunge_dead(self, site_by_id: Dict[int, SiteEndpoint]) -> None:
+        """Drop every resident whose bound proves it unqualified.
+
+        Each drop frees its site, which is immediately asked for the
+        next candidate; the loop runs until every resident is live or
+        every queue is exhausted.
+        """
+        while True:
+            dead = [
+                site_id
+                for site_id, resident in self._residents.items()
+                if resident.bound < self.threshold
+            ]
+            if not dead:
+                return
+            for site_id in dead:
+                del self._residents[site_id]
+                self.expunged_total += 1
+                self._refill(site_by_id, site_id)
+
+    def _max_bound_resident(self) -> Optional[_Resident]:
+        best = None
+        for resident in self._residents.values():
+            if best is None or resident.bound > best.bound:
+                best = resident
+        return best
+
+    def _all_sites_drained(self) -> bool:
+        return len(self._exhausted) == len(self.sites)
+
+    def _extra(self) -> dict:
+        return {"expunged": float(self.expunged_total)}

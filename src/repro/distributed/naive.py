@@ -1,0 +1,49 @@
+"""The §5.1 strawman: ship all local skylines, broadcast all of them.
+
+The "important improvement" over ship-all that motivates DSUD: every
+site computes its qualified local skyline ``SKY(D_i)`` and transmits
+the whole set; the server then broadcasts every received candidate to
+the other sites to resolve its exact global probability.  Bandwidth is
+
+    Σ |SKY(D_i)|  +  Σ |SKY(D_i)| × (m − 1)
+
+— the §4 cost analysis's ``N_local + N_back`` — because without
+iteration there is no feedback pruning: nothing ever stops a site from
+shipping candidates that the first broadcast would have disqualified.
+Candidates are broadcast in descending local-probability order, so
+this algorithm is progressive too, just wasteful.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.message import Message, MessageKind, Quaternion
+from .coordinator import Coordinator
+
+__all__ = ["NaiveLocalSkylines"]
+
+
+class NaiveLocalSkylines(Coordinator):
+    """Ship every local skyline, broadcast every candidate."""
+
+    algorithm = "naive-local-skylines"
+
+    def _execute(self) -> None:
+        self.prepare_sites()
+        gathered: List[Quaternion] = []
+        for site in self.sites:
+            burst = site.ship_local_skyline(self.threshold)
+            for _ in burst:
+                self.stats.record(
+                    Message.bearing(
+                        MessageKind.REPRESENTATIVE, self._name(site), "server", payload=None
+                    )
+                )
+            self.stats.record_round(tuples_in_round=len(burst))
+            gathered.extend(burst)
+        gathered.sort(key=lambda q: -q.local_probability)
+        for quaternion in gathered:
+            self.iterations += 1
+            global_probability = self.broadcast(quaternion)
+            self.report(quaternion.tuple, global_probability)

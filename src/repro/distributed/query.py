@@ -1,0 +1,102 @@
+"""One-call front door for distributed skyline queries.
+
+:func:`distributed_skyline` assembles :class:`LocalSite` runtimes from
+raw partitions, picks the algorithm by name, runs it, and hands back
+the full :class:`~repro.distributed.runner.RunResult` — the function
+examples, tests, and the benchmark harness all build on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..core.dominance import Preference
+from ..core.tuples import UncertainTuple
+from ..net.stats import LatencyModel
+from .baseline import ShipAllBaseline
+from .coordinator import Coordinator
+from .dsud import DSUD
+from .edsud import EDSUD, EDSUDConfig
+from .naive import NaiveLocalSkylines
+from .runner import RunResult
+from .site import LocalSite, SiteConfig
+
+__all__ = ["ALGORITHMS", "build_sites", "distributed_skyline"]
+
+ALGORITHMS: Dict[str, Type[Coordinator]] = {
+    "ship-all": ShipAllBaseline,
+    "naive": NaiveLocalSkylines,
+    "dsud": DSUD,
+    "edsud": EDSUD,
+}
+
+
+def build_sites(
+    partitions: Sequence[Sequence[UncertainTuple]],
+    preference: Optional[Preference] = None,
+    site_config: Optional[SiteConfig] = None,
+) -> List[LocalSite]:
+    """Instantiate one :class:`LocalSite` per partition (ids are indices)."""
+    return [
+        LocalSite(site_id=i, database=part, preference=preference, config=site_config)
+        for i, part in enumerate(partitions)
+    ]
+
+
+def distributed_skyline(
+    partitions: Sequence[Sequence[UncertainTuple]],
+    threshold: float,
+    algorithm: str = "edsud",
+    preference: Optional[Preference] = None,
+    site_config: Optional[SiteConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+    edsud_config: Optional[EDSUDConfig] = None,
+    limit: Optional[int] = None,
+) -> RunResult:
+    """Answer a distributed probabilistic skyline query.
+
+    Parameters
+    ----------
+    partitions:
+        The horizontal partition ``D_1 … D_m`` — one sequence of
+        :class:`UncertainTuple` per site.
+    threshold:
+        The probability threshold ``q`` in ``(0, 1]``.
+    algorithm:
+        ``"edsud"`` (default), ``"dsud"``, ``"naive"``, or
+        ``"ship-all"``.
+    preference:
+        Optional per-dimension directions / subspace.
+    site_config, latency_model, edsud_config:
+        Execution knobs; see the respective classes.
+    limit:
+        Optional top-k: stop after the ``k`` globally most probable
+        qualified tuples are resolved, emitted in descending
+        probability order.  Supported by the progressive algorithms
+        (``dsud``/``edsud``) only — the point is stopping early, which
+        the bulk strawmen cannot do.
+
+    Returns the :class:`RunResult` with the answer, exact bandwidth
+    accounting, and the progressiveness timeline.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        )
+    sites = build_sites(partitions, preference=preference, site_config=site_config)
+    cls = ALGORITHMS[algorithm]
+    if cls is EDSUD:
+        coordinator: Coordinator = EDSUD(
+            sites, threshold, preference, latency_model,
+            config=edsud_config, limit=limit,
+        )
+    elif cls is DSUD:
+        coordinator = DSUD(sites, threshold, preference, latency_model, limit=limit)
+    else:
+        if limit is not None:
+            raise ValueError(
+                f"limit= requires a progressive algorithm (dsud/edsud); "
+                f"{algorithm!r} resolves everything before its first result"
+            )
+        coordinator = cls(sites, threshold, preference, latency_model)
+    return coordinator.run()

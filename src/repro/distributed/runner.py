@@ -1,0 +1,55 @@
+"""Run-result container and the shared reporting surface.
+
+Every distributed algorithm in this package returns a
+:class:`RunResult`: the qualified answer, the exact bandwidth books,
+and the progressiveness timeline — everything Figs. 8–14 plot, from a
+single run object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.prob_skyline import ProbabilisticSkyline
+from ..net.stats import NetworkStats, ProgressLog
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """The complete outcome of one distributed skyline run."""
+
+    algorithm: str
+    answer: ProbabilisticSkyline
+    stats: NetworkStats
+    progress: ProgressLog
+    iterations: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bandwidth(self) -> int:
+        """Total tuples transmitted — the paper's headline metric."""
+        return self.stats.tuples_transmitted
+
+    @property
+    def result_count(self) -> int:
+        return len(self.answer)
+
+    def ceiling(self, sites: int) -> int:
+        """The unachievable optimum of Fig. 8's *Ceiling* line.
+
+        Every qualified tuple must at minimum travel to the server once
+        and be checked against the other ``m − 1`` sites, so no correct
+        algorithm transmits fewer than ``|SKY(H)| × m`` tuples.
+        """
+        return self.result_count * sites
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: |SKY(H)|={self.result_count} "
+            f"bandwidth={self.bandwidth} tuples "
+            f"(up={self.stats.tuples_to_server}, down={self.stats.tuples_from_server}) "
+            f"rounds={self.stats.rounds} iterations={self.iterations}"
+        )

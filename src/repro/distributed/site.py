@@ -1,0 +1,349 @@
+"""The local-site runtime (§4's participant S_i, §6's implementation).
+
+A :class:`LocalSite` owns one horizontal partition ``D_i`` of the
+global uncertain database and implements every per-site obligation of
+the DSUD/e-DSUD protocol:
+
+* **Local computing phase** — compute the qualified local skyline
+  ``SKY(D_i) = { t : P_sky(t, D_i) ≥ q }`` (BBS over the PR-tree, §6.2,
+  or the sort-based fallback) and keep it sorted by descending local
+  skyline probability as the *candidate queue*.
+* **To-Server phase** — surrender the queue head as a
+  :class:`~repro.net.message.Quaternion` on request.
+* **Server-Delivery phase** — answer a probe for a foreign tuple ``t``
+  with the factor ``P_sky(t, D_i) = ∏_{t'∈D_i, t'≺t}(1 − P(t'))``
+  (Eq. 9) through the §6.3 window query.
+* **Local-Pruning phase** — fold each received feedback tuple into the
+  pruning set and expunge queue candidates whose global-probability
+  upper bound ``P_sky(s, D_i) × ∏_{f ≺ s}(1 − P(f))`` sinks below the
+  threshold.  Pruned tuples stay in ``D_i`` (they still dominate) —
+  only their candidacy dies.
+* **§5.4 maintenance** — apply inserts/deletes to the PR-tree, the
+  candidate queue, and the replicated copy of ``SKY(H)``.
+
+Sites never talk to each other; everything flows through the
+coordinator, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dominance import Preference, dominates
+from ..core.prob_skyline import ProbabilisticSkyline, prob_skyline_sfs
+from ..core.probability import skyline_probability
+from ..core.tuples import UncertainTuple, validate_database
+from ..index.bbs import bbs_prob_skyline
+from ..index.prtree import PRTree
+from ..net.message import Quaternion
+
+__all__ = ["SiteConfig", "ProbeReply", "LocalSite"]
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Per-site execution knobs.
+
+    ``use_index``        — build an index (§6) or fall back to scans.
+    ``index_kind``       — "prtree" (the paper's §6.1 structure) or
+                           "grid" (the uniform-grid rival; probes only,
+                           local skylines fall back to sorting).
+    ``feedback_pruning`` — enable the Local-Pruning phase (ablation
+                           switch; disabling it never affects the
+                           answer, only bandwidth).
+    ``max_entries``      — PR-tree node capacity.
+    ``store_products``   — keep non-occurrence products in the tree
+                           (the §6.3 probe optimization; ablation
+                           switch).
+    """
+
+    use_index: bool = True
+    index_kind: str = "prtree"
+    feedback_pruning: bool = True
+    max_entries: int = 16
+    store_products: bool = True
+
+
+@dataclass(frozen=True)
+class ProbeReply:
+    """Answer to a feedback/probe broadcast."""
+
+    factor: float
+    pruned: int
+    queue_remaining: int
+
+
+@dataclass
+class _Candidate:
+    tuple: UncertainTuple
+    local_probability: float
+    bound: float  # local probability × accumulated feedback factors
+
+
+class LocalSite:
+    """One participant S_i holding partition D_i."""
+
+    def __init__(
+        self,
+        site_id: int,
+        database: Sequence[UncertainTuple],
+        preference: Optional[Preference] = None,
+        config: Optional[SiteConfig] = None,
+    ) -> None:
+        self.site_id = site_id
+        self.preference = preference
+        self.config = config or SiteConfig()
+        validate_database(list(database))  # unique keys, consistent d
+        self.database: Dict[int, UncertainTuple] = {t.key: t for t in database}
+        self.tree = None
+        if self.config.use_index:
+            if self.config.index_kind == "prtree":
+                self.tree = PRTree.build(
+                    database,
+                    preference=preference,
+                    max_entries=self.config.max_entries,
+                    store_products=self.config.store_products,
+                )
+            elif self.config.index_kind == "grid":
+                from ..index.grid import GridIndex
+
+                self.tree = GridIndex.build(database, preference=preference)
+            else:
+                raise ValueError(
+                    f"unknown index kind {self.config.index_kind!r}; "
+                    f"expected 'prtree' or 'grid'"
+                )
+        self.threshold: Optional[float] = None
+        self._queue: List[_Candidate] = []
+        self._feedback: List[UncertainTuple] = []
+        self._popped_keys: set = set()
+        self.pruned_total = 0
+        #: Replica of the global result set for §5.4 updates: key →
+        #: (tuple, global skyline probability).  Replicating SKY(H) at
+        #: every participant is what lets most updates resolve without
+        #: touching the network.
+        self.sky_h_replica: Dict[int, "tuple[UncertainTuple, float]"] = {}
+
+    # ------------------------------------------------------------------
+    # local computing phase
+    # ------------------------------------------------------------------
+
+    def prepare(self, threshold: float) -> int:
+        """Compute and enqueue ``SKY(D_i)``; returns its size.
+
+        Idempotent per threshold: calling again resets the queue and
+        clears accumulated feedback, which is what a fresh query run
+        needs.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
+        self.threshold = threshold
+        answer = self._local_skyline(threshold)
+        self._queue = [
+            _Candidate(tuple=m.tuple, local_probability=m.probability, bound=m.probability)
+            for m in answer  # ProbabilisticSkyline iterates descending
+        ]
+        self._feedback = []
+        self._popped_keys = set()
+        self.pruned_total = 0
+        return len(self._queue)
+
+    def _local_skyline(self, threshold: float) -> ProbabilisticSkyline:
+        if isinstance(self.tree, PRTree):
+            return bbs_prob_skyline(self.tree, threshold)
+        return prob_skyline_sfs(list(self.database.values()), threshold, self.preference)
+
+    # ------------------------------------------------------------------
+    # to-server phase
+    # ------------------------------------------------------------------
+
+    def pop_representative(self) -> Optional[Quaternion]:
+        """Hand the most promising remaining candidate to the server.
+
+        Candidates whose feedback-tightened bound has already fallen
+        below the threshold are silently skipped (they were pruned
+        lazily); ``None`` signals exhaustion.
+        """
+        self._require_prepared()
+        while self._queue:
+            cand = self._queue.pop(0)
+            if cand.bound < self.threshold:
+                self.pruned_total += 1
+                continue
+            self._popped_keys.add(cand.tuple.key)
+            return Quaternion(
+                site=self.site_id,
+                tuple=cand.tuple,
+                local_probability=cand.local_probability,
+            )
+        return None
+
+    def queue_size(self) -> int:
+        return len(self._queue)
+
+    def ship_all(self) -> List[UncertainTuple]:
+        """Surrender the whole partition (the §3.2 ship-all baseline)."""
+        return list(self.database.values())
+
+    def ship_local_skyline(self, threshold: float) -> List[Quaternion]:
+        """Surrender the entire qualified local skyline in one burst.
+
+        The §5.1 'important improvement' strawman: compute ``SKY(D_i)``
+        and transmit all of it, ordered by descending local skyline
+        probability.
+        """
+        answer = self._local_skyline(threshold)
+        return [
+            Quaternion(site=self.site_id, tuple=m.tuple, local_probability=m.probability)
+            for m in answer
+        ]
+
+    # ------------------------------------------------------------------
+    # server-delivery + local-pruning phases
+    # ------------------------------------------------------------------
+
+    def probe(self, t: UncertainTuple) -> float:
+        """Eq. 9: the exact factor this site contributes for foreign ``t``."""
+        if self.tree is not None:
+            return self.tree.dominators_product(t)
+        product = 1.0
+        for other in self.database.values():
+            if other.key != t.key and dominates(other, t, self.preference):
+                product *= 1.0 - other.probability
+        return product
+
+    def apply_feedback(self, t: UncertainTuple) -> int:
+        """Local-Pruning phase: expunge candidates the feedback disqualifies.
+
+        Tightens every queued candidate dominated by ``t`` with the
+        factor ``(1 − P(t))`` and drops those whose bound sinks below
+        ``q``.  Returns the number dropped.  With pruning disabled the
+        feedback is recorded (for update maintenance) but nothing is
+        dropped.
+        """
+        self._require_prepared()
+        self._feedback.append(t)
+        if not self.config.feedback_pruning:
+            return 0
+        survivors: List[_Candidate] = []
+        pruned = 0
+        for cand in self._queue:
+            if dominates(t, cand.tuple, self.preference):
+                cand.bound *= 1.0 - t.probability
+                if cand.bound < self.threshold:
+                    pruned += 1
+                    continue
+            survivors.append(cand)
+        self._queue = survivors
+        self.pruned_total += pruned
+        return pruned
+
+    def probe_and_prune(self, t: UncertainTuple) -> ProbeReply:
+        """The combined Server-Delivery message handler."""
+        factor = self.probe(t)
+        pruned = self.apply_feedback(t)
+        return ProbeReply(factor=factor, pruned=pruned, queue_remaining=len(self._queue))
+
+    # ------------------------------------------------------------------
+    # §5.4 update maintenance hooks
+    # ------------------------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        return key in self.database
+
+    def insert_tuple(self, t: UncertainTuple) -> None:
+        """Add ``t`` to ``D_i`` (index included); candidacy is handled
+        by the maintenance protocol, not here."""
+        if t.key in self.database:
+            raise ValueError(f"tuple {t.key} already stored at site {self.site_id}")
+        self.database[t.key] = t
+        if self.tree is not None:
+            self.tree.add(t)
+
+    def delete_tuple(self, key: int) -> UncertainTuple:
+        """Remove the tuple with ``key`` from ``D_i`` (index included)."""
+        t = self.database.pop(key, None)
+        if t is None:
+            raise KeyError(f"tuple {key} not stored at site {self.site_id}")
+        if self.tree is not None:
+            self.tree.remove(t)
+        self._queue = [c for c in self._queue if c.tuple.key != key]
+        return t
+
+    def local_skyline_probability(self, t: UncertainTuple, floor: float = 0.0) -> float:
+        """Eq. 3 for a tuple of this site (includes its own P(t)).
+
+        With a nonzero ``floor`` the value is exact whenever it is ≥
+        ``floor`` and otherwise merely guaranteed below it — the usual
+        threshold-test contract.
+        """
+        if t.probability <= 0.0:
+            return 0.0
+        inner_floor = floor / t.probability if floor > 0.0 else 0.0
+        if self.tree is not None:
+            return t.probability * self.tree.dominators_product(t, floor=inner_floor)
+        return skyline_probability(
+            t, self.database.values(), self.preference, floor=floor
+        )
+
+    def dominated_local_candidates(
+        self,
+        t: UncertainTuple,
+        threshold: float,
+        pruners: Optional[List[UncertainTuple]] = None,
+    ) -> List["tuple[UncertainTuple, float]"]:
+        """Local tuples dominated by ``t`` whose local probability reaches ``q``.
+
+        The §5.4 delete path needs exactly these: when a dominating
+        tuple disappears somewhere, only locally-qualified tuples it
+        dominated can newly qualify globally.  Returns ``(tuple,
+        local_probability)`` pairs.
+
+        ``pruners`` (typically the current SKY(H) replica contents)
+        cheapen the scan enormously: any tuple whose existential
+        probability, multiplied by the non-occurrence of the pruners
+        dominating it, already misses ``q`` can be skipped before the
+        exact (and comparatively expensive) index probe — each pruner
+        is a real stored tuple somewhere, so the product is a sound
+        upper bound on the global probability.  On uniform data a
+        random deleted tuple dominates ``N/2^d`` others; without the
+        precheck every one of them would be probed.
+        """
+        out = []
+        for s in self.database.values():
+            if s.key == t.key or s.probability < threshold:
+                continue
+            if not dominates(t, s, self.preference):
+                continue
+            if pruners is not None:
+                bound = s.probability
+                for f in pruners:
+                    if f.key != s.key and dominates(f, s, self.preference):
+                        bound *= 1.0 - f.probability
+                        if bound < threshold:
+                            break
+                if bound < threshold:
+                    continue
+            p = self.local_skyline_probability(s, floor=threshold)
+            if p >= threshold:
+                out.append((s, p))
+        return out
+
+    def set_replica(self, entries: Dict[int, "tuple[UncertainTuple, float]"]) -> None:
+        """Install the coordinator's SKY(H) replica (§5.4 bootstrap)."""
+        self.sky_h_replica = dict(entries)
+
+    def replica_dominators(self, t: UncertainTuple) -> List[UncertainTuple]:
+        """Replicated global results dominating ``t`` (§5.4 insert check)."""
+        return [
+            other
+            for other, _prob in self.sky_h_replica.values()
+            if other.key != t.key and dominates(other, t, self.preference)
+        ]
+
+    def _require_prepared(self) -> None:
+        if self.threshold is None:
+            raise RuntimeError(
+                f"site {self.site_id} used before prepare(); call prepare(q) first"
+            )

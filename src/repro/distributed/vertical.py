@@ -1,0 +1,353 @@
+"""Probabilistic skyline over *vertically* partitioned uncertain data.
+
+The paper closes (§8) by naming vertical partitioning — every site
+stores one attribute of the relation, as in Balke et al.'s distributed
+skyline — as the open problem its horizontal algorithms do not cover.
+This module supplies that missing algorithm, adapting the
+threshold-algorithm (TA) style of sorted access to the probabilistic
+threshold semantics.
+
+Why the certain-data algorithm is not enough
+--------------------------------------------
+Balke et al. stop sorted access once one tuple has surfaced in every
+attribute list: everything unseen is dominated by it, and a dominated
+tuple cannot be a (certain) skyline member.  Under possible-world
+semantics a dominated tuple merely loses a *factor* ``(1 − P(t))`` per
+dominator, so one surfaced tuple proves nothing.  The probabilistic
+stopping rule has to accumulate dominating mass:
+
+    every unseen tuple u has u_j ≥ frontier_j on every dimension,
+    so each fully-seen tuple t with t ≼ frontier (strict somewhere)
+    dominates *all* unseen tuples, and
+
+        P_sky(u) ≤ ∏_{t complete, t ≺ frontier} (1 − P(t)) =: B.
+
+    Sorted access may stop as soon as B < q.
+
+Afterwards the candidate set (= every tuple touched by sorted access)
+is completed by random access, pruned with candidate-local dominator
+bounds, and the survivors' *exact* skyline probabilities are resolved
+with per-dimension dominator-set intersection — the coordinator walks
+the sites in ascending selectivity order so the key set only ever
+shrinks.
+
+Bandwidth here is measured in **attribute entries** (a ``(key, value,
+probability)`` triple is one entry; a horizontal tuple corresponds to
+``d`` of them), reported separately per phase in
+:class:`VerticalRunStats`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dominance import Preference
+from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
+from ..core.tuples import UncertainTuple
+
+__all__ = ["VerticalSite", "VerticalRunStats", "VerticalSkylineCoordinator",
+           "vertical_partition", "vertical_skyline"]
+
+
+class VerticalSite:
+    """One attribute column of the relation, sorted ascending.
+
+    Stores ``(value_j, key, probability)`` for every tuple; the
+    existential probability rides along with every column (it is part
+    of each record, exactly as the horizontal sites carry it).
+    Coordinates are canonical min-space values — apply a
+    :class:`Preference` before construction (see
+    :func:`vertical_partition`).
+    """
+
+    def __init__(self, dim: int, entries: Sequence[Tuple[float, int, float]]) -> None:
+        self.dim = dim
+        self.entries = sorted(entries)
+        self._by_key: Dict[int, Tuple[float, float]] = {
+            key: (value, prob) for value, key, prob in self.entries
+        }
+        self._values = [value for value, _key, _prob in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def sorted_access(self, position: int) -> Optional[Tuple[int, float, float]]:
+        """The ``position``-th smallest entry as ``(key, value, prob)``."""
+        if position >= len(self.entries):
+            return None
+        value, key, prob = self.entries[position]
+        return key, value, prob
+
+    def random_access(self, key: int) -> Tuple[float, float]:
+        """This column's ``(value, probability)`` for one tuple."""
+        return self._by_key[key]
+
+    def count_leq(self, value: float) -> int:
+        """How many entries have column value ≤ ``value`` (free control info)."""
+        return bisect.bisect_right(self._values, value)
+
+    def keys_leq(self, value: float) -> Dict[int, bool]:
+        """Keys with column value ≤ ``value``; True where strictly less."""
+        hi = bisect.bisect_right(self._values, value)
+        return {
+            key: column_value < value
+            for column_value, key, _prob in self.entries[:hi]
+        }
+
+    def filter_leq(self, keys: Dict[int, bool], value: float) -> Dict[int, bool]:
+        """Intersection step: keep keys whose column value is ≤ ``value``,
+        OR-ing in this column's strictness."""
+        out = {}
+        for key, strict in keys.items():
+            column_value, _prob = self._by_key[key]
+            if column_value <= value:
+                out[key] = strict or column_value < value
+        return out
+
+
+@dataclass
+class VerticalRunStats:
+    """Entry-level accounting, broken down by protocol phase."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    dominator_entries: int = 0
+    control_messages: int = 0
+    candidates: int = 0
+    verified: int = 0
+
+    @property
+    def total_entries(self) -> int:
+        return self.sorted_accesses + self.random_accesses + self.dominator_entries
+
+
+@dataclass
+class _Partial:
+    probability: float
+    values: Dict[int, float] = field(default_factory=dict)
+
+    def complete(self, d: int) -> bool:
+        return len(self.values) == d
+
+    def vector(self, d: int) -> Tuple[float, ...]:
+        return tuple(self.values[j] for j in range(d))
+
+
+class VerticalSkylineCoordinator:
+    """TA-style probabilistic skyline over one column site per dimension."""
+
+    def __init__(self, sites: Sequence[VerticalSite], threshold: float) -> None:
+        if not sites:
+            raise ValueError("need at least one column site")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
+        dims = sorted(site.dim for site in sites)
+        if dims != list(range(len(sites))):
+            raise ValueError(f"sites must cover dimensions 0..d-1, got {dims}")
+        self.sites = sorted(sites, key=lambda s: s.dim)
+        self.threshold = threshold
+        self.stats = VerticalRunStats()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProbabilisticSkyline:
+        candidates = self._discovery_phase()
+        survivors = self._pruning_phase(candidates)
+        members = self._verification_phase(candidates, survivors)
+        return ProbabilisticSkyline(self.threshold, members)
+
+    # ------------------------------------------------------------------
+    # phase 1: round-robin sorted access with the probabilistic stop
+    # ------------------------------------------------------------------
+
+    def _discovery_phase(self) -> Dict[int, _Partial]:
+        d = len(self.sites)
+        positions = [0] * d
+        frontier: List[Optional[float]] = [None] * d
+        partials: Dict[int, _Partial] = {}
+        exhausted = [len(site) == 0 for site in self.sites]
+        unseen_bound = 1.0
+        # Complete tuples not yet folded into the bound: the frontier
+        # only ever advances, so a factor once valid stays valid, and a
+        # tuple not yet below the frontier may drop below it later.
+        pending_complete: List[int] = []
+
+        while not all(exhausted):
+            for j, site in enumerate(self.sites):
+                if exhausted[j]:
+                    continue
+                entry = site.sorted_access(positions[j])
+                if entry is None:
+                    exhausted[j] = True
+                    continue
+                self.stats.sorted_accesses += 1
+                key, value, prob = entry
+                positions[j] += 1
+                frontier[j] = value
+                partial = partials.setdefault(key, _Partial(probability=prob))
+                was_complete = partial.complete(d)
+                partial.values[j] = value
+                if not was_complete and partial.complete(d):
+                    pending_complete.append(key)
+            if all(f is not None for f in frontier):
+                still_pending = []
+                for key in pending_complete:
+                    if self._strictly_below_frontier(partials[key], frontier):
+                        unseen_bound *= 1.0 - partials[key].probability
+                    else:
+                        still_pending.append(key)
+                pending_complete = still_pending
+                if unseen_bound < self.threshold:
+                    # No tuple still unseen on every dimension can qualify.
+                    break
+            # One column exhausted means every tuple has surfaced at
+            # least once — nothing remains "unseen", so discovery is
+            # complete regardless of the bound.
+            if any(exhausted):
+                break
+        self.stats.candidates = len(partials)
+        return partials
+
+    @staticmethod
+    def _strictly_below_frontier(partial: _Partial, frontier: List[float]) -> bool:
+        strict = False
+        for j, f in enumerate(frontier):
+            v = partial.values[j]
+            if v > f:
+                return False
+            if v < f:
+                strict = True
+        return strict
+
+    # ------------------------------------------------------------------
+    # phase 2: complete candidates, prune with candidate-local bounds
+    # ------------------------------------------------------------------
+
+    def _pruning_phase(self, partials: Dict[int, _Partial]) -> List[int]:
+        d = len(self.sites)
+        for key, partial in partials.items():
+            for j in range(d):
+                if j not in partial.values:
+                    value, _prob = self.sites[j].random_access(key)
+                    self.stats.random_accesses += 1
+                    partial.values[j] = value
+
+        # Sort by coordinate sum so every dominator of a candidate
+        # precedes it; accumulate bounds with early exit (same trick as
+        # the centralized SFS algorithm, over the candidate set only —
+        # a *subset* of true dominators, hence a sound upper bound).
+        ordered = sorted(
+            partials.items(), key=lambda kv: sum(kv[1].values.values())
+        )
+        survivors: List[int] = []
+        vectors = [(key, p.vector(d), p.probability) for key, p in ordered]
+        for i, (key, vec, prob) in enumerate(vectors):
+            if prob < self.threshold:
+                continue
+            floor = self.threshold / prob
+            bound = 1.0
+            for _okey, ovec, oprob in vectors[:i]:
+                if _dominates_vec(ovec, vec):
+                    bound *= 1.0 - oprob
+                    if bound < floor:
+                        break
+            if bound >= floor:
+                survivors.append(key)
+        return survivors
+
+    # ------------------------------------------------------------------
+    # phase 3: exact probabilities via shrinking dominator intersection
+    # ------------------------------------------------------------------
+
+    def _verification_phase(
+        self, partials: Dict[int, _Partial], survivors: List[int]
+    ) -> List[SkylineMember]:
+        d = len(self.sites)
+        members: List[SkylineMember] = []
+        for key in survivors:
+            partial = partials[key]
+            vec = partial.vector(d)
+            # Ask every site how selective its column is (control
+            # traffic), then intersect starting from the smallest set so
+            # transmitted dominator entries only shrink.
+            counts = [
+                (self.sites[j].count_leq(vec[j]), j) for j in range(d)
+            ]
+            self.stats.control_messages += d
+            counts.sort()
+            first = counts[0][1]
+            keys = self.sites[first].keys_leq(vec[first])
+            self.stats.dominator_entries += len(keys)
+            for _count, j in counts[1:]:
+                keys = self.sites[j].filter_leq(keys, vec[j])
+                self.stats.dominator_entries += len(keys)
+            product = 1.0
+            for dom_key, strict in keys.items():
+                if dom_key == key or not strict:
+                    continue  # self, or equal on every dimension
+                _value, prob = self.sites[0].random_access(dom_key)
+                product *= 1.0 - prob
+            probability = partial.probability * product
+            self.stats.verified += 1
+            if probability >= self.threshold:
+                members.append(
+                    SkylineMember(
+                        UncertainTuple(key, vec, partial.probability), probability
+                    )
+                )
+        return members
+
+
+def _dominates_vec(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    strict = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strict = True
+    return strict
+
+
+def vertical_partition(
+    database: Sequence[UncertainTuple],
+    preference: Optional[Preference] = None,
+) -> List[VerticalSite]:
+    """Split a relation column-wise into one :class:`VerticalSite` per
+    (effective) dimension, projecting through ``preference`` first."""
+    if not database:
+        raise ValueError("cannot vertically partition an empty relation")
+    if preference is not None:
+        projected = [(t.key, preference.project(t.values), t.probability) for t in database]
+    else:
+        projected = [(t.key, tuple(t.values), t.probability) for t in database]
+    d = len(projected[0][1])
+    sites = []
+    for j in range(d):
+        sites.append(
+            VerticalSite(
+                dim=j,
+                entries=[(values[j], key, prob) for key, values, prob in projected],
+            )
+        )
+    return sites
+
+
+def vertical_skyline(
+    database: Sequence[UncertainTuple],
+    threshold: float,
+    preference: Optional[Preference] = None,
+) -> Tuple[ProbabilisticSkyline, VerticalRunStats]:
+    """Partition column-wise, run the TA-style algorithm, return
+    ``(answer, stats)``.
+
+    The answer's member tuples carry *projected* (min-space) values;
+    compare by key against a centralized answer when a preference is in
+    play.
+    """
+    coordinator = VerticalSkylineCoordinator(
+        vertical_partition(database, preference), threshold
+    )
+    answer = coordinator.run()
+    return answer, coordinator.stats

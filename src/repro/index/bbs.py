@@ -1,0 +1,141 @@
+"""Branch-and-Bound probabilistic skyline over a PR-tree (§6.2).
+
+The local-skyline procedure of the paper adapts the BBS algorithm of
+Papadias et al. to uncertain data: traverse the PR-tree in ascending
+*mindist* order (here: minimum coordinate sum, which stays monotone for
+dominance even when preferences map values negative) and prune any
+subtree that provably contains no tuple whose skyline probability can
+reach the threshold ``q``.
+
+Pruning rule (generalising the paper's statement): for an intermediate
+entry ``e`` and already-visited objects ``a`` that dominate *all* of
+``e``'s MBR,
+
+    upper bound on P_sky of anything in e  =  P2(e) × ∏ (1 − P(a))
+
+because every tuple below ``e`` occurs with probability at most
+``P2(e)`` and inherits every region-dominating object as a dominator.
+If the bound falls below ``q`` the subtree is skipped.
+
+Visited objects are kept as an incomparable *pruner window* (dominated
+pruners are redundant for the dominance test by transitivity).  The
+exact probability of each surviving object is then resolved with the
+§6.3 window query on the same tree, with early exit at ``q``.
+
+:func:`bbs_prob_skyline_progressive` yields qualified members as they
+are discovered — ascending coordinate-sum order — which is the
+progressive behaviour the paper inherits from BBS.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional
+
+from ..core.dominance import strictly_dominates_region
+from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
+from .prtree import PRTree, _point_dominates
+from .rtree import IndexedItem, Node
+
+__all__ = ["bbs_prob_skyline", "bbs_prob_skyline_progressive"]
+
+
+def bbs_prob_skyline(tree: PRTree, threshold: float) -> ProbabilisticSkyline:
+    """The qualified probabilistic skyline of everything stored in ``tree``."""
+    members = list(bbs_prob_skyline_progressive(tree, threshold))
+    return ProbabilisticSkyline(threshold, members)
+
+
+def bbs_prob_skyline_progressive(
+    tree: PRTree, threshold: float
+) -> Iterator[SkylineMember]:
+    """Yield qualified :class:`SkylineMember`s in discovery (mindist) order."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
+    if tree.root.rect is None:
+        return
+    counter = itertools.count()
+    heap: List = []
+    heapq.heappush(
+        heap, (tree.root.rect.min_coordinate_sum(), next(counter), tree.root)
+    )
+    pruners: List[IndexedItem] = []
+
+    while heap:
+        _, _, entry = heapq.heappop(heap)
+        tree.node_accesses += 1
+        if isinstance(entry, IndexedItem):
+            # Re-check against pruners gathered since this item was
+            # pushed; only then pay for the exact probe.
+            if not _item_pruned(pruners, entry, threshold):
+                floor = threshold / entry.probability
+                product = tree.dominators_product(
+                    entry.payload, floor=floor, exclude_key=entry.key
+                )
+                if product >= floor:
+                    yield SkylineMember(entry.payload, entry.probability * product)
+            _absorb_pruner(pruners, entry)
+            continue
+        node: Node = entry
+        if _node_pruned(pruners, node, threshold):
+            # Pruners that arrived after this node was pushed can now
+            # disqualify the whole subtree without expanding it.
+            continue
+        for child in node.entries:
+            if node.is_leaf:
+                item: IndexedItem = child
+                if _item_pruned(pruners, item, threshold):
+                    # Even a pruned item remains a legitimate pruner for
+                    # later, more dominated regions.
+                    _absorb_pruner(pruners, item)
+                    continue
+                heapq.heappush(
+                    heap, (float(sum(item.values)), next(counter), item)
+                )
+            else:
+                if _node_pruned(pruners, child, threshold):
+                    continue
+                heapq.heappush(
+                    heap,
+                    (child.rect.min_coordinate_sum(), next(counter), child),
+                )
+
+
+def _node_pruned(pruners: List[IndexedItem], node: Node, threshold: float) -> bool:
+    """True iff no tuple under ``node`` can reach the threshold."""
+    bound = node.aggregate.p_max
+    if bound < threshold:
+        return True
+    lower = node.rect.lower
+    for w in pruners:
+        if strictly_dominates_region(w.values, lower, node.rect.upper):
+            bound *= 1.0 - w.probability
+            if bound < threshold:
+                return True
+    return False
+
+
+def _item_pruned(pruners: List[IndexedItem], item: IndexedItem, threshold: float) -> bool:
+    """True iff ``item`` itself provably misses the threshold."""
+    bound = item.probability
+    if bound < threshold:
+        return True
+    for w in pruners:
+        if _point_dominates(w.values, item.values):
+            bound *= 1.0 - w.probability
+            if bound < threshold:
+                return True
+    return False
+
+
+def _absorb_pruner(pruners: List[IndexedItem], item: IndexedItem) -> None:
+    """BNL-style insert keeping the pruner window incomparable."""
+    survivors = []
+    for w in pruners:
+        if _point_dominates(w.values, item.values):
+            return  # a stronger-or-equal pruner is already present
+        if not _point_dominates(item.values, w.values):
+            survivors.append(w)
+    survivors.append(item)
+    pruners[:] = survivors

@@ -1,0 +1,162 @@
+"""Sort-Tile-Recursive (STR) bulk loading for the R-tree family.
+
+Local sites index tens of thousands of tuples before the first query
+runs, and one-at-a-time insertion is both slow and produces poorly
+packed nodes.  STR packs near-full leaves tile by tile — sort on the
+first dimension, slice into slabs, recurse on the next dimension inside
+each slab — then packs each level of internal nodes the same way using
+MBR centers, giving a tree with excellent query locality in ``O(n log
+n)``.
+
+The loader works *through* the tree instance's ``_refresh`` hook, so a
+:class:`~repro.index.prtree.PRTree` bulk-loaded here gets its
+probability aggregates for free, and the resulting structure satisfies
+the exact invariants :meth:`RTree.check_invariants` verifies (every
+chunking step distributes items evenly, so no node falls below the
+minimum fill).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from .rtree import IndexedItem, Node, RTree
+
+__all__ = ["str_bulk_load", "curve_bulk_load", "even_chunks"]
+
+
+def even_chunks(items: List, n_chunks: int) -> List[List]:
+    """Split ``items`` into ``n_chunks`` contiguous chunks of near-equal size.
+
+    Sizes differ by at most one, so for ``n_chunks = ceil(n /
+    capacity)`` every chunk holds at least ``capacity / 2`` items —
+    which is what keeps bulk-loaded nodes above the R-tree minimum
+    fill.
+    """
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    n = len(items)
+    base, extra = divmod(n, n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return [c for c in chunks if c]
+
+
+def _str_partition(
+    items: List,
+    capacity: int,
+    dim: int,
+    dimensionality: int,
+    sort_key: Callable,
+) -> List[List]:
+    """Recursively tile ``items`` into groups of at most ``capacity``."""
+    n_groups = math.ceil(len(items) / capacity)
+    if n_groups <= 1:
+        return [items]
+    items = sorted(items, key=lambda it: sort_key(it)[dim])
+    if dim >= dimensionality - 1:
+        return even_chunks(items, n_groups)
+    dims_left = dimensionality - dim
+    n_slabs = math.ceil(n_groups ** (1.0 / dims_left))
+    groups: List[List] = []
+    for slab in even_chunks(items, n_slabs):
+        groups.extend(_str_partition(slab, capacity, dim + 1, dimensionality, sort_key))
+    return groups
+
+
+def _pack_levels(tree: RTree, leaf_groups: List[List[IndexedItem]], n_items: int,
+                 dimensionality: int) -> RTree:
+    """Build the tree bottom-up from pre-partitioned leaf runs."""
+    capacity = tree.max_entries
+    level: List[Node] = []
+    for group in leaf_groups:
+        node = Node(is_leaf=True)
+        node.entries = list(group)
+        tree._refresh(node)
+        level.append(node)
+
+    def node_center(node: Node):
+        return tuple(
+            (lo + up) / 2.0 for lo, up in zip(node.rect.lower, node.rect.upper)
+        )
+
+    while len(level) > 1:
+        groups = _str_partition(
+            level, capacity, 0, dimensionality, sort_key=node_center
+        )
+        parents: List[Node] = []
+        for group in groups:
+            node = Node(is_leaf=False)
+            node.entries = list(group)
+            tree._refresh(node)
+            parents.append(node)
+        level = parents
+
+    tree.root = level[0]
+    tree._size = n_items
+    return tree
+
+
+def str_bulk_load(tree: RTree, items: Sequence[IndexedItem]) -> RTree:
+    """Populate an *empty* ``tree`` with ``items`` using STR packing.
+
+    Mutates and returns ``tree``.  The tree instance supplies node
+    capacity and the aggregate hooks; any :class:`RTree` subclass
+    works.
+    """
+    if len(tree) != 0:
+        raise ValueError("str_bulk_load requires an empty tree")
+    items = list(items)
+    if not items:
+        return tree
+    dimensionality = len(items[0].values)
+    leaf_groups = _str_partition(
+        items, tree.max_entries, 0, dimensionality, sort_key=lambda it: it.values
+    )
+    return _pack_levels(tree, leaf_groups, len(items), dimensionality)
+
+
+def curve_bulk_load(
+    tree: RTree,
+    items: Sequence[IndexedItem],
+    curve: str = "hilbert",
+    bits: int = 10,
+) -> RTree:
+    """Populate an *empty* ``tree`` by space-filling-curve packing.
+
+    Points are quantized onto a ``2^bits`` grid, sorted along the
+    chosen curve (``"hilbert"`` or ``"morton"``), and cut into
+    even-size leaf runs.  Hilbert ordering keeps runs spatially compact
+    (consecutive cells are always adjacent), which is what gives this
+    packer its query quality; Morton is cheaper to compute but jumps.
+    See ``benchmarks/test_bulk_loading.py`` for the comparison against
+    STR.
+    """
+    from .space_filling import hilbert_index, morton_index, quantize
+
+    if len(tree) != 0:
+        raise ValueError("curve_bulk_load requires an empty tree")
+    if curve not in ("hilbert", "morton"):
+        raise ValueError(f"unknown curve {curve!r}; expected hilbert or morton")
+    items = list(items)
+    if not items:
+        return tree
+    dimensionality = len(items[0].values)
+    lower = tuple(
+        min(it.values[j] for it in items) for j in range(dimensionality)
+    )
+    upper = tuple(
+        max(it.values[j] for it in items) for j in range(dimensionality)
+    )
+    key_fn = hilbert_index if curve == "hilbert" else morton_index
+    ordered = sorted(
+        items, key=lambda it: key_fn(quantize(it.values, lower, upper, bits), bits)
+    )
+    n_leaves = math.ceil(len(ordered) / tree.max_entries)
+    leaf_groups = even_chunks(ordered, n_leaves)
+    return _pack_levels(tree, leaf_groups, len(items), dimensionality)

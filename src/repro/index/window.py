@@ -1,0 +1,87 @@
+"""Window-query helpers (§6.3) and their linear-scan references.
+
+The probability probe itself lives on :class:`~repro.index.prtree.PRTree`
+(:meth:`~repro.index.prtree.PRTree.dominators_product`); this module
+adds the plain dominance-window search the paper describes — the box
+between the space origin and the query tuple — plus index-free
+reference implementations that the property tests compare the tree
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.dominance import Preference
+from ..core.probability import non_occurrence_product
+from ..core.tuples import UncertainTuple
+from .geometry import Rect
+from .prtree import PRTree, _point_dominates
+from .rtree import IndexedItem
+
+__all__ = [
+    "dominance_window",
+    "window_tuples",
+    "linear_dominators_product",
+    "linear_dominators",
+]
+
+
+def dominance_window(tree: PRTree, target: UncertainTuple) -> Rect:
+    """The §6.3 query window: origin-to-target box in min-space.
+
+    The "origin" corner is the tree's own lower data bound (the paper
+    assumes a non-negative domain; using the data bound generalises to
+    preference-negated coordinates).  On an empty tree the degenerate
+    box at the target is returned.
+    """
+    point = _project(tree, target)
+    if tree.root.rect is None:
+        return Rect.from_point(point)
+    lower = tuple(min(lo, v) for lo, v in zip(tree.root.rect.lower, point))
+    return Rect(lower, point)
+
+
+def window_tuples(tree: PRTree, target: UncertainTuple) -> List[UncertainTuple]:
+    """Stored tuples inside the dominance window that truly dominate ``target``.
+
+    The rectangular window over-approximates the dominance region (it
+    includes ties on every dimension), so each hit is re-checked with
+    the exact dominance test — precisely the refinement step of the
+    paper's Fig. 6 procedure.
+    """
+    point = _project(tree, target)
+    window = dominance_window(tree, target)
+    out = []
+    for item in tree.search_window(window):
+        if item.key != target.key and _point_dominates(item.values, point):
+            out.append(item.payload)
+    return out
+
+
+def linear_dominators_product(
+    database: Iterable[UncertainTuple],
+    target: UncertainTuple,
+    preference: Optional[Preference] = None,
+) -> float:
+    """Index-free reference for :meth:`PRTree.dominators_product`."""
+    return non_occurrence_product(target, database, preference)
+
+
+def linear_dominators(
+    database: Iterable[UncertainTuple],
+    target: UncertainTuple,
+    preference: Optional[Preference] = None,
+) -> List[UncertainTuple]:
+    """Index-free reference for :func:`window_tuples`."""
+    from ..core.dominance import dominates
+
+    return [
+        t for t in database if t.key != target.key and dominates(t, target, preference)
+    ]
+
+
+def _project(tree: PRTree, target: UncertainTuple):
+    if tree.preference is not None:
+        return tuple(tree.preference.project(target.values))
+    return tuple(target.values)

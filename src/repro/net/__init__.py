@@ -1,0 +1,26 @@
+"""Network substrate: protocol messages, bandwidth/latency accounting,
+the coordinator↔site endpoint contract, and a real TCP transport."""
+
+from .message import Message, MessageKind, Quaternion, decode_tuple, encode_tuple
+from .stats import LatencyModel, NetworkStats, ProgressEvent, ProgressLog
+from .trace import ProtocolTracer, TraceRecord, load_trace, summarize_trace
+from .transport import CallRecord, RecordingEndpoint, SiteEndpoint
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Quaternion",
+    "encode_tuple",
+    "decode_tuple",
+    "LatencyModel",
+    "NetworkStats",
+    "ProgressEvent",
+    "ProgressLog",
+    "SiteEndpoint",
+    "RecordingEndpoint",
+    "CallRecord",
+    "ProtocolTracer",
+    "TraceRecord",
+    "load_trace",
+    "summarize_trace",
+]

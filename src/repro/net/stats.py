@@ -1,0 +1,130 @@
+"""Bandwidth and latency accounting.
+
+All the paper's efficiency figures plot *tuples transmitted over the
+network*; its progressiveness figures add CPU runtime.  This module
+keeps those books:
+
+* :class:`NetworkStats` counts messages and tuple-transmissions by
+  :class:`~repro.net.message.MessageKind` and direction, and — given a
+  :class:`LatencyModel` — accumulates a simulated wall-clock in which
+  broadcasts to many sites proceed in parallel (one round-trip of
+  latency, summed serialisation time).
+* :class:`ProgressEvent` / :class:`ProgressLog` record the timeline of
+  reported skyline results (the x-axis of Figs. 12–13) against
+  cumulative bandwidth, CPU time, and simulated network time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .message import Message, MessageKind
+
+__all__ = ["LatencyModel", "NetworkStats", "ProgressEvent", "ProgressLog"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A simple wide-area cost model for the simulated clock.
+
+    ``round_latency`` is the one-way latency of a communication round;
+    ``per_tuple`` the serialisation/transfer cost of each tuple in it.
+    Defaults sketch a WAN: 25 ms rounds, 0.1 ms per tuple.
+    """
+
+    round_latency: float = 0.025
+    per_tuple: float = 0.0001
+
+    def round_cost(self, tuples: int) -> float:
+        return self.round_latency + self.per_tuple * tuples
+
+
+@dataclass
+class NetworkStats:
+    """Counters for one algorithm run."""
+
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    messages: int = 0
+    tuples_transmitted: int = 0
+    tuples_to_server: int = 0
+    tuples_from_server: int = 0
+    rounds: int = 0
+    simulated_time: float = 0.0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        """Account one message (direction inferred from the receiver)."""
+        self.messages += 1
+        self.by_kind[message.kind.value] = self.by_kind.get(message.kind.value, 0) + 1
+        if message.tuple_count:
+            self.tuples_transmitted += message.tuple_count
+            if message.receiver == "server":
+                self.tuples_to_server += message.tuple_count
+            else:
+                self.tuples_from_server += message.tuple_count
+
+    def record_round(self, tuples_in_round: int = 0) -> None:
+        """Advance the simulated clock by one parallel communication round."""
+        self.rounds += 1
+        self.simulated_time += self.latency_model.round_cost(tuples_in_round)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "messages": self.messages,
+            "tuples_transmitted": self.tuples_transmitted,
+            "tuples_to_server": self.tuples_to_server,
+            "tuples_from_server": self.tuples_from_server,
+            "rounds": self.rounds,
+            "simulated_time": self.simulated_time,
+        }
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One reported skyline result and the cost paid up to that moment."""
+
+    result_index: int
+    key: int
+    global_probability: float
+    tuples_transmitted: int
+    cpu_seconds: float
+    simulated_time: float
+
+
+@dataclass
+class ProgressLog:
+    """The progressiveness timeline of one run (Figs. 12–13 raw data)."""
+
+    events: List[ProgressEvent] = field(default_factory=list)
+    _cpu_start: float = field(default_factory=time.process_time)
+
+    def restart_clock(self) -> None:
+        self._cpu_start = time.process_time()
+
+    def cpu_elapsed(self) -> float:
+        return time.process_time() - self._cpu_start
+
+    def report(self, key: int, probability: float, stats: NetworkStats) -> None:
+        self.events.append(
+            ProgressEvent(
+                result_index=len(self.events) + 1,
+                key=key,
+                global_probability=probability,
+                tuples_transmitted=stats.tuples_transmitted,
+                cpu_seconds=self.cpu_elapsed(),
+                simulated_time=stats.simulated_time,
+            )
+        )
+
+    def bandwidth_series(self) -> List[int]:
+        """Cumulative tuples at each reported result (Figs. 12a/12b)."""
+        return [e.tuples_transmitted for e in self.events]
+
+    def cpu_series(self) -> List[float]:
+        """Cumulative CPU seconds at each reported result (Figs. 12c/12d)."""
+        return [e.cpu_seconds for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

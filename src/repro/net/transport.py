@@ -1,0 +1,84 @@
+"""The coordinator↔site endpoint contract and instrumentation wrappers.
+
+The coordinator drives sites through a narrow RPC surface —
+:class:`SiteEndpoint` — with one method per protocol message.  Three
+implementations exist:
+
+* :class:`~repro.distributed.site.LocalSite` — in-process, the default
+  for experiments (bandwidth accounting is exact regardless of
+  transport because the coordinator records protocol messages itself).
+* :class:`~repro.net.sockets.RemoteSiteProxy` — the same calls carried
+  over real TCP to a site server, for end-to-end realism.
+* :class:`RecordingEndpoint` (here) — a decorator that logs every call
+  for tests asserting protocol behaviour, e.g. that feedback is never
+  delivered to its origin site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..core.tuples import UncertainTuple
+from .message import Quaternion
+
+__all__ = ["SiteEndpoint", "RecordingEndpoint", "CallRecord"]
+
+
+@runtime_checkable
+class SiteEndpoint(Protocol):
+    """What the coordinator requires of a participant."""
+
+    site_id: int
+
+    def prepare(self, threshold: float) -> int:
+        """Local computing phase; returns |SKY(D_i)|."""
+
+    def pop_representative(self) -> Optional[Quaternion]:
+        """To-Server phase; None once exhausted."""
+
+    def probe_and_prune(self, t: UncertainTuple):
+        """Server-Delivery + Local-Pruning; returns a ProbeReply."""
+
+    def queue_size(self) -> int:
+        """Remaining local candidates (control information)."""
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One observed RPC."""
+
+    site_id: int
+    method: str
+    args: Tuple[Any, ...]
+    result: Any
+
+
+class RecordingEndpoint:
+    """Transparent endpoint decorator that journals every call."""
+
+    def __init__(self, inner: SiteEndpoint, log: Optional[List[CallRecord]] = None) -> None:
+        self.inner = inner
+        self.site_id = inner.site_id
+        self.log: List[CallRecord] = log if log is not None else []
+
+    def _record(self, method: str, args: Tuple[Any, ...], result: Any) -> Any:
+        self.log.append(CallRecord(self.site_id, method, args, result))
+        return result
+
+    def prepare(self, threshold: float) -> int:
+        return self._record("prepare", (threshold,), self.inner.prepare(threshold))
+
+    def pop_representative(self) -> Optional[Quaternion]:
+        return self._record("pop_representative", (), self.inner.pop_representative())
+
+    def probe_and_prune(self, t: UncertainTuple):
+        return self._record("probe_and_prune", (t,), self.inner.probe_and_prune(t))
+
+    def queue_size(self) -> int:
+        return self._record("queue_size", (), self.inner.queue_size())
+
+    def __getattr__(self, name: str) -> Any:
+        # Expose everything else (update hooks, replica access, …)
+        # untouched so the wrapper stays drop-in for LocalSite users.
+        return getattr(self.inner, name)

@@ -1,0 +1,149 @@
+"""Experiment drivers: every figure runs at a smoke scale and carries
+the paper's qualitative shape."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_FIGURES,
+    run_ablation_edsud,
+    run_ablation_site,
+    run_cost_model,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig12,
+    run_fig14,
+)
+from repro.bench.harness import Scale
+
+SMOKE = Scale(
+    name="smoke",
+    cardinality=600,
+    site_values=(3, 5),
+    default_sites=4,
+    dim_values=(2, 3),
+    threshold_values=(0.3, 0.7),
+    gaussian_means=(0.4, 0.7),
+    repeats=1,
+    update_counts=(3, 6),
+)
+
+
+def series_by_label(fig, panel):
+    return {s.label: s for s in fig.panels[panel]}
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        assert set(ALL_FIGURES) == {
+            "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "cost-model", "ablation-edsud", "ablation-site",
+            "ablation-partition", "ablation-synopsis", "topk",
+        }
+
+    def test_every_driver_has_a_docstring(self):
+        for fn in ALL_FIGURES.values():
+            assert fn.__doc__ and len(fn.__doc__.strip()) > 40
+
+
+class TestFig8:
+    def test_shape(self):
+        fig = run_fig8(SMOKE)
+        for panel in fig.panels:
+            series = series_by_label(fig, panel)
+            assert set(series) == {"DSUD", "e-DSUD", "Ceiling"}
+            for d in range(len(SMOKE.dim_values)):
+                assert series["e-DSUD"].y[d] <= series["DSUD"].y[d]
+                assert series["Ceiling"].y[d] <= series["e-DSUD"].y[d]
+            # bandwidth grows with dimensionality
+            assert series["DSUD"].y[-1] > series["DSUD"].y[0]
+
+
+class TestFig9:
+    def test_shape(self):
+        fig = run_fig9(SMOKE)
+        for panel in fig.panels:
+            series = series_by_label(fig, panel)
+            # more sites -> more bandwidth
+            assert series["DSUD"].y[-1] > series["DSUD"].y[0]
+            for i in range(len(SMOKE.site_values)):
+                assert series["e-DSUD"].y[i] <= series["DSUD"].y[i]
+
+
+class TestFig10:
+    def test_shape(self):
+        fig = run_fig10(SMOKE)
+        for panel in fig.panels:
+            series = series_by_label(fig, panel)
+            # higher threshold -> less bandwidth
+            assert series["DSUD"].y[-1] < series["DSUD"].y[0]
+            assert series["e-DSUD"].y[-1] < series["e-DSUD"].y[0]
+
+
+class TestFig12:
+    def test_progress_series_monotone(self):
+        fig = run_fig12(SMOKE)
+        for panel, series_list in fig.panels.items():
+            for s in series_list:
+                assert s.y == sorted(s.y), f"non-monotone series in {panel}"
+                assert s.x == sorted(s.x)
+
+
+class TestFig14:
+    def test_incremental_beats_naive_in_total(self):
+        fig = run_fig14(SMOKE)
+        for panel, series_list in fig.panels.items():
+            by_label = {s.label: s for s in series_list}
+            assert sum(by_label["Incremental"].y) < sum(by_label["Naive"].y)
+
+
+class TestCostModel:
+    def test_nback_above_nlocal(self):
+        fig = run_cost_model(SMOKE)
+        (panel,) = fig.panels
+        by_label = {s.label: s for s in fig.panels[panel]}
+        for back, local in zip(by_label["N_back"].y, by_label["N_local"].y):
+            assert back > local
+
+
+class TestTopKCurve:
+    def test_monotone_and_meets_full_bill(self):
+        from repro.bench.experiments import run_topk_curve
+
+        fig = run_topk_curve(SMOKE)
+        for panel, series_list in fig.panels.items():
+            (series,) = series_list
+            numeric = [y for x, y in zip(series.x, series.y) if x != "full"]
+            assert numeric == sorted(numeric)
+            full = series.y[series.x.index("full")]
+            assert numeric[-1] <= full
+
+
+class TestAblations:
+    def test_partition_ablation_covers_all_schemes(self):
+        from repro.bench.experiments import run_ablation_partition
+
+        fig = run_ablation_partition(SMOKE)
+        for panel, series_list in fig.panels.items():
+            (series,) = series_list
+            assert set(series.x) == {"uniform", "round-robin", "range", "angle"}
+            assert all(y > 0 for y in series.y)
+
+    def test_edsud_ablation_variants_complete(self):
+        fig = run_ablation_edsud(SMOKE)
+        for panel, series_list in fig.panels.items():
+            (series,) = series_list
+            assert "DSUD" in series.x
+            assert "e-DSUD (paper)" in series.x
+            assert len(series.x) == 5
+
+    def test_site_ablation_runs(self):
+        fig = run_ablation_site(SMOKE)
+        (panel,) = fig.panels
+        bandwidth = fig.panels[panel][0]
+        by_variant = dict(zip(bandwidth.x, bandwidth.y))
+        # disabling feedback pruning can only cost bandwidth
+        assert by_variant["no-feedback-pruning"] >= by_variant["full"]
+        # index and product-aggregate switches never change bandwidth
+        assert by_variant["no-index"] == by_variant["full"]
+        assert by_variant["no-product-aggregate"] == by_variant["full"]

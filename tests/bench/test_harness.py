@@ -1,0 +1,64 @@
+"""Harness plumbing: scales, measurement, averaging."""
+
+import pytest
+
+from repro.bench.harness import SCALES, FigureResult, Scale, Series, average_runs, measure
+from repro.data.workload import make_synthetic_workload
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"ci", "default", "paper"}
+
+    def test_paper_scale_matches_table3(self):
+        paper = SCALES["paper"]
+        assert paper.cardinality == 2_000_000
+        assert tuple(paper.site_values) == (40, 60, 80, 100)
+        assert paper.default_sites == 60
+        assert tuple(paper.dim_values) == (2, 3, 4, 5)
+        assert tuple(paper.threshold_values) == (0.3, 0.5, 0.7, 0.9)
+        assert paper.default_threshold == 0.3
+        assert paper.repeats == 10
+
+    def test_describe(self):
+        assert "N=3000" in SCALES["ci"].describe()
+
+
+class TestSeriesAndFigure:
+    def test_series_append(self):
+        s = Series("x", [], [])
+        s.append(1, 2.0)
+        s.append(2, 3.0)
+        assert s.x == [1, 2] and s.y == [2.0, 3.0]
+
+    def test_figure_panel_accumulates(self):
+        fig = FigureResult("f", "t", "x", "y")
+        fig.panel("a").append(Series("s", [1], [1.0]))
+        assert len(fig.panels["a"]) == 1
+
+
+class TestMeasure:
+    def test_measure_runs_algorithm(self):
+        wl = make_synthetic_workload(n=300, d=2, sites=3, seed=1)
+        result = measure(wl, 0.3, "edsud")
+        assert result.algorithm == "e-DSUD"
+        assert result.bandwidth > 0
+
+    def test_average_runs_aggregates(self):
+        def factory(seed):
+            return make_synthetic_workload(n=200, d=2, sites=3, seed=seed)
+
+        totals = average_runs(factory, 0.3, ("dsud", "edsud"), repeats=2)
+        assert set(totals) == {"dsud", "edsud"}
+        for metrics in totals.values():
+            assert metrics["bandwidth"] > 0
+            assert metrics["results"] > 0
+            assert metrics["ceiling"] == metrics["results"] * 3
+
+    def test_average_runs_same_workload_for_all_algorithms(self):
+        """Both algorithms must find the same result count per seed."""
+        def factory(seed):
+            return make_synthetic_workload(n=200, d=2, sites=3, seed=seed)
+
+        totals = average_runs(factory, 0.3, ("dsud", "edsud"), repeats=3)
+        assert totals["dsud"]["results"] == pytest.approx(totals["edsud"]["results"])

@@ -1,0 +1,36 @@
+"""The figure-regeneration CLI (``python -m repro.bench``)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestList:
+    def test_list_shows_every_figure(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+                     "fig14", "cost-model", "ablation-edsud", "ablation-site"):
+            assert name in out
+
+
+class TestRun:
+    def test_cost_model_runs_instantly(self, capsys):
+        assert main(["cost-model", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "N_back" in out and "N_local" in out
+        assert "scale=ci" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(["cost-model", "--scale", "ci", "--out", str(target)]) == 0
+        text = target.read_text()
+        assert "N_back" in text
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cost-model", "--scale", "galactic"])

@@ -1,0 +1,62 @@
+"""Text rendering of figure results."""
+
+from repro.bench.harness import FigureResult, Series
+from repro.bench.reporting import downsample, render_figure
+
+
+def sample_figure():
+    fig = FigureResult("figX", "A test figure", "d", "tuples")
+    fig.panels["a"] = [
+        Series("DSUD", [2, 3, 4], [100.0, 200.0, 400.0]),
+        Series("e-DSUD", [2, 3, 4], [80.0, 150.0, 300.0]),
+    ]
+    return fig
+
+
+class TestDownsample:
+    def test_short_series_untouched(self):
+        s = Series("s", [1, 2, 3], [1.0, 2.0, 3.0])
+        assert downsample(s, max_points=5) is s
+
+    def test_long_series_keeps_endpoints(self):
+        s = Series("s", list(range(100)), [float(i) for i in range(100)])
+        thin = downsample(s, max_points=10)
+        assert len(thin.x) <= 10
+        assert thin.x[0] == 0 and thin.x[-1] == 99
+
+    def test_downsample_preserves_alignment(self):
+        s = Series("s", list(range(50)), [float(i * 2) for i in range(50)])
+        thin = downsample(s, max_points=7)
+        for x, y in zip(thin.x, thin.y):
+            assert y == float(x * 2)
+
+
+class TestRenderFigure:
+    def test_contains_title_labels_and_values(self):
+        text = render_figure(sample_figure())
+        assert "figX" in text
+        assert "A test figure" in text
+        assert "panel a" in text
+        assert "DSUD" in text and "e-DSUD" in text
+        assert "400" in text
+
+    def test_misaligned_series_get_placeholders(self):
+        fig = FigureResult("f", "t", "x", "y")
+        fig.panels["p"] = [
+            Series("a", [1, 2], [1.0, 2.0]),
+            Series("b", [2, 3], [5.0, 6.0]),
+        ]
+        text = render_figure(fig)
+        assert "-" in text  # missing cells rendered as dashes
+
+    def test_notes_rendered(self):
+        fig = sample_figure()
+        fig.notes.append("scaled down 100x")
+        assert "scaled down 100x" in render_figure(fig)
+
+    def test_float_formatting(self):
+        fig = FigureResult("f", "t", "x", "y")
+        fig.panels["p"] = [Series("a", [1], [1234567.0]), Series("b", [1], [0.00042])]
+        text = render_figure(fig)
+        assert "1.23e+06" in text
+        assert "0.00042" in text

@@ -1,0 +1,94 @@
+"""Cardinality estimation and the Eqs. 6-8 cost model."""
+
+import math
+
+import pytest
+
+from repro.core.cardinality import (
+    expected_feedback_tuples,
+    expected_local_skyline_tuples,
+    expected_skyline_cardinality,
+    feedback_overhead_ratio,
+    uniform_presence_pmf_window,
+)
+
+
+class TestPresencePmf:
+    def test_window_mass_is_one(self):
+        _, probs = uniform_presence_pmf_window(1000)
+        assert sum(probs) == pytest.approx(1.0, abs=1e-10)
+
+    def test_large_cardinality_window_mass(self):
+        _, probs = uniform_presence_pmf_window(2_000_000)
+        assert sum(probs) == pytest.approx(1.0, abs=1e-8)
+
+    def test_window_centered_on_mean(self):
+        start, probs = uniform_presence_pmf_window(10_000, mean_presence=0.5)
+        peak = start + max(range(len(probs)), key=probs.__getitem__)
+        assert abs(peak - 5_000) <= 2
+
+    def test_zero_cardinality(self):
+        start, probs = uniform_presence_pmf_window(0)
+        assert (start, probs) == (0, [1.0])
+
+
+class TestExpectedSkylineCardinality:
+    def test_one_dimension_is_one(self):
+        # ln^0(n) = 1: exactly one expected minimum.
+        assert expected_skyline_cardinality(1, 10_000) == pytest.approx(1.0, abs=1e-6)
+
+    def test_grows_with_dimensionality(self):
+        values = [expected_skyline_cardinality(d, 50_000) for d in (2, 3, 4, 5)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_grows_with_cardinality(self):
+        values = [expected_skyline_cardinality(3, n) for n in (100, 10_000, 1_000_000)]
+        assert values == sorted(values)
+
+    def test_matches_closed_form_at_mean(self):
+        # For large N the expectation concentrates: H ~ ln^{d-1}(N/2)/(d-1)!
+        n, d = 1_000_000, 4
+        approx = math.log(n / 2) ** (d - 1) / math.factorial(d - 1)
+        assert expected_skyline_cardinality(d, n) == pytest.approx(approx, rel=0.02)
+
+    def test_paper_factorial_convention(self):
+        d, n = 4, 10_000
+        ours = expected_skyline_cardinality(d, n)
+        paper = expected_skyline_cardinality(d, n, factorial_of=d)
+        assert paper == pytest.approx(ours * math.factorial(d - 1) / math.factorial(d))
+
+    def test_zero_cardinality(self):
+        assert expected_skyline_cardinality(3, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_skyline_cardinality(0, 100)
+        with pytest.raises(ValueError):
+            expected_skyline_cardinality(2, -1)
+
+
+class TestCostModel:
+    def test_nback_exceeds_nlocal_for_multiple_sites(self):
+        """The §4 conclusion motivating selective feedback."""
+        for m in (2, 10, 60, 100):
+            back = expected_feedback_tuples(3, 100_000, m)
+            local = expected_local_skyline_tuples(3, 100_000, m)
+            assert back > local
+
+    def test_single_site_costs_nothing(self):
+        assert expected_feedback_tuples(3, 10_000, 1) == 0.0
+        assert expected_local_skyline_tuples(3, 10_000, 1) == 0.0
+
+    def test_ratio_exceeds_one(self):
+        assert feedback_overhead_ratio(3, 100_000, 20) > 1.0
+
+    def test_ratio_grows_with_sites(self):
+        # More sites -> smaller local partitions -> bigger gap.
+        r1 = feedback_overhead_ratio(3, 100_000, 5)
+        r2 = feedback_overhead_ratio(3, 100_000, 50)
+        assert r2 > r1
+
+    def test_site_validation(self):
+        with pytest.raises(ValueError):
+            expected_feedback_tuples(3, 1000, 0)

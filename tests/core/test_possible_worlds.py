@@ -1,0 +1,117 @@
+"""Possible-world semantics: the oracle behind every probability claim."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.possible_worlds import (
+    MAX_EXHAUSTIVE,
+    conventional_skyline,
+    enumerate_worlds,
+    skyline_probabilities_exhaustive,
+    skyline_probabilities_monte_carlo,
+    world_probability,
+)
+from repro.core.prob_skyline import all_skyline_probabilities
+from repro.core.tuples import UncertainTuple, make_tuples
+
+from ..conftest import make_random_database, uncertain_tuples
+
+
+def fig3_database():
+    """The paper's Fig. 2/3 example database."""
+    return make_tuples([(80, 96), (85, 90), (75, 95)], [0.8, 0.6, 0.8], start_key=1)
+
+
+class TestEnumeration:
+    def test_world_count(self):
+        db = fig3_database()
+        assert sum(1 for _ in enumerate_worlds(db)) == 8
+
+    def test_world_probabilities_sum_to_one(self):
+        db = fig3_database()
+        total = sum(p for _, p in enumerate_worlds(db))
+        assert total == pytest.approx(1.0)
+
+    def test_specific_world_probability_matches_fig3(self):
+        db = fig3_database()
+        # W6 = {t1, t3} with probability 0.8 x 0.4 x 0.8 = 0.256
+        w6 = [db[0], db[2]]
+        assert world_probability(w6, db) == pytest.approx(0.256)
+
+    def test_empty_world_probability(self):
+        db = fig3_database()
+        assert world_probability([], db) == pytest.approx(0.2 * 0.4 * 0.2)
+
+    def test_enumeration_guard(self):
+        db = make_random_database(MAX_EXHAUSTIVE + 1, 2, seed=0)
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_worlds(db))
+
+
+class TestPaperExampleProbabilities:
+    """The worked numbers of §3 must come out exactly."""
+
+    def test_fig3_skyline_probabilities(self):
+        db = fig3_database()
+        probs = skyline_probabilities_exhaustive(db)
+        assert probs[1] == pytest.approx(0.16)   # t1
+        assert probs[2] == pytest.approx(0.60)   # t2
+        assert probs[3] == pytest.approx(0.80)   # t3
+
+
+class TestClosedFormAgreement:
+    """Eq. 3 must equal the Eq. 2 sum over worlds — the paper's core identity."""
+
+    @given(uncertain_tuples(2))
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_matches_enumeration_2d(self, db):
+        db = db[:8]
+        exhaustive = skyline_probabilities_exhaustive(db)
+        closed = all_skyline_probabilities(db)
+        for key in exhaustive:
+            assert math.isclose(exhaustive[key], closed[key], abs_tol=1e-9)
+
+    @given(uncertain_tuples(3))
+    @settings(max_examples=15, deadline=None)
+    def test_closed_form_matches_enumeration_3d(self, db):
+        db = db[:7]
+        exhaustive = skyline_probabilities_exhaustive(db)
+        closed = all_skyline_probabilities(db)
+        for key in exhaustive:
+            assert math.isclose(exhaustive[key], closed[key], abs_tol=1e-9)
+
+
+class TestMonteCarlo:
+    def test_monte_carlo_converges_to_closed_form(self):
+        db = make_random_database(12, 2, seed=3, grid=6)
+        closed = all_skyline_probabilities(db)
+        estimate = skyline_probabilities_monte_carlo(
+            db, samples=20_000, rng=random.Random(0)
+        )
+        for key, value in closed.items():
+            assert abs(estimate[key] - value) < 0.02
+
+    def test_monte_carlo_handles_certain_tuples(self):
+        db = [UncertainTuple(0, (0.0, 0.0), 1.0), UncertainTuple(1, (1.0, 1.0), 1.0)]
+        estimate = skyline_probabilities_monte_carlo(
+            db, samples=500, rng=random.Random(0)
+        )
+        assert estimate[0] == 1.0
+        assert estimate[1] == 0.0
+
+
+class TestConventionalSkyline:
+    def test_simple_case(self):
+        db = make_tuples([(1, 1), (2, 2), (0, 3)], [1.0, 1.0, 1.0])
+        sky = conventional_skyline(db)
+        assert {t.key for t in sky} == {0, 2}
+
+    def test_all_incomparable(self):
+        db = make_tuples([(0, 2), (1, 1), (2, 0)], [1.0, 1.0, 1.0])
+        assert len(conventional_skyline(db)) == 3
+
+    def test_empty(self):
+        assert conventional_skyline([]) == []

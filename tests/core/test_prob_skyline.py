@@ -1,0 +1,134 @@
+"""Centralized probabilistic skyline: brute force vs SFS, answer semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import Preference
+from repro.core.prob_skyline import (
+    ProbabilisticSkyline,
+    SkylineMember,
+    all_skyline_probabilities,
+    prob_skyline_brute_force,
+    prob_skyline_sfs,
+)
+from repro.core.tuples import UncertainTuple, make_tuples
+
+from ..conftest import make_random_database, uncertain_tuples
+
+
+class TestBruteForce:
+    def test_paper_fig3(self):
+        db = make_tuples([(80, 96), (85, 90), (75, 95)], [0.8, 0.6, 0.8])
+        answer = prob_skyline_brute_force(db, 0.5)
+        assert answer.keys() == [2, 1]  # t3 (0.8) then t2 (0.6)
+        assert answer.probabilities()[2] == pytest.approx(0.8)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            prob_skyline_brute_force([], 0.0)
+        with pytest.raises(ValueError):
+            prob_skyline_brute_force([], 1.5)
+
+    def test_threshold_one_keeps_only_certain_undominated(self):
+        db = make_tuples([(1, 1), (2, 2)], [1.0, 1.0])
+        answer = prob_skyline_brute_force(db, 1.0)
+        assert answer.keys() == [0]
+
+    def test_certain_data_reduces_to_conventional_skyline(self):
+        from repro.core.skyline import skyline
+
+        db = make_random_database(100, 2, seed=41, grid=8)
+        certain = [UncertainTuple(t.key, t.values, 1.0) for t in db]
+        answer = prob_skyline_brute_force(certain, 1.0)
+        assert set(answer.keys()) == {t.key for t in skyline(certain)}
+
+
+class TestSFSEquivalence:
+    @pytest.mark.parametrize("q", [0.1, 0.3, 0.7, 1.0])
+    def test_matches_brute_force_fixed(self, q):
+        db = make_random_database(150, 3, seed=43, grid=8)
+        bf = prob_skyline_brute_force(db, q)
+        sfs = prob_skyline_sfs(db, q)
+        assert bf.agrees_with(sfs)
+
+    @given(uncertain_tuples(2), st.sampled_from([0.2, 0.5, 0.9]))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force_property(self, db, q):
+        assert prob_skyline_brute_force(db, q).agrees_with(prob_skyline_sfs(db, q))
+
+    def test_with_preference(self):
+        db = make_random_database(80, 2, seed=47, grid=8)
+        pref = Preference.of("max,min")
+        bf = prob_skyline_brute_force(db, 0.3, pref)
+        sfs = prob_skyline_sfs(db, 0.3, pref)
+        assert bf.agrees_with(sfs)
+        assert len(bf) > 0
+
+    def test_empty_database(self):
+        assert len(prob_skyline_sfs([], 0.5)) == 0
+
+
+class TestAnswerSemantics:
+    def test_members_sorted_by_descending_probability(self):
+        members = [
+            SkylineMember(UncertainTuple(1, (0.0,), 0.5), 0.4),
+            SkylineMember(UncertainTuple(2, (0.0,), 0.9), 0.9),
+        ]
+        answer = ProbabilisticSkyline(0.3, members)
+        assert answer.keys() == [2, 1]
+
+    def test_ties_broken_by_key(self):
+        members = [
+            SkylineMember(UncertainTuple(5, (0.0,), 0.5), 0.5),
+            SkylineMember(UncertainTuple(2, (0.0,), 0.5), 0.5),
+        ]
+        assert ProbabilisticSkyline(0.3, members).keys() == [2, 5]
+
+    def test_contains(self):
+        answer = ProbabilisticSkyline(
+            0.3, [SkylineMember(UncertainTuple(7, (0.0,), 0.5), 0.5)]
+        )
+        assert 7 in answer
+        assert 8 not in answer
+
+    def test_agreement_tolerance(self):
+        t = UncertainTuple(1, (0.0,), 0.5)
+        a = ProbabilisticSkyline(0.3, [SkylineMember(t, 0.5)])
+        b = ProbabilisticSkyline(0.3, [SkylineMember(t, 0.5 + 1e-12)])
+        c = ProbabilisticSkyline(0.3, [SkylineMember(t, 0.6)])
+        assert a.agrees_with(b)
+        assert not a.agrees_with(c)
+
+    def test_agreement_requires_same_keys(self):
+        t1 = UncertainTuple(1, (0.0,), 0.5)
+        t2 = UncertainTuple(2, (0.0,), 0.5)
+        a = ProbabilisticSkyline(0.3, [SkylineMember(t1, 0.5)])
+        b = ProbabilisticSkyline(0.3, [SkylineMember(t2, 0.5)])
+        assert not a.agrees_with(b)
+
+
+class TestThresholdMonotonicity:
+    """p-skyline ⊆ p'-skyline whenever p' <= p (§7.3's argument)."""
+
+    @given(uncertain_tuples(3))
+    @settings(max_examples=30, deadline=None)
+    def test_answers_nest_with_threshold(self, db):
+        low = set(prob_skyline_sfs(db, 0.2).keys())
+        mid = set(prob_skyline_sfs(db, 0.5).keys())
+        high = set(prob_skyline_sfs(db, 0.8).keys())
+        assert high <= mid <= low
+
+
+class TestAllSkylineProbabilities:
+    def test_every_tuple_gets_a_probability(self):
+        db = make_random_database(50, 2, seed=53)
+        probs = all_skyline_probabilities(db)
+        assert set(probs) == {t.key for t in db}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+    def test_undominated_tuple_keeps_existential(self):
+        db = make_tuples([(0, 0), (5, 5)], [0.7, 0.9])
+        probs = all_skyline_probabilities(db)
+        assert probs[0] == pytest.approx(0.7)
+        assert probs[1] == pytest.approx(0.9 * 0.3)

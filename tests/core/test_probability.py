@@ -1,0 +1,179 @@
+"""Closed-form probability arithmetic (Eqs. 3, 5, 9-12)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import Preference, dominates
+from repro.core.probability import (
+    combine_site_factors,
+    corollary2_bound,
+    feedback_pruning_bound,
+    foreign_skyline_probability,
+    global_skyline_probability,
+    non_occurrence_product,
+    observation2_bound,
+    skyline_probability,
+)
+from repro.core.tuples import UncertainTuple, make_tuples
+
+from ..conftest import make_random_database
+
+
+class TestNonOccurrenceProduct:
+    def test_no_dominators(self):
+        db = make_tuples([(5, 5), (9, 1)], [0.5, 0.5])
+        target = UncertainTuple(99, (1.0, 9.0), 0.5)
+        assert non_occurrence_product(target, db) == 1.0
+
+    def test_single_dominator(self):
+        db = make_tuples([(1, 1)], [0.3])
+        target = UncertainTuple(99, (2.0, 2.0), 0.5)
+        assert non_occurrence_product(target, db) == pytest.approx(0.7)
+
+    def test_target_excluded_by_key(self):
+        target = UncertainTuple(0, (2.0, 2.0), 0.9)
+        db = [UncertainTuple(0, (1.0, 1.0), 0.9)]  # same key, would dominate
+        assert non_occurrence_product(target, db) == 1.0
+
+    def test_floor_early_exit_returns_below_floor(self):
+        db = make_tuples([(1, 1)] * 10, [0.5] * 10)
+        # rebuild with unique keys
+        db = [UncertainTuple(i, (1.0, 1.0), 0.5) for i in range(10)]
+        target = UncertainTuple(99, (2.0, 2.0), 1.0)
+        value = non_occurrence_product(target, db, floor=0.3)
+        assert value < 0.3
+
+    def test_exact_without_floor(self):
+        db = [UncertainTuple(i, (1.0, 1.0), 0.5) for i in range(10)]
+        target = UncertainTuple(99, (2.0, 2.0), 1.0)
+        assert non_occurrence_product(target, db) == pytest.approx(0.5 ** 10)
+
+
+class TestSkylineProbability:
+    def test_paper_fig3_values(self):
+        db = make_tuples([(80, 96), (85, 90), (75, 95)], [0.8, 0.6, 0.8])
+        assert skyline_probability(db[0], db) == pytest.approx(0.16)
+        assert skyline_probability(db[1], db) == pytest.approx(0.60)
+        assert skyline_probability(db[2], db) == pytest.approx(0.80)
+
+    def test_floor_preserves_exactness_above_threshold(self):
+        db = make_random_database(60, 2, seed=5, grid=8)
+        for t in db:
+            exact = skyline_probability(t, db)
+            floored = skyline_probability(t, db, floor=0.3)
+            if exact >= 0.3:
+                assert floored == pytest.approx(exact)
+            else:
+                assert floored < 0.3
+
+    def test_foreign_probability_excludes_own_existential(self):
+        db = make_tuples([(1, 1)], [0.25])
+        target = UncertainTuple(99, (2.0, 2.0), 0.6)
+        foreign = foreign_skyline_probability(target, db)
+        own = skyline_probability(target, db)
+        assert foreign == pytest.approx(0.75)
+        assert own == pytest.approx(0.6 * 0.75)
+
+
+class TestLemma1:
+    """Global probability = product of per-site factors."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=400))
+    def test_factorisation(self, m, seed):
+        db = make_random_database(24, 2, seed=seed, grid=6)
+        partitions = [db[i::m] for i in range(m)]
+        for t in db:
+            owner = next(i for i, part in enumerate(partitions) if t in part)
+            own = skyline_probability(t, partitions[owner])
+            foreign = [
+                foreign_skyline_probability(t, part)
+                for i, part in enumerate(partitions)
+                if i != owner
+            ]
+            combined = combine_site_factors(own, foreign)
+            direct = global_skyline_probability(t, partitions)
+            unified = skyline_probability(t, db)
+            assert math.isclose(combined, direct, rel_tol=1e-12, abs_tol=1e-15)
+            assert math.isclose(combined, unified, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestFeedbackPruningBound:
+    def test_bound_applies_dominating_feedback(self):
+        feedback = [UncertainTuple(1, (0.0, 0.0), 0.5), UncertainTuple(2, (0.0, 0.0), 0.2)]
+        assert feedback_pruning_bound(0.8, feedback) == pytest.approx(0.8 * 0.5 * 0.8)
+
+    def test_bound_is_valid_upper_bound(self):
+        """The bound never undercuts the true global probability."""
+        db = make_random_database(30, 2, seed=9, grid=6)
+        half_a, half_b = db[::2], db[1::2]
+        for t in half_a:
+            local = skyline_probability(t, half_a)
+            dominating = [f for f in half_b if dominates(f, t)]
+            bound = feedback_pruning_bound(local, dominating)
+            truth = skyline_probability(t, db)
+            assert bound >= truth - 1e-12
+
+
+class TestObservation2:
+    def test_formula(self):
+        # P_sky(t, D) = 0.65, P(t) = 0.7 -> bound = 0.65/0.7 * 0.3
+        assert observation2_bound(0.65, 0.7) == pytest.approx(0.65 / 0.7 * 0.3)
+
+    def test_rejects_zero_existential(self):
+        with pytest.raises(ValueError):
+            observation2_bound(0.5, 0.0)
+
+    def test_bound_dominates_true_foreign_factor(self):
+        """Observation 2's inequality on random instances."""
+        db = make_random_database(40, 2, seed=13, grid=6)
+        for t in db:
+            local_t = skyline_probability(t, db)
+            for s in db:
+                if s.key != t.key and dominates(t, s):
+                    true_factor = foreign_skyline_probability(s, db)
+                    est = observation2_bound(local_t, t.probability)
+                    assert est >= true_factor - 1e-12
+
+
+class TestCorollary2:
+    def test_uses_best_dominator_per_site(self):
+        candidate = UncertainTuple(0, (5.0, 5.0), 0.9)
+        weak = UncertainTuple(1, (1.0, 1.0), 0.1)   # factor 0.9 * (x/0.1)...
+        strong = UncertainTuple(2, (2.0, 2.0), 0.8)  # much smaller factor
+        resident = [
+            (weak, 1, 0.1),
+            (strong, 1, 0.8),
+        ]
+        bound = corollary2_bound(candidate, 0, 0.9, resident)
+        strong_factor = observation2_bound(0.8, 0.8)
+        assert bound == pytest.approx(0.9 * strong_factor)
+
+    def test_same_site_dominators_ignored(self):
+        candidate = UncertainTuple(0, (5.0, 5.0), 0.9)
+        dominator = UncertainTuple(1, (1.0, 1.0), 0.9)
+        bound = corollary2_bound(candidate, 3, 0.42, [(dominator, 3, 0.9)])
+        assert bound == pytest.approx(0.42)
+
+    def test_non_dominators_ignored(self):
+        candidate = UncertainTuple(0, (1.0, 5.0), 0.9)
+        other = UncertainTuple(1, (5.0, 1.0), 0.9)
+        bound = corollary2_bound(candidate, 0, 0.9, [(other, 1, 0.9)])
+        assert bound == pytest.approx(0.9)
+
+    def test_bound_is_valid_global_upper_bound(self):
+        """P*_g-sky(s) >= P_g-sky(s) on random partitioned instances."""
+        db = make_random_database(36, 2, seed=21, grid=6)
+        m = 3
+        partitions = [db[i::m] for i in range(m)]
+        resident = []
+        for i, part in enumerate(partitions):
+            for t in part[:4]:
+                resident.append((t, i, skyline_probability(t, partitions[i])))
+        for t, site, local in resident:
+            bound = corollary2_bound(t, site, local, resident)
+            truth = global_skyline_probability(t, partitions)
+            assert bound >= truth - 1e-12

@@ -1,0 +1,120 @@
+"""The probabilistic skycube."""
+
+import pytest
+
+from repro.core.dominance import Preference
+from repro.core.prob_skyline import prob_skyline_brute_force
+from repro.core.skycube import (
+    ProbabilisticSkycube,
+    compute_skycube,
+    enumerate_subspaces,
+)
+from repro.core.tuples import UncertainTuple
+
+from ..conftest import make_random_database
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert len(list(enumerate_subspaces(3))) == 7
+        assert len(list(enumerate_subspaces(4))) == 15
+
+    def test_size_cap(self):
+        subs = list(enumerate_subspaces(4, max_size=2))
+        assert all(len(s) <= 2 for s in subs)
+        assert len(subs) == 4 + 6
+
+    def test_ordering_smallest_first(self):
+        subs = list(enumerate_subspaces(3))
+        sizes = [len(s) for s in subs]
+        assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(enumerate_subspaces(0))
+
+
+class TestCubeConstruction:
+    def test_every_subspace_matches_direct_query(self):
+        db = make_random_database(120, 3, seed=1, grid=8)
+        cube = compute_skycube(db, 0.3)
+        assert len(cube) == 7
+        for dims in cube.subspaces():
+            direct = prob_skyline_brute_force(db, 0.3, Preference(subspace=dims))
+            assert cube.answer(dims).agrees_with(direct, tol=1e-9)
+
+    def test_answer_accepts_any_index_order(self):
+        db = make_random_database(50, 3, seed=2, grid=8)
+        cube = compute_skycube(db, 0.3)
+        assert cube.answer((2, 0)) is cube.answer((0, 2))
+
+    def test_missing_subspace_raises(self):
+        db = make_random_database(30, 3, seed=3)
+        cube = compute_skycube(db, 0.3, max_subspace_size=1)
+        with pytest.raises(KeyError):
+            cube.answer((0, 1))
+
+    def test_empty_database(self):
+        cube = compute_skycube([], 0.3)
+        assert len(cube) == 0
+
+    def test_dimensionality_guard(self):
+        db = [UncertainTuple(0, tuple(0.5 for _ in range(13)), 0.5)]
+        with pytest.raises(ValueError, match="subspaces"):
+            compute_skycube(db, 0.3)
+        cube = compute_skycube(db, 0.3, max_subspace_size=1)
+        assert len(cube) == 13
+
+    def test_base_preference_directions(self):
+        db = make_random_database(60, 2, seed=4, grid=8)
+        pref = Preference.of("min,max")
+        cube = compute_skycube(db, 0.3, base_preference=pref)
+        direct = prob_skyline_brute_force(
+            db, 0.3, Preference(directions=pref.directions, subspace=(1,))
+        )
+        assert cube.answer((1,)).agrees_with(direct, tol=1e-9)
+
+    def test_base_preference_with_subspace_rejected(self):
+        with pytest.raises(ValueError, match="must not fix"):
+            compute_skycube(
+                make_random_database(10, 2, seed=5), 0.3,
+                base_preference=Preference(subspace=(0,)),
+            )
+
+
+class TestCubeSemantics:
+    def test_no_containment_between_parent_and_child(self):
+        """Probabilistic subspace answers nest in NEITHER direction —
+        the structural difference from certain-data skycubes."""
+        db = [
+            # a: qualifies everywhere (ties x on dim 0, beats it on dim 1)
+            UncertainTuple(0, (0.5, 5.0), 0.9),
+            # x: dominated by a in full space (0.09 < q) but TIES a on
+            # dim 0, where nothing dominates it -> qualifies there (0.9)
+            UncertainTuple(1, (0.5, 6.0), 0.9),
+            # y: undominated in full space (qualifies with 0.4) but on
+            # dim 0 both a and x dominate it: 0.4 * 0.1 * 0.1 fails
+            UncertainTuple(2, (0.6, 1.0), 0.4),
+        ]
+        cube = compute_skycube(db, 0.3)
+        full = set(cube.answer((0, 1)).keys())
+        sub0 = set(cube.answer((0,)).keys())
+        assert full == {0, 2}
+        assert sub0 == {0, 1}
+        # Neither answer contains the other.
+        assert not full <= sub0 and not sub0 <= full
+
+    def test_membership_counts(self):
+        db = make_random_database(80, 3, seed=6, grid=8)
+        cube = compute_skycube(db, 0.3)
+        counts = cube.membership_counts()
+        assert counts
+        assert max(counts.values()) <= 7
+        total = sum(len(cube.answer(s)) for s in cube.subspaces())
+        assert sum(counts.values()) == total
+
+    def test_full_space_layer_matches_plain_query(self):
+        db = make_random_database(100, 2, seed=7, grid=8)
+        cube = compute_skycube(db, 0.3)
+        direct = prob_skyline_brute_force(db, 0.3)
+        assert cube.answer((0, 1)).agrees_with(direct, tol=1e-9)

@@ -1,0 +1,110 @@
+"""Centralized conventional skyline algorithms: BNL, SFS, D&C."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dominance import Preference, dominates
+from repro.core.possible_worlds import conventional_skyline
+from repro.core.skyline import (
+    block_nested_loop,
+    divide_and_conquer,
+    skyline,
+    sort_filter_skyline,
+)
+from repro.core.tuples import make_tuples
+
+from ..conftest import make_random_database, uncertain_tuples
+
+ALGORITHMS = [block_nested_loop, sort_filter_skyline, divide_and_conquer]
+
+
+def hotel_example():
+    """The paper's Fig. 1 hotel scenario: P1, P3, P5 are the skyline."""
+    return make_tuples(
+        [(2, 8), (4, 6), (3, 4), (7, 5), (6, 2), (8, 7)],
+        [1.0] * 6,
+    )
+
+
+class TestAgainstDefinition:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_hotel_example(self, algorithm):
+        db = hotel_example()
+        result = algorithm(db)
+        assert {t.key for t in result} == {0, 2, 4}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_input(self, algorithm):
+        assert algorithm([]) == []
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_tuple(self, algorithm):
+        db = make_tuples([(1, 2)], [1.0])
+        assert algorithm(db) == db
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_points_all_survive(self, algorithm):
+        db = make_tuples([(1, 1), (1, 1), (2, 2)], [1.0] * 3)
+        assert {t.key for t in algorithm(db)} == {0, 1}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_quadratic_definition(self, algorithm):
+        db = make_random_database(200, 3, seed=17, grid=10)
+        expected = {t.key for t in conventional_skyline(db)}
+        assert {t.key for t in algorithm(db)} == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_with_preference(self, algorithm):
+        db = make_random_database(100, 2, seed=23, grid=8)
+        pref = Preference.of("min,max")
+        expected = {t.key for t in conventional_skyline(db, pref)}
+        assert {t.key for t in algorithm(db, pref)} == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_with_subspace(self, algorithm):
+        db = make_random_database(100, 3, seed=29, grid=8)
+        pref = Preference(subspace=(0, 2))
+        expected = {t.key for t in conventional_skyline(db, pref)}
+        assert {t.key for t in algorithm(db, pref)} == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_preserves_input_order(self, algorithm):
+        db = make_random_database(80, 2, seed=31, grid=8)
+        result = algorithm(db)
+        order = {t.key: i for i, t in enumerate(db)}
+        assert [order[t.key] for t in result] == sorted(order[t.key] for t in result)
+
+
+class TestCrossAlgorithmAgreement:
+    @given(uncertain_tuples(2))
+    @settings(max_examples=60, deadline=None)
+    def test_all_algorithms_agree_2d(self, db):
+        results = [{t.key for t in alg(db)} for alg in ALGORITHMS]
+        assert results[0] == results[1] == results[2]
+
+    @given(uncertain_tuples(4))
+    @settings(max_examples=40, deadline=None)
+    def test_all_algorithms_agree_4d(self, db):
+        results = [{t.key for t in alg(db)} for alg in ALGORITHMS]
+        assert results[0] == results[1] == results[2]
+
+
+class TestSkylineProperties:
+    @given(uncertain_tuples(3))
+    @settings(max_examples=40, deadline=None)
+    def test_no_member_dominated_and_every_nonmember_dominated(self, db):
+        members = skyline(db)
+        member_keys = {t.key for t in members}
+        for t in members:
+            assert not any(
+                dominates(other, t) for other in db if other.key != t.key
+            )
+        for t in db:
+            if t.key not in member_keys:
+                assert any(dominates(m, t) for m in members)
+
+    def test_dnc_small_base_size(self):
+        """Exercise the recursive path with a tiny base case."""
+        db = make_random_database(150, 2, seed=37, grid=10)
+        expected = {t.key for t in sort_filter_skyline(db)}
+        assert {t.key for t in divide_and_conquer(db, base_size=4)} == expected

@@ -1,0 +1,140 @@
+"""Relation profiling."""
+
+import random
+
+import pytest
+
+from repro.core.dominance import Preference
+from repro.core.statistics import (
+    dimension_correlations,
+    dominance_profile,
+    layer_of_qualified,
+    probability_profile,
+    skyline_layers,
+)
+from repro.core.tuples import UncertainTuple
+
+from ..conftest import make_random_database
+
+
+class TestProbabilityProfile:
+    def test_histogram_sums_to_count(self):
+        db = make_random_database(500, 2, seed=1)
+        profile = probability_profile(db, bins=8)
+        assert sum(profile.histogram) == profile.count == 500
+        assert profile.bins == 8
+
+    def test_moments(self):
+        db = [UncertainTuple(0, (0.0,), 0.2), UncertainTuple(1, (0.0,), 0.8)]
+        profile = probability_profile(db)
+        assert profile.minimum == 0.2
+        assert profile.maximum == 0.8
+        assert profile.mean == pytest.approx(0.5)
+
+    def test_boundary_probability_one_lands_in_last_bin(self):
+        db = [UncertainTuple(0, (0.0,), 1.0)]
+        profile = probability_profile(db, bins=4)
+        assert profile.histogram == (0, 0, 0, 1)
+
+    def test_empty_and_validation(self):
+        assert probability_profile([]).count == 0
+        with pytest.raises(ValueError):
+            probability_profile([], bins=0)
+
+
+class TestCorrelations:
+    def test_matrix_shape_and_diagonal(self):
+        db = make_random_database(300, 3, seed=2)
+        corr = dimension_correlations(db)
+        assert len(corr) == 3 and all(len(row) == 3 for row in corr)
+        assert all(corr[i][i] == pytest.approx(1.0) for i in range(3))
+
+    def test_symmetry(self):
+        db = make_random_database(300, 3, seed=3)
+        corr = dimension_correlations(db)
+        for i in range(3):
+            for j in range(3):
+                assert corr[i][j] == pytest.approx(corr[j][i])
+
+    def test_perfectly_correlated_dims(self):
+        db = [UncertainTuple(i, (float(i), float(i)), 0.5) for i in range(20)]
+        corr = dimension_correlations(db)
+        assert corr[0][1] == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        assert dimension_correlations([]) == []
+        single = dimension_correlations([UncertainTuple(0, (1.0, 2.0), 0.5)])
+        assert single[0][0] == 1.0
+
+
+class TestSkylineLayers:
+    def test_layers_partition_the_relation(self):
+        db = make_random_database(200, 2, seed=4, grid=10)
+        layers = skyline_layers(db)
+        keys = [t.key for layer in layers for t in layer]
+        assert sorted(keys) == sorted(t.key for t in db)
+        assert len(set(keys)) == len(keys)
+
+    def test_first_layer_is_the_skyline(self):
+        from repro.core.skyline import skyline
+
+        db = make_random_database(150, 2, seed=5, grid=10)
+        layers = skyline_layers(db)
+        assert {t.key for t in layers[0]} == {t.key for t in skyline(db)}
+
+    def test_layer_members_dominated_by_previous_layer(self):
+        from repro.core.dominance import dominates
+
+        db = make_random_database(120, 2, seed=6, grid=8)
+        layers = skyline_layers(db)
+        for earlier, later in zip(layers, layers[1:]):
+            for t in later:
+                assert any(dominates(w, t) for w in earlier)
+
+    def test_max_layers_truncation(self):
+        db = make_random_database(200, 2, seed=7, grid=10)
+        layers = skyline_layers(db, max_layers=2)
+        assert len(layers) == 2
+
+    def test_dominance_chain_gives_singleton_layers(self):
+        db = [UncertainTuple(i, (float(i), float(i)), 0.5) for i in range(6)]
+        layers = skyline_layers(db)
+        assert [len(layer) for layer in layers] == [1] * 6
+
+
+class TestLayerOfQualified:
+    def test_qualified_tuples_sit_in_shallow_layers(self):
+        db = make_random_database(400, 2, seed=8)
+        spread = layer_of_qualified(db, 0.3)
+        from repro.core.prob_skyline import prob_skyline_sfs
+
+        assert sum(spread.values()) == len(prob_skyline_sfs(db, 0.3))
+        # With q = 0.3 a tuple needs its dominator product above ~0.3:
+        # a handful of layers at most.
+        assert max(spread) <= 8
+
+    def test_certain_data_collapses_to_layer_one(self):
+        db = [
+            UncertainTuple(i, (float(i % 5), float((i * 3) % 5)), 1.0)
+            for i in range(40)
+        ]
+        spread = layer_of_qualified(db, 1.0)
+        assert set(spread) == {1}
+
+
+class TestDominanceProfile:
+    def test_profile_fields(self):
+        db = make_random_database(300, 2, seed=9)
+        profile = dominance_profile(db, sample=50, rng=random.Random(1))
+        assert profile["sampled"] == 50
+        assert 0.0 <= profile["undominated_fraction"] <= 1.0
+        assert profile["max_dominators"] >= profile["mean_dominators"]
+
+    def test_mean_matches_theory_on_uniform_data(self):
+        """Independent uniform: mean dominators ≈ N / 2^d."""
+        db = make_random_database(2000, 2, seed=10)
+        profile = dominance_profile(db, sample=200, rng=random.Random(2))
+        assert profile["mean_dominators"] == pytest.approx(2000 / 4, rel=0.25)
+
+    def test_empty(self):
+        assert dominance_profile([])["sampled"] == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the uncertain tuple model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tuples import (
+    UncertainTuple,
+    make_tuples,
+    tuples_from_arrays,
+    validate_database,
+)
+
+
+class TestUncertainTuple:
+    def test_basic_construction(self):
+        t = UncertainTuple(1, (3.0, 4.0), 0.5)
+        assert t.key == 1
+        assert t.values == (3.0, 4.0)
+        assert t.probability == 0.5
+        assert t.dimensionality == 2
+
+    def test_values_normalised_to_float_tuple(self):
+        t = UncertainTuple(1, [1, 2, 3], 1.0)
+        assert t.values == (1.0, 2.0, 3.0)
+        assert isinstance(t.values, tuple)
+
+    def test_non_occurrence(self):
+        assert UncertainTuple(1, (0.0,), 0.3).non_occurrence == pytest.approx(0.7)
+
+    def test_probability_one_allowed(self):
+        assert UncertainTuple(1, (0.0,), 1.0).probability == 1.0
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5, 2.0])
+    def test_invalid_probability_rejected(self, p):
+        with pytest.raises(ValueError):
+            UncertainTuple(1, (0.0,), p)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainTuple(1, (), 0.5)
+
+    def test_nan_values_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainTuple(1, (float("nan"), 1.0), 0.5)
+
+    def test_hashable_and_frozen(self):
+        t = UncertainTuple(1, (1.0,), 0.5)
+        assert hash(t) == hash(UncertainTuple(1, (1.0,), 0.5))
+        with pytest.raises(Exception):
+            t.probability = 0.9  # type: ignore[misc]
+
+    def test_value_accessor_and_iteration(self):
+        t = UncertainTuple(1, (5.0, 7.0), 0.5)
+        assert t.value(0) == 5.0
+        assert t.value(1) == 7.0
+        assert list(t) == [5.0, 7.0]
+
+    def test_coordinate_sum(self):
+        assert UncertainTuple(1, (1.5, 2.5), 0.5).coordinate_sum() == pytest.approx(4.0)
+
+    def test_repr_is_compact(self):
+        assert repr(UncertainTuple(3, (1.0, 2.0), 0.8) ) == "UncertainTuple(3: (1, 2), p=0.8)"
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=5),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_construction_roundtrip_property(self, values, p):
+        t = UncertainTuple(0, tuple(values), p)
+        assert t.dimensionality == len(values)
+        assert math.isclose(t.probability + t.non_occurrence, 1.0)
+
+
+class TestFactories:
+    def test_make_tuples_assigns_sequential_keys(self):
+        ts = make_tuples([(1, 2), (3, 4)], [0.5, 0.6], start_key=10)
+        assert [t.key for t in ts] == [10, 11]
+
+    def test_make_tuples_length_mismatch(self):
+        with pytest.raises(ValueError, match="must align"):
+            make_tuples([(1, 2)], [0.5, 0.6])
+
+    def test_tuples_from_numpy_arrays(self):
+        import numpy as np
+
+        values = np.array([[0.1, 0.2], [0.3, 0.4]])
+        probs = np.array([0.5, 0.75])
+        ts = tuples_from_arrays(values, probs)
+        assert ts[1].values == (0.3, 0.4)
+        assert ts[1].probability == 0.75
+
+    def test_tuples_from_plain_lists(self):
+        ts = tuples_from_arrays([[1, 2]], [0.5])
+        assert ts[0].values == (1.0, 2.0)
+
+
+class TestValidateDatabase:
+    def test_empty_database(self):
+        assert validate_database([]) == 0
+
+    def test_consistent_database(self):
+        ts = make_tuples([(1, 2), (3, 4)], [0.5, 0.6])
+        assert validate_database(ts) == 2
+
+    def test_dimensionality_mismatch(self):
+        ts = [UncertainTuple(0, (1.0,), 0.5), UncertainTuple(1, (1.0, 2.0), 0.5)]
+        with pytest.raises(ValueError, match="dimensionality"):
+            validate_database(ts)
+
+    def test_duplicate_keys(self):
+        ts = [UncertainTuple(0, (1.0,), 0.5), UncertainTuple(0, (2.0,), 0.5)]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_database(ts)

@@ -1,0 +1,100 @@
+"""The synthetic NYSE trade trace (the real-data substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import Direction, dominates
+from repro.data.nyse import (
+    TRADING_DAYS,
+    attach_uncertainty,
+    generate_nyse_trades,
+    nyse_preference,
+)
+
+
+class TestTradeGeneration:
+    def test_shape_and_determinism(self):
+        a = generate_nyse_trades(1000, seed=1)
+        b = generate_nyse_trades(1000, seed=1)
+        assert len(a) == 1000
+        assert [t.values for t in a] == [t.values for t in b]
+
+    def test_zero_trades(self):
+        assert generate_nyse_trades(0, seed=1) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_nyse_trades(-1)
+
+    def test_price_plausible_for_dell_2000(self):
+        trades = generate_nyse_trades(5000, seed=2)
+        prices = np.array([t.values[0] for t in trades])
+        assert 2.0 < prices.min()
+        assert prices.max() < 100.0
+
+    def test_prices_cent_quantized(self):
+        trades = generate_nyse_trades(500, seed=3)
+        for t in trades:
+            cents = t.values[0] * 100
+            assert abs(cents - round(cents)) < 1e-6
+
+    def test_volumes_are_round_lots(self):
+        trades = generate_nyse_trades(500, seed=4)
+        for t in trades:
+            assert t.values[1] >= 100.0
+            assert t.values[1] % 100 == 0
+
+    def test_price_clusters_by_day(self):
+        """The random walk must leave visible day-level structure."""
+        trades = generate_nyse_trades(20_000, seed=5)
+        prices = np.array([t.values[0] for t in trades])
+        # Intraday noise is ~0.4%; across the whole window the walk
+        # wanders much further.
+        assert prices.std() / prices.mean() > 0.05
+
+    def test_trading_window_constant(self):
+        assert TRADING_DAYS == 118
+
+    def test_skyline_is_nontrivial(self):
+        """Cent/lot quantization + price impact must produce a usable skyline."""
+        from repro.core.skyline import skyline
+
+        trades = generate_nyse_trades(2000, seed=6)
+        sky = skyline(trades, nyse_preference())
+        assert 5 <= len(sky) <= 200
+
+
+class TestPreference:
+    def test_direction_semantics(self):
+        pref = nyse_preference()
+        assert pref.directions == (Direction.MIN, Direction.MAX)
+
+    def test_cheap_big_deal_dominates(self):
+        trades = generate_nyse_trades(2, seed=7)
+        from repro.core.tuples import UncertainTuple
+
+        good = UncertainTuple(100, (10.0, 5000.0), 1.0)
+        bad = UncertainTuple(101, (12.0, 1000.0), 1.0)
+        assert dominates(good, bad, nyse_preference())
+        assert not dominates(bad, good, nyse_preference())
+
+
+class TestAttachUncertainty:
+    def test_uniform_kind(self):
+        trades = generate_nyse_trades(2000, seed=8)
+        uncertain = attach_uncertainty(trades, kind="uniform", seed=9)
+        probs = np.array([t.probability for t in uncertain])
+        assert abs(probs.mean() - 0.5) < 0.03
+        assert [t.values for t in uncertain] == [t.values for t in trades]
+
+    @pytest.mark.parametrize("mu", [0.3, 0.6, 0.9])
+    def test_gaussian_kind(self, mu):
+        trades = generate_nyse_trades(5000, seed=10)
+        uncertain = attach_uncertainty(trades, kind="gaussian", mean=mu, seed=11)
+        probs = np.array([t.probability for t in uncertain])
+        assert abs(probs.mean() - mu) < 0.05
+
+    def test_keys_preserved(self):
+        trades = generate_nyse_trades(100, seed=12)
+        uncertain = attach_uncertainty(trades, seed=13)
+        assert [t.key for t in uncertain] == [t.key for t in trades]

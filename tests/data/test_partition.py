@@ -1,0 +1,151 @@
+"""Horizontal partitioning schemes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    partition_angle,
+    partition_range,
+    partition_round_robin,
+    partition_uniform,
+)
+
+from ..conftest import make_random_database
+
+PARTITIONERS = [
+    lambda ts, m: partition_uniform(ts, m, rng=random.Random(0)),
+    partition_round_robin,
+    partition_range,
+    partition_angle,
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    @pytest.mark.parametrize("m", [1, 3, 7])
+    def test_disjoint_and_complete(self, partition, m):
+        db = make_random_database(100, 2, seed=1)
+        parts = partition(db, m)
+        assert len(parts) == m
+        keys = [t.key for part in parts for t in part]
+        assert sorted(keys) == sorted(t.key for t in db)
+        assert len(set(keys)) == len(keys)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_balanced_sizes(self, partition):
+        db = make_random_database(101, 2, seed=2)
+        parts = partition(db, 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_site_count_validation(self, partition):
+        with pytest.raises(ValueError):
+            partition([], 0)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_more_sites_than_tuples(self, partition):
+        db = make_random_database(3, 2, seed=3)
+        parts = partition(db, 10)
+        assert sum(len(p) for p in parts) == 3
+
+
+class TestUniform:
+    def test_seeded_reproducibility(self):
+        db = make_random_database(50, 2, seed=4)
+        a = partition_uniform(db, 5, rng=random.Random(7))
+        b = partition_uniform(db, 5, rng=random.Random(7))
+        assert [[t.key for t in p] for p in a] == [[t.key for t in p] for p in b]
+
+    def test_shuffles_relative_to_input(self):
+        db = make_random_database(200, 2, seed=5)
+        parts = partition_uniform(db, 2, rng=random.Random(1))
+        assert [t.key for t in parts[0]] != [t.key for t in db[:100]]
+
+
+class TestRange:
+    def test_contiguous_value_ranges(self):
+        db = make_random_database(90, 2, seed=6)
+        parts = partition_range(db, 3, dim=0)
+        maxima = [max(t.values[0] for t in p) for p in parts]
+        minima = [min(t.values[0] for t in p) for p in parts]
+        assert maxima[0] <= minima[1] and maxima[1] <= minima[2]
+
+    def test_skew_concentrates_skyline(self):
+        """Site 0 should hold essentially the whole global skyline."""
+        from repro.core.skyline import skyline
+
+        db = make_random_database(300, 2, seed=7)
+        parts = partition_range(db, 3, dim=0)
+        global_keys = {t.key for t in skyline(db)}
+        site0_keys = {t.key for t in parts[0]}
+        overlap = len(global_keys & site0_keys) / len(global_keys)
+        assert overlap > 0.6
+
+
+class TestAngle:
+    @staticmethod
+    def _anticorrelated_db(n=800, seed=10):
+        """Skyline-rich data — the regime angle partitioning targets."""
+        from repro.data.workload import make_synthetic_workload
+
+        return make_synthetic_workload(
+            "anticorrelated", n=n, d=2, sites=1, seed=seed
+        ).global_database
+
+    def test_every_site_holds_skyline_members(self):
+        """The property angle partitioning exists for: no site is useless."""
+        from repro.core.skyline import skyline
+
+        db = self._anticorrelated_db()
+        parts = partition_angle(db, 4)
+        global_keys = {t.key for t in skyline(db)}
+        assert len(global_keys) >= 12
+        for part in parts:
+            assert global_keys & {t.key for t in part}
+
+    def test_spreads_skyline_better_than_range(self):
+        from repro.core.skyline import skyline
+
+        db = self._anticorrelated_db(seed=11)
+        global_keys = {t.key for t in skyline(db)}
+
+        def sites_with_skyline(parts):
+            return sum(1 for p in parts if global_keys & {t.key for t in p})
+
+        assert sites_with_skyline(partition_angle(db, 6)) >= sites_with_skyline(
+            partition_range(db, 6)
+        )
+
+    def test_one_dimensional_fallback(self):
+        db = make_random_database(60, 1, seed=12)
+        parts = partition_angle(db, 3)
+        assert sum(len(p) for p in parts) == 60
+
+    def test_distributed_answer_unchanged(self):
+        """Partitioning never affects correctness, only bandwidth."""
+        from repro.core.prob_skyline import prob_skyline_sfs
+        from repro.distributed.query import distributed_skyline
+
+        db = make_random_database(400, 3, seed=13)
+        central = prob_skyline_sfs(db, 0.3)
+        result = distributed_skyline(partition_angle(db, 5), 0.3, algorithm="edsud")
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+
+class TestRoundRobin:
+    def test_deterministic_assignment(self):
+        db = make_random_database(10, 2, seed=8)
+        parts = partition_round_robin(db, 3)
+        assert [t.key for t in parts[0]] == [0, 3, 6, 9]
+
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_round_robin_property(self, n, m):
+        db = make_random_database(n, 2, seed=9)
+        parts = partition_round_robin(db, m)
+        for i, part in enumerate(parts):
+            assert all(t.key % m == i for t in part)

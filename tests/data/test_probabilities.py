@@ -1,0 +1,72 @@
+"""Existential-probability assignment."""
+
+import numpy as np
+import pytest
+
+from repro.data.probabilities import (
+    constant_probabilities,
+    gaussian_probabilities,
+    generate_probabilities,
+    uniform_probabilities,
+)
+
+
+class TestUniform:
+    def test_domain(self):
+        probs = uniform_probabilities(10_000, np.random.default_rng(1))
+        assert probs.min() > 0.0
+        assert probs.max() <= 1.0
+
+    def test_mean_near_half(self):
+        probs = uniform_probabilities(50_000, np.random.default_rng(2))
+        assert abs(probs.mean() - 0.5) < 0.01
+
+
+class TestGaussian:
+    @pytest.mark.parametrize("mu", [0.3, 0.5, 0.7, 0.9])
+    def test_mean_tracks_mu(self, mu):
+        probs = gaussian_probabilities(50_000, np.random.default_rng(3), mean=mu)
+        # clipping biases the extremes slightly; stay within 0.05
+        assert abs(probs.mean() - mu) < 0.05
+
+    def test_domain_clipped(self):
+        probs = gaussian_probabilities(50_000, np.random.default_rng(4), mean=0.9, std=0.4)
+        assert probs.min() > 0.0
+        assert probs.max() <= 1.0
+
+    def test_std_parameter(self):
+        tight = gaussian_probabilities(20_000, np.random.default_rng(5), mean=0.5, std=0.05)
+        wide = gaussian_probabilities(20_000, np.random.default_rng(5), mean=0.5, std=0.2)
+        assert tight.std() < wide.std()
+
+
+class TestConstant:
+    def test_value(self):
+        probs = constant_probabilities(10, value=0.75)
+        assert np.all(probs == 0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_probabilities(10, value=0.0)
+        with pytest.raises(ValueError):
+            constant_probabilities(10, value=1.5)
+
+
+class TestDispatch:
+    def test_kinds(self):
+        assert len(generate_probabilities("uniform", 5, seed=1)) == 5
+        assert len(generate_probabilities("gaussian", 5, seed=1, mean=0.4)) == 5
+        assert np.all(generate_probabilities("constant", 5, value=0.5) == 0.5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown probability kind"):
+            generate_probabilities("bimodal", 5)
+
+    def test_valid_tuple_probabilities(self):
+        """Every generated value must be a legal existential probability."""
+        from repro.core.tuples import UncertainTuple
+
+        for kind in ("uniform", "gaussian"):
+            probs = generate_probabilities(kind, 1000, seed=6, mean=0.1)
+            for i, p in enumerate(probs):
+                UncertainTuple(i, (0.0,), float(p))  # must not raise

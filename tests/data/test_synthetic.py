@@ -1,0 +1,114 @@
+"""Synthetic value generators: domains, shapes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DISTRIBUTIONS,
+    anticorrelated,
+    clustered,
+    correlated,
+    generate_values,
+    independent,
+)
+
+
+def pairwise_correlation(values: np.ndarray) -> float:
+    """Mean off-diagonal Pearson correlation between dimensions."""
+    corr = np.corrcoef(values.T)
+    d = corr.shape[0]
+    off = [corr[i, j] for i in range(d) for j in range(d) if i != j]
+    return float(np.mean(off))
+
+
+class TestDomains:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_unit_cube(self, name):
+        values = generate_values(name, 5000, 3, seed=1)
+        assert values.shape == (5000, 3)
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_zero_rows(self, name):
+        assert generate_values(name, 0, 3, seed=1).shape == (0, 3)
+
+    def test_one_dimension(self):
+        for name in DISTRIBUTIONS:
+            values = generate_values(name, 100, 1, seed=2)
+            assert values.shape == (100, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_values("independent", -1, 2)
+        with pytest.raises(ValueError):
+            generate_values("independent", 10, 0)
+        with pytest.raises(ValueError, match="unknown distribution"):
+            generate_values("zipfian", 10, 2)
+
+
+class TestShapes:
+    def test_independent_near_zero_correlation(self):
+        values = independent(20_000, 3, np.random.default_rng(3))
+        assert abs(pairwise_correlation(values)) < 0.03
+
+    def test_correlated_positive_correlation(self):
+        values = correlated(20_000, 3, np.random.default_rng(4))
+        assert pairwise_correlation(values) > 0.4
+
+    def test_anticorrelated_negative_correlation(self):
+        values = anticorrelated(20_000, 3, np.random.default_rng(5))
+        assert pairwise_correlation(values) < -0.15
+
+    def test_anticorrelated_2d(self):
+        values = anticorrelated(20_000, 2, np.random.default_rng(6))
+        assert pairwise_correlation(values) < -0.3
+
+    def test_skyline_size_ordering(self):
+        """anticorrelated > independent > correlated skylines — the very
+        property the paper's Fig. 8 comparison rests on."""
+        from repro.core.skyline import skyline
+        from repro.core.tuples import tuples_from_arrays
+
+        sizes = {}
+        for name in ("correlated", "independent", "anticorrelated"):
+            values = generate_values(name, 3000, 3, seed=7)
+            db = tuples_from_arrays(values, np.ones(3000))
+            sizes[name] = len(skyline(db))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+
+
+class TestClustered:
+    def test_points_form_tight_blobs(self):
+        values = clustered(5000, 2, np.random.default_rng(8), clusters=3, spread=0.02)
+        # Nearest-center distances must be far below a uniform cloud's.
+        from scipy.cluster.vq import kmeans2
+
+        centroids, labels = kmeans2(values, 3, seed=1, minit="points")
+        distances = np.linalg.norm(values - centroids[labels], axis=1)
+        assert np.median(distances) < 0.1
+
+    def test_cluster_count_validation(self):
+        with pytest.raises(ValueError):
+            clustered(10, 2, np.random.default_rng(9), clusters=0)
+
+    def test_registered_in_dispatch(self):
+        values = generate_values("clustered", 100, 3, seed=10)
+        assert values.shape == (100, 3)
+
+    def test_zero_rows(self):
+        assert clustered(0, 2, np.random.default_rng(11)).shape == (0, 2)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_seed_reproducibility(self, name):
+        a = generate_values(name, 500, 3, seed=42)
+        b = generate_values(name, 500, 3, seed=42)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_different_seeds_differ(self, name):
+        a = generate_values(name, 500, 3, seed=42)
+        b = generate_values(name, 500, 3, seed=43)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,92 @@
+"""Workload assembly."""
+
+import pytest
+
+from repro.core.tuples import validate_database
+from repro.data.workload import Workload, make_nyse_workload, make_synthetic_workload
+
+
+class TestSyntheticWorkload:
+    def test_basic_assembly(self):
+        wl = make_synthetic_workload("independent", n=500, d=3, sites=5, seed=1)
+        assert wl.cardinality == 500
+        assert wl.sites == 5
+        assert wl.dimensionality == 3
+        assert validate_database(wl.global_database) == 3
+
+    def test_partitions_cover_database(self):
+        wl = make_synthetic_workload(n=300, sites=4, seed=2)
+        keys = sorted(t.key for p in wl.partitions for t in p)
+        assert keys == sorted(t.key for t in wl.global_database)
+
+    def test_balanced_partitions(self):
+        wl = make_synthetic_workload(n=301, sites=4, seed=3)
+        sizes = [len(p) for p in wl.partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_seed_reproducibility(self):
+        a = make_synthetic_workload(n=200, sites=4, seed=7)
+        b = make_synthetic_workload(n=200, sites=4, seed=7)
+        assert [t.values for t in a.global_database] == [
+            t.values for t in b.global_database
+        ]
+        assert [[t.key for t in p] for p in a.partitions] == [
+            [t.key for t in p] for p in b.partitions
+        ]
+
+    def test_gaussian_probability_kind(self):
+        wl = make_synthetic_workload(
+            n=2000, sites=4, probability_kind="gaussian", probability_mean=0.8, seed=4
+        )
+        mean = sum(t.probability for t in wl.global_database) / 2000
+        assert abs(mean - 0.8) < 0.05
+
+    def test_describe(self):
+        wl = make_synthetic_workload(n=100, d=2, sites=3, seed=5)
+        text = wl.describe()
+        assert "N=100" in text and "d=2" in text and "m=3" in text
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        wl = make_synthetic_workload(n=150, d=3, sites=4, seed=9)
+        wl.save(tmp_path / "wl")
+        restored = Workload.load(tmp_path / "wl")
+        assert restored.name == wl.name
+        assert restored.seed == wl.seed
+        assert [[t for t in p] for p in restored.partitions] == [
+            [t for t in p] for p in wl.partitions
+        ]
+        assert restored.global_database == [
+            t for p in wl.partitions for t in p
+        ]
+
+    def test_preference_survives_roundtrip(self, tmp_path):
+        wl = make_nyse_workload(n=80, sites=3, seed=10)
+        wl.save(tmp_path / "wl")
+        restored = Workload.load(tmp_path / "wl")
+        assert restored.preference is not None
+        assert restored.preference.directions == wl.preference.directions
+
+    def test_restored_workload_answers_identically(self, tmp_path):
+        from repro.distributed.query import distributed_skyline
+
+        wl = make_synthetic_workload(n=300, d=2, sites=3, seed=11)
+        original = distributed_skyline(wl.partitions, 0.3)
+        wl.save(tmp_path / "wl")
+        restored = Workload.load(tmp_path / "wl")
+        again = distributed_skyline(restored.partitions, 0.3)
+        assert again.answer.agrees_with(original.answer, tol=1e-12)
+        assert again.bandwidth == original.bandwidth
+
+
+class TestNyseWorkload:
+    def test_assembly(self):
+        wl = make_nyse_workload(n=400, sites=4, seed=6)
+        assert wl.cardinality == 400
+        assert wl.dimensionality == 2
+        assert wl.preference is not None
+
+    def test_empty_workload_dimensionality(self):
+        wl = Workload(name="empty", global_database=[], partitions=[[]])
+        assert wl.dimensionality == 0

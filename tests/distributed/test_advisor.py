@@ -1,0 +1,73 @@
+"""The cost-model algorithm advisor."""
+
+import pytest
+
+from repro.distributed.advisor import estimate_costs, recommend_algorithm
+
+
+class TestEstimates:
+    def test_ship_all_is_exact(self):
+        assert estimate_costs(40_000, 3, 20).ship_all == 40_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_costs(100, 2, 0)
+        with pytest.raises(ValueError):
+            estimate_costs(100, 2, 4, threshold=0.0)
+
+    def test_naive_grows_with_sites(self):
+        a = estimate_costs(40_000, 3, 10).naive
+        b = estimate_costs(40_000, 3, 40).naive
+        assert b > a
+
+    def test_ceiling_grows_with_dimensionality(self):
+        a = estimate_costs(40_000, 2, 20).ceiling
+        b = estimate_costs(40_000, 5, 20).ceiling
+        assert b > a
+
+    def test_threshold_shrinks_estimates(self):
+        low = estimate_costs(40_000, 3, 20, threshold=0.3)
+        high = estimate_costs(40_000, 3, 20, threshold=0.9)
+        assert high.ceiling < low.ceiling
+        assert high.naive < low.naive
+
+    def test_as_dict(self):
+        d = estimate_costs(1000, 2, 4).as_dict()
+        assert set(d) == {"ship-all", "naive", "ceiling"}
+
+
+class TestRecommendation:
+    def test_typical_workload_gets_edsud(self):
+        algorithm, _ = recommend_algorithm(40_000, 3, 20, threshold=0.3)
+        assert algorithm == "edsud"
+
+    def test_skyline_heavy_workload_gets_ship_all(self):
+        # Tiny partitions, high dimensionality, many sites: nearly every
+        # tuple is a skyline member and the ceiling swamps N.
+        algorithm, estimates = recommend_algorithm(2_000, 5, 100, threshold=0.1)
+        assert algorithm == "ship-all"
+        assert estimates.ceiling * 1.5 >= estimates.ship_all
+
+    def test_recommendation_tracks_reality(self):
+        """On concrete workloads the recommended strategy is not worse."""
+        from repro.data.workload import make_synthetic_workload
+        from repro.distributed.query import distributed_skyline
+
+        cases = [
+            dict(n=3000, d=2, sites=5, q=0.3),    # easy: edsud country
+            dict(n=400, d=4, sites=20, q=0.1),    # skyline-heavy: ship-all
+        ]
+        for case in cases:
+            algorithm, _ = recommend_algorithm(
+                case["n"], case["d"], case["sites"], case["q"]
+            )
+            wl = make_synthetic_workload(
+                n=case["n"], d=case["d"], sites=case["sites"], seed=17
+            )
+            chosen = distributed_skyline(wl.partitions, case["q"], algorithm=algorithm)
+            other_name = "ship-all" if algorithm == "edsud" else "edsud"
+            other = distributed_skyline(wl.partitions, case["q"], algorithm=other_name)
+            # Allow slack: these are planning estimates, not guarantees.
+            assert chosen.bandwidth <= other.bandwidth * 1.6, (
+                case, algorithm, chosen.bandwidth, other.bandwidth
+            )

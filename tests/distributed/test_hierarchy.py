@@ -1,0 +1,189 @@
+"""Hierarchical (two-tier) coordination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.distributed.dsud import DSUD
+from repro.distributed.edsud import EDSUD
+from repro.distributed.hierarchy import RegionCoordinator, build_regions
+from repro.distributed.query import build_sites, distributed_skyline
+
+from ..conftest import make_random_database
+
+
+def hierarchical_run(coordinator_cls, db, sites=6, region_size=3, q=0.3):
+    partitions = [db[i::sites] for i in range(sites)]
+    regions = build_regions(partitions, region_size)
+    result = coordinator_cls(regions, q).run()
+    return result, regions
+
+
+class TestConstruction:
+    def test_build_regions_groups_sites(self):
+        db = make_random_database(60, 2, seed=1)
+        regions = build_regions([db[i::6] for i in range(6)], region_size=2)
+        assert len(regions) == 3
+        assert all(len(r.sites) == 2 for r in regions)
+
+    def test_uneven_grouping(self):
+        db = make_random_database(50, 2, seed=2)
+        regions = build_regions([db[i::5] for i in range(5)], region_size=2)
+        assert [len(r.sites) for r in regions] == [2, 2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionCoordinator(1, [])
+        with pytest.raises(ValueError):
+            build_regions([[]], region_size=0)
+
+    def test_region_requires_prepare(self):
+        db = make_random_database(10, 2, seed=3)
+        region = build_regions([db], region_size=1)[0]
+        with pytest.raises(RuntimeError):
+            region.pop_representative()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("coordinator_cls", [DSUD, EDSUD])
+    def test_matches_centralized(self, coordinator_cls):
+        db = make_random_database(400, 2, seed=4, grid=10)
+        central = prob_skyline_sfs(db, 0.3)
+        result, _ = hierarchical_run(coordinator_cls, db)
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+    @pytest.mark.parametrize("region_size", [1, 2, 3, 6])
+    def test_any_region_size(self, region_size):
+        db = make_random_database(300, 2, seed=5, grid=10)
+        central = prob_skyline_sfs(db, 0.3)
+        result, _ = hierarchical_run(EDSUD, db, sites=6, region_size=region_size)
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+    def test_matches_flat_topology(self):
+        db = make_random_database(350, 2, seed=6, grid=10)
+        partitions = [db[i::6] for i in range(6)]
+        flat = distributed_skyline(partitions, 0.3, algorithm="edsud")
+        hierarchical, _ = hierarchical_run(EDSUD, db)
+        assert hierarchical.answer.agrees_with(flat.answer, tol=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        region_size=st.integers(min_value=1, max_value=4),
+        q=st.sampled_from([0.2, 0.4, 0.7]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, seed, region_size, q):
+        db = make_random_database(80, 2, seed=seed, grid=6)
+        central = prob_skyline_sfs(db, q)
+        partitions = [db[i::4] for i in range(4)]
+        regions = build_regions(partitions, region_size)
+        result = EDSUD(regions, q).run()
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+    def test_probabilities_are_exact(self):
+        db = make_random_database(250, 3, seed=7, grid=8)
+        central = prob_skyline_sfs(db, 0.3)
+        result, _ = hierarchical_run(EDSUD, db, sites=6, region_size=2)
+        for key, prob in result.answer.probabilities().items():
+            assert prob == pytest.approx(central.probabilities()[key])
+
+
+class TestRegionalQueueMechanics:
+    def test_root_feedback_prunes_regional_heap_and_refills(self):
+        """A root broadcast must evict dominated regional-heap entries
+        below q AND immediately pull replacements from their sites."""
+        from repro.core.tuples import UncertainTuple
+        from repro.distributed.query import build_sites
+
+        # Site A holds a strong survivor; site B's head is dominated by
+        # the incoming feedback and collapses below q; B's next tuple is
+        # clean and must surface.
+        site_a = [UncertainTuple(1, (0.0, 9.0), 0.9)]
+        site_b = [
+            UncertainTuple(2, (5.0, 5.0), 0.9),   # dominated by feedback
+            UncertainTuple(3, (9.0, 0.0), 0.8),   # incomparable, must surface
+        ]
+        region = RegionCoordinator(1000, build_sites([site_a, site_b]))
+        region.prepare(0.3)
+        feedback = UncertainTuple(100, (1.0, 1.0), 0.9)
+        reply = region.probe_and_prune(feedback)
+        assert reply.pruned >= 1
+        surfaced = []
+        while True:
+            quaternion = region.pop_representative()
+            if quaternion is None:
+                break
+            surfaced.append(quaternion.tuple.key)
+        assert 3 in surfaced          # the replacement arrived
+        assert 2 not in surfaced      # the dead candidate never escapes
+
+    def test_emitted_probabilities_are_regional(self):
+        """A representative's probability covers the whole region, so a
+        candidate dominated by a sibling site reports the product."""
+        from repro.core.tuples import UncertainTuple
+        from repro.distributed.query import build_sites
+
+        site_a = [UncertainTuple(1, (2.0, 2.0), 0.8)]
+        site_b = [UncertainTuple(2, (1.0, 1.0), 0.5)]  # dominates A's tuple
+        region = RegionCoordinator(1000, build_sites([site_a, site_b]))
+        region.prepare(0.1)
+        got = {}
+        while True:
+            quaternion = region.pop_representative()
+            if quaternion is None:
+                break
+            got[quaternion.tuple.key] = quaternion.local_probability
+            assert quaternion.site == 1000  # region speaks for itself
+        assert got[2] == pytest.approx(0.5)
+        assert got[1] == pytest.approx(0.8 * 0.5)  # sibling factor folded in
+
+    def test_emission_order_non_increasing(self):
+        """Corollary 1 at the root requires each endpoint's stream to be
+        sorted; the lazy max-heap must preserve that through resolution."""
+        db = make_random_database(240, 2, seed=11, grid=10)
+        from repro.distributed.query import build_sites
+
+        region = RegionCoordinator(
+            1000, build_sites([db[i::3] for i in range(3)])
+        )
+        region.prepare(0.2)
+        probs = []
+        while True:
+            quaternion = region.pop_representative()
+            if quaternion is None:
+                break
+            probs.append(quaternion.local_probability)
+        assert probs == sorted(probs, reverse=True)
+        assert len(probs) >= 3
+
+
+class TestTrafficSplit:
+    def test_wan_cheaper_than_flat(self):
+        """The whole point: fewer WAN endpoints, fewer WAN tuples."""
+        db = make_random_database(1500, 3, seed=8)
+        sites = 12
+        partitions = [db[i::sites] for i in range(sites)]
+        flat = distributed_skyline(partitions, 0.3, algorithm="edsud")
+        regions = build_regions(partitions, region_size=4)
+        hierarchical = EDSUD(regions, 0.3).run()
+        assert hierarchical.answer.agrees_with(flat.answer, tol=1e-9)
+        assert hierarchical.bandwidth < flat.bandwidth
+
+    def test_lan_traffic_tracked_separately(self):
+        db = make_random_database(300, 2, seed=9)
+        result, regions = hierarchical_run(EDSUD, db)
+        total_lan = sum(r.local_stats.tuples_transmitted for r in regions)
+        assert total_lan > 0
+        # WAN books never include the LAN messages.
+        assert result.stats.tuples_transmitted < total_lan + result.bandwidth + 1
+
+    def test_single_site_regions_equal_flat_wan(self):
+        """Degenerate regions (size 1) reproduce flat WAN accounting."""
+        db = make_random_database(300, 2, seed=10, grid=10)
+        partitions = [db[i::4] for i in range(4)]
+        flat = distributed_skyline(partitions, 0.3, algorithm="dsud")
+        regions = build_regions(partitions, region_size=1)
+        hierarchical = DSUD(regions, 0.3).run()
+        assert hierarchical.answer.agrees_with(flat.answer, tol=1e-9)
+        assert hierarchical.bandwidth == flat.bandwidth

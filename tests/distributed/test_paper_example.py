@@ -1,0 +1,159 @@
+"""The paper's §5.3 worked example (Table 2), reproduced end to end.
+
+Three hotel-booking sites (Qingdao, Shanghai, Xiamen), q = 0.3.  The
+paper tabulates each site's local skyline quaternions, the contents of
+the server's priority queue per iteration, which tuple is broadcast
+when, what gets pruned where, and the final SKY(H).  The databases
+below contain the listed candidates plus engineered low-confidence
+filler tuples that produce *exactly* the local skyline probabilities
+Table 2a prints.
+"""
+
+import pytest
+
+from repro.core.tuples import UncertainTuple
+from repro.distributed.edsud import EDSUD, EDSUDConfig
+from repro.distributed.site import LocalSite
+from repro.net.transport import RecordingEndpoint
+
+
+def build_sites(log=None):
+    qingdao = [
+        UncertainTuple(11, (6.0, 6.0), 0.7),
+        UncertainTuple(12, (8.0, 4.0), 0.8),
+        UncertainTuple(13, (3.0, 8.0), 0.8),
+        UncertainTuple(14, (5.9, 5.9), 1.0 - 0.65 / 0.7),
+        UncertainTuple(15, (7.9, 3.9), 0.25),
+        UncertainTuple(16, (2.9, 7.9), 1.0 - 0.625 ** 0.5),
+        UncertainTuple(17, (2.8, 7.8), 1.0 - 0.625 ** 0.5),
+    ]
+    shanghai = [
+        UncertainTuple(21, (6.5, 7.0), 0.8),
+        UncertainTuple(22, (4.0, 9.0), 0.6),
+        UncertainTuple(23, (9.0, 5.0), 0.7),
+        UncertainTuple(24, (6.4, 6.9), 1.0 - 0.65 / 0.8),
+        UncertainTuple(25, (8.9, 4.9), 1.0 - 0.6 / 0.7),
+    ]
+    xiamen = [
+        UncertainTuple(31, (6.4, 7.5), 0.9),
+        UncertainTuple(32, (3.5, 11.0), 0.7),
+        UncertainTuple(33, (10.0, 4.5), 0.7),
+        UncertainTuple(34, (6.3, 7.4), 1.0 - 0.8 / 0.9),
+    ]
+    sites = [
+        RecordingEndpoint(LocalSite(i, db), log=log)
+        for i, db in enumerate((qingdao, shanghai, xiamen))
+    ]
+    return sites
+
+
+class TestTable2aLocalSkylines:
+    """Each site's quaternions, digit for digit."""
+
+    @pytest.mark.parametrize(
+        "site_id,expected",
+        [
+            (0, [((6.0, 6.0), 0.7, 0.65), ((8.0, 4.0), 0.8, 0.6), ((3.0, 8.0), 0.8, 0.5)]),
+            (1, [((6.5, 7.0), 0.8, 0.65), ((4.0, 9.0), 0.6, 0.6), ((9.0, 5.0), 0.7, 0.6)]),
+            (2, [((6.4, 7.5), 0.9, 0.8), ((3.5, 11.0), 0.7, 0.7), ((10.0, 4.5), 0.7, 0.7)]),
+        ],
+    )
+    def test_local_skyline_quaternions(self, site_id, expected):
+        site = build_sites()[site_id]
+        assert site.prepare(0.3) == 3
+        got = []
+        while True:
+            q = site.pop_representative()
+            if q is None:
+                break
+            got.append((q.tuple.values, q.existential, q.local_probability))
+        # Values and existential probabilities are exact; local skyline
+        # probabilities match Table 2a to printed precision.
+        assert [(v, p) for v, p, _ in got] == [(v, p) for v, p, _ in expected]
+        for (_, _, actual), (_, _, want) in zip(got, expected):
+            assert actual == pytest.approx(want, abs=1e-9)
+
+
+class TestEDSUDTrace:
+    """The iteration-by-iteration behaviour of Tables 2b-2h."""
+
+    def run(self, **config_kwargs):
+        log = []
+        sites = build_sites(log=log)
+        coordinator = EDSUD(sites, 0.3, config=EDSUDConfig(**config_kwargs))
+        result = coordinator.run()
+        return result, log, coordinator
+
+    def test_broadcast_order_matches_paper(self):
+        """(6,6) then (8,4) then (3,8) — all from Qingdao."""
+        result, log, _ = self.run(server_expunge=False)
+        broadcast_keys = []
+        for call in log:
+            if call.method == "probe_and_prune":
+                if call.args[0].key not in broadcast_keys:
+                    broadcast_keys.append(call.args[0].key)
+        assert broadcast_keys == [11, 12, 13]
+
+    def test_three_iterations(self):
+        result, _, _ = self.run(server_expunge=False)
+        assert result.iterations == 3
+
+    def test_final_skyline_and_probabilities(self):
+        result, _, _ = self.run(server_expunge=False)
+        assert result.answer.keys() == [11, 12, 13]
+        probs = result.answer.probabilities()
+        assert probs[11] == pytest.approx(0.65, abs=1e-9)
+        assert probs[12] == pytest.approx(0.60, abs=1e-9)
+        assert probs[13] == pytest.approx(0.50, abs=1e-9)
+
+    def test_pruning_trace_matches_tables_2c_2e(self):
+        """(8,4) prunes (9,5) and (10,4.5); (3,8) prunes (4,9) and (3.5,11)."""
+        _, log, _ = self.run(server_expunge=False)
+        pruned_by = {}
+        for call in log:
+            if call.method == "probe_and_prune":
+                pruned_by.setdefault(call.args[0].key, 0)
+                pruned_by[call.args[0].key] += call.result.pruned
+        # (6,6)'s victims (6.5,7) and (6.4,7.5) are already resident at
+        # the server, so local pruning removes nothing for it...
+        assert pruned_by[11] == 0
+        # ...while the later broadcasts each prune one candidate per site.
+        assert pruned_by[12] == 2
+        assert pruned_by[13] == 2
+
+    def test_dead_residents_expire_without_broadcast(self):
+        """(6.5,7) and (6.4,7.5) end below q = 0.3 and are never resolved."""
+        result, log, _ = self.run(server_expunge=False)
+        broadcast = {c.args[0].key for c in log if c.method == "probe_and_prune"}
+        assert 21 not in broadcast
+        assert 31 not in broadcast
+        assert 21 not in result.answer
+        assert 31 not in result.answer
+
+    def test_corollary2_bounds_match_paper_numbers(self):
+        """P*((6.4,7.5)) = 0.8 x (0.65/0.7) x 0.3 ≈ 0.22 — the §5.3 number."""
+        from repro.core.probability import corollary2_bound
+
+        t66 = UncertainTuple(11, (6.0, 6.0), 0.7)
+        t6475 = UncertainTuple(31, (6.4, 7.5), 0.9)
+        t657 = UncertainTuple(21, (6.5, 7.0), 0.8)
+        resident = [(t66, 0, 0.65)]
+        assert corollary2_bound(t6475, 2, 0.8, resident) == pytest.approx(
+            0.8 * (0.65 / 0.7) * 0.3
+        )
+        assert corollary2_bound(t657, 1, 0.65, resident) == pytest.approx(
+            0.65 * (0.65 / 0.7) * 0.3, abs=5e-3
+        )
+
+    def test_eager_expunge_mode_same_answer(self):
+        """§5.2's eager expunge changes the trace, never the answer."""
+        eager, _, coordinator = self.run(server_expunge=True)
+        assert eager.answer.keys() == [11, 12, 13]
+        assert coordinator.expunged_total >= 1
+
+    def test_bandwidth_of_the_example(self):
+        """3 up (initial fill) + 2 refills + 3 broadcasts x 2 sites = 11."""
+        result, _, _ = self.run(server_expunge=False)
+        assert result.stats.tuples_to_server == 5
+        assert result.stats.tuples_from_server == 6
+        assert result.bandwidth == 11

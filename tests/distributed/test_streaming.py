@@ -1,0 +1,143 @@
+"""Distributed sliding-window skylines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.core.tuples import UncertainTuple
+from repro.distributed.streaming import DistributedStreamSkyline
+
+from ..conftest import make_random_database
+
+
+def stream_tuples(n, d=2, seed=0, start_key=0, grid=10):
+    return make_random_database(n, d, seed=seed, grid=grid, start_key=start_key)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedStreamSkyline(sites=0, window=5, threshold=0.3)
+        with pytest.raises(ValueError):
+            DistributedStreamSkyline(sites=2, window=0, threshold=0.3)
+
+    def test_starts_empty(self):
+        stream = DistributedStreamSkyline(sites=3, window=5, threshold=0.3)
+        assert len(stream.skyline()) == 0
+        assert stream.live_tuples() == []
+
+
+class TestWindowSemantics:
+    def test_window_fills_then_slides(self):
+        stream = DistributedStreamSkyline(sites=1, window=3, threshold=0.3)
+        tuples = stream_tuples(5, seed=1)
+        events = stream.drain(0, tuples)
+        assert [e.expired for e in events] == [
+            None, None, None, tuples[0].key, tuples[1].key,
+        ]
+        assert [t.key for t in stream.live_tuples(0)] == [t.key for t in tuples[2:]]
+
+    def test_windows_are_per_site(self):
+        stream = DistributedStreamSkyline(sites=2, window=2, threshold=0.3)
+        a = stream_tuples(3, seed=2, start_key=0)
+        b = stream_tuples(3, seed=3, start_key=100)
+        stream.drain(0, a)
+        stream.drain(1, b)
+        assert len(stream.live_tuples(0)) == 2
+        assert len(stream.live_tuples(1)) == 2
+
+    def test_bad_site_rejected(self):
+        stream = DistributedStreamSkyline(sites=2, window=2, threshold=0.3)
+        with pytest.raises(IndexError):
+            stream.arrive(5, UncertainTuple(1, (0.0, 0.0), 0.5))
+
+    def test_duplicate_keys_rejected(self):
+        stream = DistributedStreamSkyline(sites=1, window=5, threshold=0.3)
+        t = UncertainTuple(1, (0.0, 0.0), 0.5)
+        stream.arrive(0, t)
+        with pytest.raises(ValueError, match="unique"):
+            stream.arrive(0, UncertainTuple(1, (1.0, 1.0), 0.5))
+
+
+class TestStandingAnswer:
+    def _truth(self, stream):
+        return prob_skyline_sfs(stream.live_tuples(), stream.threshold)
+
+    def test_answer_tracks_live_tuples(self):
+        stream = DistributedStreamSkyline(sites=2, window=10, threshold=0.3)
+        rng = random.Random(4)
+        tuples = stream_tuples(40, seed=5)
+        for t in tuples:
+            stream.arrive(rng.randrange(2), t)
+            assert stream.skyline().agrees_with(self._truth(stream), tol=1e-6)
+
+    def test_expiry_recovers_suppressed_tuples(self):
+        """Once a dominator slides out, what it suppressed must surface."""
+        stream = DistributedStreamSkyline(sites=1, window=2, threshold=0.3)
+        dominator = UncertainTuple(1, (0.0, 0.0), 0.95)
+        hidden = UncertainTuple(2, (1.0, 1.0), 0.9)
+        filler = UncertainTuple(3, (5.0, 5.0), 0.5)
+        stream.arrive(0, dominator)
+        stream.arrive(0, hidden)
+        assert 2 not in stream.skyline()
+        event = stream.arrive(0, filler)  # expires the dominator
+        assert event.expired == 1
+        assert 2 in stream.skyline()
+        assert 2 in event.added
+
+    def test_events_report_net_changes(self):
+        stream = DistributedStreamSkyline(sites=1, window=3, threshold=0.3)
+        t1 = UncertainTuple(1, (5.0, 5.0), 0.9)
+        event = stream.arrive(0, t1)
+        assert event.changed_answer and event.added == [1]
+        t2 = UncertainTuple(2, (0.0, 0.0), 0.99)
+        event = stream.arrive(0, t2)
+        assert 1 in event.removed and 2 in event.added
+
+    def test_gaussian_probability_stream(self):
+        stream = DistributedStreamSkyline(sites=3, window=8, threshold=0.4)
+        rng = random.Random(6)
+        for key in range(60):
+            t = UncertainTuple(
+                key,
+                (rng.random(), rng.random()),
+                min(1.0, max(0.01, rng.gauss(0.6, 0.2))),
+            )
+            stream.arrive(rng.randrange(3), t)
+        assert stream.skyline().agrees_with(self._truth(stream), tol=1e-6)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        window=st.integers(min_value=1, max_value=6),
+        sites=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_standing_answer_property(self, seed, window, sites):
+        stream = DistributedStreamSkyline(sites=sites, window=window, threshold=0.3)
+        rng = random.Random(seed)
+        for t in stream_tuples(25, seed=seed, grid=6):
+            stream.arrive(rng.randrange(sites), t)
+        truth = prob_skyline_sfs(stream.live_tuples(), 0.3)
+        assert stream.skyline().agrees_with(truth, tol=1e-6)
+
+
+class TestAccounting:
+    def test_quiet_arrivals_cost_nothing(self):
+        """Tuples deep in dominated territory never touch the network."""
+        stream = DistributedStreamSkyline(sites=2, window=50, threshold=0.3)
+        stream.arrive(0, UncertainTuple(1, (0.0, 0.0), 0.99))
+        baseline = stream.stats.tuples_transmitted
+        for key in range(2, 30):
+            event = stream.arrive(
+                key % 2, UncertainTuple(key, (8.0 + key, 8.0 + key), 0.2)
+            )
+            assert event.tuples_transmitted == 0
+        assert stream.stats.tuples_transmitted == baseline
+
+    def test_event_log_grows(self):
+        stream = DistributedStreamSkyline(sites=1, window=3, threshold=0.3)
+        stream.drain(0, stream_tuples(5, seed=7))
+        assert len(stream.events) == 5

@@ -1,0 +1,75 @@
+"""§4's subspace extension, wired through the whole distributed stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import Direction, Preference
+from repro.core.prob_skyline import prob_skyline_brute_force
+from repro.distributed.query import distributed_skyline
+
+from ..conftest import make_random_database
+
+
+class TestSubspaceQueries:
+    @pytest.mark.parametrize("dims", [(0,), (1,), (0, 2), (2, 1), (0, 1, 2)])
+    def test_matches_central_subspace_answer(self, dims):
+        db = make_random_database(150, 3, seed=1, grid=8)
+        pref = Preference(subspace=dims)
+        partitions = [db[i::4] for i in range(4)]
+        central = prob_skyline_brute_force(db, 0.3, pref)
+        result = distributed_skyline(
+            partitions, 0.3, algorithm="edsud", preference=pref
+        )
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+    def test_subspace_answer_differs_from_full_space(self):
+        db = make_random_database(200, 3, seed=2, grid=8)
+        partitions = [db[i::3] for i in range(3)]
+        full = distributed_skyline(partitions, 0.3, algorithm="edsud")
+        sub = distributed_skyline(
+            partitions, 0.3, algorithm="edsud", preference=Preference(subspace=(0,))
+        )
+        assert set(sub.answer.keys()) != set(full.answer.keys())
+
+    def test_subspace_with_directions(self):
+        db = make_random_database(150, 3, seed=3, grid=8)
+        pref = Preference(
+            directions=(Direction.MIN, Direction.MAX, Direction.MAX),
+            subspace=(1, 2),
+        )
+        partitions = [db[i::3] for i in range(3)]
+        central = prob_skyline_brute_force(db, 0.3, pref)
+        for algorithm in ("dsud", "edsud", "naive"):
+            result = distributed_skyline(
+                partitions, 0.3, algorithm=algorithm, preference=pref
+            )
+            assert result.answer.agrees_with(central, tol=1e-9)
+
+    def test_single_dimension_subspace_probability_structure(self):
+        """On one dimension, the minimum tuple keeps its full existential."""
+        db = make_random_database(50, 2, seed=4)
+        pref = Preference(subspace=(0,))
+        partitions = [db[i::2] for i in range(2)]
+        result = distributed_skyline(
+            partitions, 0.05, algorithm="edsud", preference=pref
+        )
+        best = min(db, key=lambda t: t.values[0])
+        probs = result.answer.probabilities()
+        if best.probability >= 0.05:
+            assert probs[best.key] == pytest.approx(best.probability)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dims=st.sampled_from([(0,), (1, 0), (2, 0)]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_subspace_property(self, seed, dims):
+        db = make_random_database(60, 3, seed=seed, grid=6)
+        pref = Preference(subspace=dims)
+        partitions = [db[i::3] for i in range(3)]
+        central = prob_skyline_brute_force(db, 0.3, pref)
+        result = distributed_skyline(
+            partitions, 0.3, algorithm="edsud", preference=pref
+        )
+        assert result.answer.agrees_with(central, tol=1e-9)

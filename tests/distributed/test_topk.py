@@ -1,0 +1,101 @@
+"""Top-k probabilistic skyline (the ``limit=`` extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prob_skyline import prob_skyline_brute_force
+from repro.distributed.coordinator import TopKBuffer
+from repro.distributed.query import distributed_skyline
+
+from ..conftest import make_random_database
+
+
+def top_k_truth(db, q, k):
+    """The k most probable qualified tuples, centrally computed."""
+    answer = prob_skyline_brute_force(db, q)
+    return answer.keys()[:k], answer.probabilities()
+
+
+class TestTopKBuffer:
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            TopKBuffer(0)
+
+    def test_drains_in_probability_order(self):
+        from repro.core.tuples import UncertainTuple
+
+        buffer = TopKBuffer(3)
+        for key, p in ((1, 0.4), (2, 0.9), (3, 0.6)):
+            buffer.offer(UncertainTuple(key, (0.0,), 0.5), p)
+        emitted = []
+        done = buffer.drain(0.0, lambda t, p: emitted.append((t.key, p)))
+        assert done
+        assert [k for k, _ in emitted] == [2, 3, 1]
+
+    def test_cap_blocks_uncertain_emissions(self):
+        from repro.core.tuples import UncertainTuple
+
+        buffer = TopKBuffer(2)
+        buffer.offer(UncertainTuple(1, (0.0,), 0.5), 0.6)
+        emitted = []
+        done = buffer.drain(0.7, lambda t, p: emitted.append(t.key))
+        assert not done and emitted == []
+        done = buffer.drain(0.5, lambda t, p: emitted.append(t.key))
+        assert not done and emitted == [1]
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+class TestTopKQueries:
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_returns_k_most_probable(self, algorithm, k):
+        db = make_random_database(300, 2, seed=1, grid=10)
+        partitions = [db[i::4] for i in range(4)]
+        want_keys, probs = top_k_truth(db, 0.3, k)
+        result = distributed_skyline(partitions, 0.3, algorithm=algorithm, limit=k)
+        assert result.answer.keys() == want_keys
+        for key, p in result.answer.probabilities().items():
+            assert p == pytest.approx(probs[key])
+
+    def test_emission_order_is_descending_probability(self, algorithm):
+        db = make_random_database(250, 2, seed=2, grid=10)
+        partitions = [db[i::3] for i in range(3)]
+        result = distributed_skyline(partitions, 0.3, algorithm=algorithm, limit=5)
+        emitted = [e.global_probability for e in result.progress.events]
+        assert emitted == sorted(emitted, reverse=True)
+
+    def test_limit_larger_than_answer_returns_everything(self, algorithm):
+        db = make_random_database(150, 2, seed=3, grid=10)
+        partitions = [db[i::3] for i in range(3)]
+        full = distributed_skyline(partitions, 0.3, algorithm=algorithm)
+        limited = distributed_skyline(
+            partitions, 0.3, algorithm=algorithm, limit=10_000
+        )
+        assert limited.answer.agrees_with(full.answer, tol=1e-9)
+
+    def test_small_limit_saves_bandwidth(self, algorithm):
+        db = make_random_database(600, 3, seed=4, grid=12)
+        partitions = [db[i::5] for i in range(5)]
+        full = distributed_skyline(partitions, 0.2, algorithm=algorithm)
+        assert full.result_count > 5
+        top1 = distributed_skyline(partitions, 0.2, algorithm=algorithm, limit=1)
+        assert top1.bandwidth < full.bandwidth
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_topk_property(self, algorithm, seed, k):
+        db = make_random_database(80, 2, seed=seed, grid=6)
+        partitions = [db[i::3] for i in range(3)]
+        want_keys, probs = top_k_truth(db, 0.3, k)
+        result = distributed_skyline(partitions, 0.3, algorithm=algorithm, limit=k)
+        assert result.answer.keys() == want_keys
+
+
+class TestTopKValidation:
+    @pytest.mark.parametrize("algorithm", ["ship-all", "naive"])
+    def test_bulk_algorithms_reject_limit(self, algorithm):
+        with pytest.raises(ValueError, match="progressive"):
+            distributed_skyline([[]], 0.3, algorithm=algorithm, limit=3)

@@ -1,0 +1,187 @@
+"""§5.4 update maintenance: incremental vs naive vs ground truth."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.core.tuples import UncertainTuple
+from repro.data.workload import make_synthetic_workload
+from repro.distributed.query import build_sites
+from repro.distributed.updates import IncrementalMaintainer, NaiveMaintainer
+
+from ..conftest import make_random_database
+
+
+def fresh_maintainer(cls, n=300, m=4, q=0.3, seed=1):
+    db = make_random_database(n, 2, seed=seed, grid=10)
+    partitions = [db[i::m] for i in range(m)]
+    sites = build_sites(partitions)
+    return cls(sites, q), [list(p) for p in partitions], q
+
+
+def ground_truth(partitions, q):
+    union = [t for part in partitions for t in part]
+    return prob_skyline_sfs(union, q)
+
+
+class TestBootstrap:
+    @pytest.mark.parametrize("cls", [IncrementalMaintainer, NaiveMaintainer])
+    def test_initial_skyline_correct(self, cls):
+        maintainer, partitions, q = fresh_maintainer(cls)
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-9)
+
+    def test_replicas_installed_at_all_sites(self):
+        maintainer, _, _ = fresh_maintainer(IncrementalMaintainer)
+        keys = set(maintainer.sky)
+        for site in maintainer.sites:
+            assert set(site.sky_h_replica) == keys
+
+
+class TestIncrementalInsert:
+    def test_dominating_insert_shrinks_skyline(self):
+        maintainer, partitions, q = fresh_maintainer(IncrementalMaintainer, seed=2)
+        t = UncertainTuple(99_000, (0.0, 0.0), 0.95)
+        report = maintainer.insert(0, t)
+        partitions[0].append(t)
+        assert t.key in [m.key for m in maintainer.skyline()]
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-6)
+        assert report.added == [t.key]
+
+    def test_dominated_insert_is_local_only(self):
+        maintainer, partitions, q = fresh_maintainer(IncrementalMaintainer, seed=3)
+        before = maintainer.stats.tuples_transmitted
+        t = UncertainTuple(99_001, (11.0, 11.0), 0.05)
+        report = maintainer.insert(1, t)
+        partitions[1].append(t)
+        # Replica bound rejects it without any network tuples.
+        assert maintainer.stats.tuples_transmitted == before
+        assert not report.added
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-6)
+
+    def test_insert_reweights_existing_members(self):
+        maintainer, partitions, q = fresh_maintainer(IncrementalMaintainer, seed=4)
+        # A tuple dominating everything reweights every member.
+        t = UncertainTuple(99_002, (-1.0, -1.0), 0.5)
+        report = maintainer.insert(2, t)
+        partitions[2].append(t)
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-6)
+        assert report.reweighted or report.removed
+
+
+class TestIncrementalDelete:
+    def test_delete_member_removes_it(self):
+        maintainer, partitions, q = fresh_maintainer(IncrementalMaintainer, seed=5)
+        member_key = maintainer.skyline().keys()[0]
+        site_id = next(
+            s.site_id for s in maintainer.sites if s.contains(member_key)
+        )
+        report = maintainer.delete(site_id, member_key)
+        for part in partitions:
+            part[:] = [t for t in part if t.key != member_key]
+        assert member_key in report.removed
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-6)
+
+    def test_delete_suppressor_recovers_candidates(self):
+        """Removing a strong dominator must surface what it suppressed."""
+        strong = UncertainTuple(0, (0.0, 0.0), 0.95)
+        hidden = UncertainTuple(1, (1.0, 1.0), 0.9)   # bound 0.9*0.05 < q
+        filler = UncertainTuple(2, (9.0, 9.0), 0.5)
+        partitions = [[strong], [hidden], [filler]]
+        maintainer = IncrementalMaintainer(build_sites(partitions), 0.3)
+        assert [m.key for m in maintainer.skyline()] == [0]
+        report = maintainer.delete(0, 0)
+        assert 1 in report.added
+        assert set(maintainer.skyline().keys()) >= {1}
+
+    def test_delete_nonmember_nondominator_cheap(self):
+        maintainer, partitions, q = fresh_maintainer(IncrementalMaintainer, seed=6)
+        # A far-corner tuple dominates nothing and is no member.
+        t = UncertainTuple(99_003, (10.0, 10.0), 0.01)
+        maintainer.insert(0, t)
+        partitions[0].append(t)
+        report = maintainer.delete(0, t.key)
+        partitions[0].remove(t)
+        assert not report.added and not report.removed
+        assert maintainer.skyline().agrees_with(ground_truth(partitions, q), tol=1e-6)
+
+
+class TestMixedSequences:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_incremental_tracks_ground_truth(self, seed):
+        maintainer, partitions, q = fresh_maintainer(
+            IncrementalMaintainer, n=120, m=3, seed=seed
+        )
+        rng = random.Random(seed)
+        key = 1_000_000
+        for _ in range(15):
+            site_id = rng.randrange(3)
+            if rng.random() < 0.5 and partitions[site_id]:
+                victim = rng.choice(partitions[site_id])
+                partitions[site_id].remove(victim)
+                maintainer.delete(site_id, victim.key)
+            else:
+                t = UncertainTuple(
+                    key,
+                    (float(rng.randrange(10)), float(rng.randrange(10))),
+                    rng.random() * 0.99 + 0.01,
+                )
+                key += 1
+                partitions[site_id].append(t)
+                maintainer.insert(site_id, t)
+            assert maintainer.skyline().agrees_with(
+                ground_truth(partitions, q), tol=1e-6
+            )
+
+    def test_incremental_and_naive_agree(self):
+        wl = make_synthetic_workload(n=200, d=2, sites=3, seed=8)
+        inc = IncrementalMaintainer(build_sites(wl.partitions), 0.3)
+        naive = NaiveMaintainer(build_sites(wl.partitions), 0.3)
+        rng = random.Random(9)
+        live = [list(p) for p in wl.partitions]
+        key = 500_000
+        for _ in range(12):
+            site_id = rng.randrange(3)
+            if rng.random() < 0.5 and live[site_id]:
+                victim = rng.choice(live[site_id])
+                live[site_id].remove(victim)
+                inc.delete(site_id, victim.key)
+                naive.delete(site_id, victim.key)
+            else:
+                t = UncertainTuple(
+                    key, (rng.random(), rng.random()), rng.random() * 0.99 + 0.01
+                )
+                key += 1
+                live[site_id].append(t)
+                inc.insert(site_id, t)
+                naive.insert(site_id, t)
+        assert inc.skyline().agrees_with(naive.skyline(), tol=1e-6)
+
+    def test_incremental_much_cheaper_than_naive(self):
+        wl = make_synthetic_workload(n=400, d=2, sites=4, seed=10)
+        inc = IncrementalMaintainer(build_sites(wl.partitions), 0.3)
+        naive = NaiveMaintainer(build_sites(wl.partitions), 0.3)
+        rng = random.Random(11)
+        key = 600_000
+        for _ in range(10):
+            t = UncertainTuple(
+                key, (rng.random(), rng.random()), rng.random() * 0.99 + 0.01
+            )
+            key += 1
+            inc.insert(rng.randrange(4), t)
+            naive.insert(rng.randrange(4), t)
+        assert inc.stats.tuples_transmitted < naive.stats.tuples_transmitted / 2
+
+
+class TestReports:
+    def test_report_fields(self):
+        maintainer, _, _ = fresh_maintainer(IncrementalMaintainer, seed=12)
+        t = UncertainTuple(99_004, (0.5, 0.5), 0.5)
+        report = maintainer.insert(0, t)
+        assert report.operation == "insert"
+        assert report.key == t.key
+        assert report.seconds >= 0.0
+        assert report.tuples_transmitted >= 0

@@ -1,0 +1,74 @@
+"""Stateful property testing of §5.4 incremental maintenance.
+
+Hypothesis interleaves inserts and deletes across sites; after every
+operation the maintained SKY(H), its probabilities, and the replicas at
+every site must match a from-scratch centralized recomputation.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.core.tuples import UncertainTuple
+from repro.distributed.query import build_sites
+from repro.distributed.updates import IncrementalMaintainer
+
+SITES = 3
+values_strategy = st.tuples(
+    st.integers(min_value=0, max_value=7).map(float),
+    st.integers(min_value=0, max_value=7).map(float),
+)
+prob_strategy = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.maintainer = IncrementalMaintainer(
+            build_sites([[] for _ in range(SITES)]), threshold=0.3
+        )
+        self.live = [dict() for _ in range(SITES)]
+        self.next_key = 0
+
+    @rule(site=st.integers(min_value=0, max_value=SITES - 1),
+          values=values_strategy, prob=prob_strategy)
+    def insert(self, site, values, prob):
+        t = UncertainTuple(self.next_key, values, prob)
+        self.next_key += 1
+        self.live[site][t.key] = t
+        self.maintainer.insert(site, t)
+
+    @precondition(lambda self: any(self.live))
+    @rule(data=st.data())
+    def delete(self, data):
+        site = data.draw(
+            st.sampled_from([i for i in range(SITES) if self.live[i]])
+        )
+        key = data.draw(st.sampled_from(sorted(self.live[site])))
+        del self.live[site][key]
+        self.maintainer.delete(site, key)
+
+    @invariant()
+    def answer_matches_recompute(self):
+        union = [t for site in self.live for t in site.values()]
+        truth = prob_skyline_sfs(union, 0.3)
+        assert self.maintainer.skyline().agrees_with(truth, tol=1e-6)
+
+    @invariant()
+    def replicas_in_sync(self):
+        keys = set(self.maintainer.sky)
+        for site in self.maintainer.sites:
+            assert set(site.sky_h_replica) == keys
+
+
+MaintenanceMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestMaintenanceStateful = MaintenanceMachine.TestCase

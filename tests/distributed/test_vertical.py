@@ -1,0 +1,153 @@
+"""Vertical partitioning (the §8 future-work algorithm)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance import Preference
+from repro.core.prob_skyline import prob_skyline_brute_force
+from repro.core.tuples import UncertainTuple
+from repro.distributed.vertical import (
+    VerticalSite,
+    VerticalSkylineCoordinator,
+    vertical_partition,
+    vertical_skyline,
+)
+
+from ..conftest import make_random_database
+
+
+class TestVerticalSite:
+    def test_sorted_access_order(self):
+        site = VerticalSite(0, [(3.0, 1, 0.5), (1.0, 2, 0.5), (2.0, 3, 0.5)])
+        keys = [site.sorted_access(i)[0] for i in range(3)]
+        assert keys == [2, 3, 1]
+
+    def test_sorted_access_past_end(self):
+        site = VerticalSite(0, [(1.0, 1, 0.5)])
+        assert site.sorted_access(1) is None
+
+    def test_random_access(self):
+        site = VerticalSite(0, [(3.0, 1, 0.7)])
+        assert site.random_access(1) == (3.0, 0.7)
+
+    def test_count_and_keys_leq(self):
+        site = VerticalSite(0, [(1.0, 1, 0.5), (2.0, 2, 0.5), (2.0, 3, 0.5), (4.0, 4, 0.5)])
+        assert site.count_leq(2.0) == 3
+        keys = site.keys_leq(2.0)
+        assert set(keys) == {1, 2, 3}
+        assert keys[1] is True   # strictly below
+        assert keys[2] is False  # tie
+
+    def test_filter_leq_strictness_accumulates(self):
+        site = VerticalSite(1, [(5.0, 1, 0.5), (9.0, 2, 0.5)])
+        filtered = site.filter_leq({1: False, 2: False}, 5.0)
+        assert filtered == {1: False}
+        filtered = site.filter_leq({1: False}, 6.0)
+        assert filtered == {1: True}
+
+
+class TestPartitioning:
+    def test_one_site_per_dimension(self):
+        db = make_random_database(50, 3, seed=1)
+        sites = vertical_partition(db)
+        assert [s.dim for s in sites] == [0, 1, 2]
+        assert all(len(s) == 50 for s in sites)
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            vertical_partition([])
+
+    def test_preference_projection(self):
+        db = [UncertainTuple(0, (1.0, 2.0), 0.5)]
+        sites = vertical_partition(db, Preference.of("min,max"))
+        assert sites[1].random_access(0) == (-2.0, 0.5)
+
+
+class TestCoordinatorValidation:
+    def test_dimension_coverage_enforced(self):
+        site = VerticalSite(1, [(1.0, 1, 0.5)])
+        with pytest.raises(ValueError, match="dimensions"):
+            VerticalSkylineCoordinator([site], 0.3)
+
+    def test_threshold_validation(self):
+        db = make_random_database(10, 2, seed=2)
+        with pytest.raises(ValueError):
+            VerticalSkylineCoordinator(vertical_partition(db), 0.0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("q", [0.1, 0.3, 0.6, 0.9])
+    def test_matches_centralized(self, q):
+        db = make_random_database(200, 2, seed=3, grid=12)
+        central = prob_skyline_brute_force(db, q)
+        answer, stats = vertical_skyline(db, q)
+        assert answer.agrees_with(central, tol=1e-9)
+        assert stats.verified >= len(central)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_dimensionalities(self, d):
+        db = make_random_database(120, d, seed=d, grid=8)
+        central = prob_skyline_brute_force(db, 0.3)
+        answer, _ = vertical_skyline(db, 0.3)
+        assert answer.agrees_with(central, tol=1e-9)
+
+    def test_with_preference_keys_match(self):
+        db = make_random_database(150, 2, seed=5, grid=10)
+        pref = Preference.of("min,max")
+        central = prob_skyline_brute_force(db, 0.3, pref)
+        answer, _ = vertical_skyline(db, 0.3, pref)
+        assert set(answer.keys()) == set(central.keys())
+        assert answer.probabilities() == pytest.approx(central.probabilities())
+
+    def test_ties_everywhere(self):
+        db = [UncertainTuple(i, (1.0, 1.0), 0.6) for i in range(10)]
+        central = prob_skyline_brute_force(db, 0.3)
+        answer, _ = vertical_skyline(db, 0.3)
+        assert answer.agrees_with(central, tol=1e-9)
+
+    def test_dominance_chain(self):
+        db = [UncertainTuple(i, (float(i), float(i)), 0.9) for i in range(25)]
+        central = prob_skyline_brute_force(db, 0.3)
+        answer, _ = vertical_skyline(db, 0.3)
+        assert answer.agrees_with(central, tol=1e-9)
+
+    def test_single_tuple(self):
+        db = [UncertainTuple(0, (1.0, 2.0), 0.5)]
+        answer, _ = vertical_skyline(db, 0.3)
+        assert answer.keys() == [0]
+        assert answer.probabilities()[0] == pytest.approx(0.5)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        q=st.sampled_from([0.2, 0.4, 0.7, 1.0]),
+        d=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, seed, q, d):
+        db = make_random_database(60, d, seed=seed, grid=6)
+        if not db:
+            return
+        central = prob_skyline_brute_force(db, q)
+        answer, _ = vertical_skyline(db, q)
+        assert answer.agrees_with(central, tol=1e-9)
+
+
+class TestEfficiency:
+    def test_sorted_access_stops_early_on_easy_data(self):
+        """Correlated data with confident leaders: the unseen bound
+        collapses quickly, far before the columns are exhausted."""
+        db = [
+            UncertainTuple(i, (float(i), float(i)), 0.95) for i in range(2000)
+        ]
+        _, stats = vertical_skyline(db, 0.3)
+        assert stats.sorted_accesses < 2 * 2000  # far below d * N = 4000
+
+    def test_stats_populated(self):
+        db = make_random_database(100, 2, seed=7, grid=10)
+        _, stats = vertical_skyline(db, 0.3)
+        assert stats.sorted_accesses > 0
+        assert stats.candidates > 0
+        assert stats.total_entries == (
+            stats.sorted_accesses + stats.random_accesses + stats.dominator_entries
+        )

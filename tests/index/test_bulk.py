@@ -1,0 +1,113 @@
+"""STR bulk loading: packing quality and invariant preservation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bulk import even_chunks, str_bulk_load
+from repro.index.geometry import Rect
+from repro.index.prtree import PRTree
+from repro.index.rtree import IndexedItem, RTree
+
+from ..conftest import make_random_database
+
+
+def items_for(db):
+    return [IndexedItem(t.key, t.values, t.probability, payload=t) for t in db]
+
+
+class TestEvenChunks:
+    def test_even_split(self):
+        assert even_chunks(list(range(10)), 2) == [list(range(5)), list(range(5, 10))]
+
+    def test_uneven_sizes_differ_by_at_most_one(self):
+        chunks = even_chunks(list(range(17)), 5)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 17
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items_drops_empties(self):
+        chunks = even_chunks([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            even_chunks([1], 0)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=20))
+    def test_partition_property(self, n, k):
+        chunks = even_chunks(list(range(n)), k)
+        flat = [x for c in chunks for x in c]
+        assert flat == list(range(n))
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStrBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 15, 16, 17, 100, 1000])
+    def test_invariants_across_sizes(self, n):
+        db = make_random_database(n, 2, seed=n)
+        tree = str_bulk_load(RTree(max_entries=16), items_for(db))
+        assert len(tree) == n
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_dimensionalities(self, d):
+        db = make_random_database(300, d, seed=d)
+        tree = str_bulk_load(RTree(max_entries=8), items_for(db))
+        tree.check_invariants()
+        assert {i.key for i in tree.items()} == {t.key for t in db}
+
+    def test_requires_empty_tree(self):
+        db = make_random_database(10, 2, seed=1)
+        tree = RTree()
+        tree.insert(items_for(db)[0])
+        with pytest.raises(ValueError, match="empty"):
+            str_bulk_load(tree, items_for(db)[1:])
+
+    def test_height_near_optimal(self):
+        n, cap = 4096, 16
+        db = make_random_database(n, 2, seed=2)
+        tree = str_bulk_load(RTree(max_entries=cap), items_for(db))
+        optimal = math.ceil(math.log(n, cap))
+        assert tree.height <= optimal + 1
+
+    def test_search_after_bulk_load(self):
+        db = make_random_database(800, 3, seed=3)
+        tree = str_bulk_load(RTree(max_entries=12), items_for(db))
+        window = Rect((0.0, 0.0, 0.0), (0.5, 0.5, 0.5))
+        expected = {t.key for t in db if window.contains_point(t.values)}
+        assert {i.key for i in tree.search_window(window)} == expected
+
+    def test_mutations_after_bulk_load(self):
+        db = make_random_database(200, 2, seed=4)
+        tree = str_bulk_load(RTree(max_entries=8), items_for(db))
+        for t in db[:50]:
+            assert tree.delete(t.key, t.values)
+        extra = make_random_database(30, 2, seed=5, start_key=1000)
+        for item in items_for(extra):
+            tree.insert(item)
+        tree.check_invariants()
+        assert len(tree) == 180
+
+    def test_prtree_aggregates_populated(self):
+        """Bulk loading through the subclass hook fills P1/P2/products."""
+        db = make_random_database(500, 2, seed=6)
+        tree = PRTree.build(db, max_entries=8)
+        tree.check_invariants()
+        agg = tree.root.aggregate
+        assert agg.p_min == pytest.approx(min(t.probability for t in db))
+        assert agg.p_max == pytest.approx(max(t.probability for t in db))
+        expected_product = 1.0
+        for t in db:
+            expected_product *= 1.0 - t.probability
+        assert agg.non_occurrence == pytest.approx(expected_product, abs=1e-12)
+
+    @given(st.integers(min_value=0, max_value=500), st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_property(self, n, cap):
+        db = make_random_database(n, 2, seed=n + cap)
+        tree = str_bulk_load(RTree(max_entries=cap), items_for(db))
+        tree.check_invariants()

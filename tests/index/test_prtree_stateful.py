@@ -1,0 +1,77 @@
+"""Stateful property testing of the PR-tree under arbitrary workloads.
+
+Hypothesis drives random interleavings of insert/delete/probe against a
+dictionary model; every step the tree must answer probes exactly like a
+linear scan, and the structural invariants (MBRs, fill factors, uniform
+depth, P1/P2/product aggregates) must hold.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.probability import non_occurrence_product
+from repro.core.tuples import UncertainTuple
+from repro.index.prtree import PRTree
+
+values_strategy = st.tuples(
+    st.integers(min_value=0, max_value=8).map(float),
+    st.integers(min_value=0, max_value=8).map(float),
+)
+prob_strategy = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+class PRTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = PRTree(max_entries=4)
+        self.model = {}
+        self.next_key = 0
+
+    @rule(values=values_strategy, prob=prob_strategy)
+    def insert(self, values, prob):
+        t = UncertainTuple(self.next_key, values, prob)
+        self.next_key += 1
+        self.tree.add(t)
+        self.model[t.key] = t
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        t = self.model.pop(key)
+        assert self.tree.remove(t)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def probe_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        t = self.model[key]
+        expected = non_occurrence_product(t, self.model.values())
+        assert self.tree.dominators_product(t) == pytest.approx(expected, abs=1e-12)
+
+    @rule(values=values_strategy, prob=prob_strategy)
+    def probe_foreign(self, values, prob):
+        t = UncertainTuple(10_000_000, values, prob)
+        expected = non_occurrence_product(t, self.model.values())
+        assert self.tree.dominators_product(t) == pytest.approx(expected, abs=1e-12)
+
+    @invariant()
+    def structure_is_sound(self):
+        self.tree.check_invariants()
+
+    @invariant()
+    def contents_match_model(self):
+        assert {i.key for i in self.tree.items()} == set(self.model)
+
+
+PRTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestPRTreeStateful = PRTreeMachine.TestCase

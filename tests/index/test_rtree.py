@@ -1,0 +1,148 @@
+"""R-tree structure: insert, delete, split, search, and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.geometry import Rect
+from repro.index.rtree import IndexedItem, RTree
+
+from ..conftest import make_random_database
+
+
+def items_for(db):
+    return [IndexedItem(t.key, t.values, t.probability, payload=t) for t in db]
+
+
+def build_tree(n, seed=0, d=2, max_entries=8):
+    tree = RTree(max_entries=max_entries)
+    db = make_random_database(n, d, seed=seed)
+    for item in items_for(db):
+        tree.insert(item)
+    return tree, db
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+
+class TestInsert:
+    def test_growth_and_invariants(self):
+        tree, db = build_tree(300, seed=1)
+        assert len(tree) == 300
+        assert tree.height >= 2
+        tree.check_invariants()
+
+    def test_items_iteration_complete(self):
+        tree, db = build_tree(120, seed=2)
+        assert {i.key for i in tree.items()} == {t.key for t in db}
+
+    def test_duplicate_points_coexist(self):
+        tree = RTree(max_entries=4)
+        for i in range(20):
+            tree.insert(IndexedItem(i, (1.0, 1.0), 0.5))
+        assert len(tree) == 20
+        tree.check_invariants()
+
+    def test_root_split_produces_uniform_depth(self):
+        tree, _ = build_tree(500, seed=3, max_entries=4)
+        tree.check_invariants()  # includes uniform leaf depth
+        assert tree.height >= 4
+
+
+class TestSearch:
+    def test_window_search_matches_linear_scan(self):
+        tree, db = build_tree(250, seed=4)
+        window = Rect((0.2, 0.3), (0.7, 0.9))
+        expected = {t.key for t in db if window.contains_point(t.values)}
+        found = {i.key for i in tree.search_window(window)}
+        assert found == expected
+
+    def test_search_empty_tree(self):
+        tree = RTree()
+        assert list(tree.search_window(Rect((0.0,), (1.0,)))) == []
+
+    def test_find_existing(self):
+        tree, db = build_tree(100, seed=5)
+        target = db[42]
+        item = tree.find(target.key, target.values)
+        assert item is not None and item.key == target.key
+
+    def test_find_missing(self):
+        tree, _ = build_tree(50, seed=6)
+        assert tree.find(99999, (0.5, 0.5)) is None
+
+
+class TestDelete:
+    def test_delete_all_one_by_one(self):
+        tree, db = build_tree(150, seed=7, max_entries=6)
+        order = list(db)
+        random.Random(0).shuffle(order)
+        for i, t in enumerate(order):
+            assert tree.delete(t.key, t.values)
+            if i % 25 == 0:
+                tree.check_invariants()
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        tree, _ = build_tree(50, seed=8)
+        assert not tree.delete(99999, (0.5, 0.5))
+        assert len(tree) == 50
+
+    def test_delete_then_search_consistent(self):
+        tree, db = build_tree(120, seed=9)
+        removed = {t.key for t in db[:60]}
+        for t in db[:60]:
+            assert tree.delete(t.key, t.values)
+        tree.check_invariants()
+        remaining = {i.key for i in tree.items()}
+        assert remaining == {t.key for t in db} - removed
+
+    def test_root_collapse_after_mass_delete(self):
+        tree, db = build_tree(400, seed=10, max_entries=4)
+        high = tree.height
+        for t in db[:390]:
+            tree.delete(t.key, t.values)
+        tree.check_invariants()
+        assert tree.height < high
+
+
+class TestRandomizedWorkload:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_mixed_insert_delete_keeps_invariants(self, seed):
+        rng = random.Random(seed)
+        tree = RTree(max_entries=5)
+        live = {}
+        key = 0
+        for _ in range(rng.randrange(30, 120)):
+            if live and rng.random() < 0.4:
+                k = rng.choice(list(live))
+                assert tree.delete(k, live.pop(k))
+            else:
+                values = (float(rng.randrange(10)), float(rng.randrange(10)))
+                tree.insert(IndexedItem(key, values, 0.5))
+                live[key] = values
+                key += 1
+        tree.check_invariants()
+        assert {i.key for i in tree.items()} == set(live)
+
+    def test_aggregate_count_tracks_size(self):
+        tree, db = build_tree(200, seed=11)
+        assert tree.root.aggregate.count == 200
+        for t in db[:77]:
+            tree.delete(t.key, t.values)
+        assert tree.root.aggregate.count == 123

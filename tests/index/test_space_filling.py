@@ -1,0 +1,158 @@
+"""Space-filling curves and curve-based bulk loading."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bulk import curve_bulk_load
+from repro.index.prtree import PRTree
+from repro.index.rtree import IndexedItem, RTree
+from repro.index.space_filling import (
+    hilbert_coords,
+    hilbert_index,
+    morton_index,
+    quantize,
+)
+
+from ..conftest import make_random_database
+
+
+class TestQuantize:
+    def test_corners(self):
+        assert quantize((0.0, 0.0), (0.0, 0.0), (1.0, 1.0), 4) == (0, 0)
+        assert quantize((1.0, 1.0), (0.0, 0.0), (1.0, 1.0), 4) == (15, 15)
+
+    def test_out_of_domain_clamps(self):
+        assert quantize((-5.0,), (0.0,), (1.0,), 4) == (0,)
+        assert quantize((5.0,), (0.0,), (1.0,), 4) == (15,)
+
+    def test_degenerate_dimension(self):
+        assert quantize((3.0,), (3.0,), (3.0,), 4) == (0,)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize((0.5,), (0.0,), (1.0,), 0)
+
+
+class TestMorton:
+    def test_interleaving(self):
+        # x=01, y=10 -> bits y1 x1 y0 x0? our order is coords order, MSB first:
+        # bit1: (1,2): 1>>1=0, 2>>1=1 -> 01 ; bit0: 1&1=1, 2&1=0 -> 10 -> 0b0110=6
+        assert morton_index((1, 2), 2) == 6
+
+    def test_bijective_on_small_grid(self):
+        seen = set()
+        for coords in itertools.product(range(8), repeat=2):
+            seen.add(morton_index(coords, 3))
+        assert len(seen) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            morton_index((8,), 3)
+        with pytest.raises(ValueError):
+            morton_index((), 3)
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("d,bits", [(1, 4), (2, 3), (3, 2), (4, 2)])
+    def test_bijective_with_inverse(self, d, bits):
+        seen = set()
+        for coords in itertools.product(range(1 << bits), repeat=d):
+            idx = hilbert_index(coords, bits)
+            assert 0 <= idx < 1 << (d * bits)
+            assert idx not in seen
+            seen.add(idx)
+            assert hilbert_coords(idx, d, bits) == coords
+
+    @pytest.mark.parametrize("d,bits", [(2, 3), (2, 4), (3, 2)])
+    def test_adjacency_property(self, d, bits):
+        """Consecutive curve positions are Manhattan-distance-1 cells —
+        Hilbert's defining locality guarantee (Morton lacks it)."""
+        cells = {}
+        for coords in itertools.product(range(1 << bits), repeat=d):
+            cells[hilbert_index(coords, bits)] = coords
+        for i in range(len(cells) - 1):
+            a, b = cells[i], cells[i + 1]
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_morton_lacks_adjacency(self):
+        cells = {}
+        for coords in itertools.product(range(8), repeat=2):
+            cells[morton_index(coords, 3)] = coords
+        jumps = sum(
+            1
+            for i in range(63)
+            if sum(abs(x - y) for x, y in zip(cells[i], cells[i + 1])) > 1
+        )
+        assert jumps > 0
+
+    def test_inverse_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_coords(-1, 2, 3)
+        with pytest.raises(ValueError):
+            hilbert_coords(1 << 10, 2, 3)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=2, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, coords):
+        bits = 8
+        idx = hilbert_index(coords, bits)
+        assert hilbert_coords(idx, len(coords), bits) == tuple(coords)
+
+
+def items_for(db):
+    return [IndexedItem(t.key, t.values, t.probability, payload=t) for t in db]
+
+
+class TestCurveBulkLoad:
+    @pytest.mark.parametrize("curve", ["hilbert", "morton"])
+    @pytest.mark.parametrize("n", [0, 1, 17, 500])
+    def test_invariants(self, curve, n):
+        db = make_random_database(n, 2, seed=n + 1)
+        tree = curve_bulk_load(RTree(max_entries=8), items_for(db), curve=curve)
+        tree.check_invariants()
+        assert {i.key for i in tree.items()} == {t.key for t in db}
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError, match="unknown curve"):
+            curve_bulk_load(RTree(), [], curve="peano")
+
+    def test_requires_empty_tree(self):
+        db = make_random_database(5, 2, seed=2)
+        tree = RTree()
+        tree.insert(items_for(db)[0])
+        with pytest.raises(ValueError, match="empty"):
+            curve_bulk_load(tree, items_for(db)[1:])
+
+    def test_prtree_aggregates_through_curve_load(self):
+        db = make_random_database(300, 3, seed=3)
+        tree = curve_bulk_load(PRTree(), items_for(db), curve="hilbert")
+        tree.check_invariants()
+        from repro.core.probability import non_occurrence_product
+
+        for t in db[::29]:
+            assert tree.dominators_product(t) == pytest.approx(
+                non_occurrence_product(t, db), abs=1e-12
+            )
+
+    def test_hilbert_leaves_tighter_than_morton(self):
+        """Locality pays: Hilbert leaf MBRs cover less area on average."""
+        db = make_random_database(4000, 2, seed=4)
+
+        def mean_leaf_area(curve):
+            tree = curve_bulk_load(RTree(max_entries=16), items_for(db), curve=curve)
+            leaves = []
+            stack = [tree.root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    leaves.append(node.rect.area())
+                else:
+                    stack.extend(node.entries)
+            return sum(leaves) / len(leaves)
+
+        assert mean_leaf_area("hilbert") <= mean_leaf_area("morton") * 1.05

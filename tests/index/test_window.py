@@ -1,0 +1,80 @@
+"""§6.3 window-query helpers vs their linear-scan references."""
+
+import pytest
+
+from repro.core.dominance import Preference
+from repro.core.tuples import UncertainTuple
+from repro.index.prtree import PRTree
+from repro.index.window import (
+    dominance_window,
+    linear_dominators,
+    linear_dominators_product,
+    window_tuples,
+)
+
+from ..conftest import make_random_database
+
+
+class TestDominanceWindow:
+    def test_window_spans_origin_to_target(self):
+        db = make_random_database(50, 2, seed=1, grid=10)
+        tree = PRTree.build(db)
+        target = UncertainTuple(999, (5.0, 5.0), 0.5)
+        window = dominance_window(tree, target)
+        assert window.upper == (5.0, 5.0)
+        assert window.lower == tree.root.rect.lower
+
+    def test_empty_tree_degenerate_window(self):
+        tree = PRTree()
+        target = UncertainTuple(999, (5.0, 5.0), 0.5)
+        window = dominance_window(tree, target)
+        assert window.lower == window.upper == (5.0, 5.0)
+
+    def test_window_respects_preference_projection(self):
+        db = make_random_database(50, 2, seed=2, grid=10)
+        pref = Preference.of("min,max")
+        tree = PRTree.build(db, preference=pref)
+        target = UncertainTuple(999, (5.0, 5.0), 0.5)
+        window = dominance_window(tree, target)
+        assert window.upper == (5.0, -5.0)
+
+
+class TestWindowTuples:
+    def test_matches_linear_reference(self):
+        db = make_random_database(300, 2, seed=3, grid=8)
+        tree = PRTree.build(db)
+        for t in db[::29]:
+            expected = {s.key for s in linear_dominators(db, t)}
+            assert {s.key for s in window_tuples(tree, t)} == expected
+
+    def test_refinement_drops_window_ties(self):
+        """The rectangular window over-approximates; ties must be filtered."""
+        db = [
+            UncertainTuple(0, (1.0, 1.0), 0.5),  # the target's own point
+            UncertainTuple(1, (1.0, 0.5), 0.5),  # dominates
+            UncertainTuple(2, (1.0, 1.0), 0.5),  # tie: inside window, no dominance
+        ]
+        tree = PRTree.build(db)
+        assert {s.key for s in window_tuples(tree, db[0])} == {1}
+
+    def test_with_preference(self):
+        db = make_random_database(150, 2, seed=4, grid=8)
+        pref = Preference.of("max,min")
+        tree = PRTree.build(db, preference=pref)
+        for t in db[::17]:
+            expected = {s.key for s in linear_dominators(db, t, pref)}
+            assert {s.key for s in window_tuples(tree, t)} == expected
+
+
+class TestLinearReferences:
+    def test_product_reference_matches_tree(self):
+        db = make_random_database(200, 3, seed=5, grid=8)
+        tree = PRTree.build(db)
+        for t in db[::31]:
+            assert tree.dominators_product(t) == pytest.approx(
+                linear_dominators_product(db, t), abs=1e-12
+            )
+
+    def test_product_of_no_dominators(self):
+        db = [UncertainTuple(0, (0.0, 1.0), 0.5), UncertainTuple(1, (1.0, 0.0), 0.5)]
+        assert linear_dominators_product(db, db[0]) == 1.0

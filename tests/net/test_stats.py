@@ -1,0 +1,79 @@
+"""Bandwidth accounting and progressiveness logging."""
+
+import pytest
+
+from repro.net.message import Message, MessageKind
+from repro.net.stats import LatencyModel, NetworkStats, ProgressLog
+
+
+class TestLatencyModel:
+    def test_round_cost(self):
+        model = LatencyModel(round_latency=0.01, per_tuple=0.001)
+        assert model.round_cost(0) == pytest.approx(0.01)
+        assert model.round_cost(10) == pytest.approx(0.02)
+
+
+class TestNetworkStats:
+    def test_direction_split(self):
+        stats = NetworkStats()
+        stats.record(Message.bearing(MessageKind.REPRESENTATIVE, "site-1", "server", None))
+        stats.record(Message.bearing(MessageKind.FEEDBACK, "server", "site-2", None))
+        stats.record(Message.bearing(MessageKind.FEEDBACK, "server", "site-3", None))
+        assert stats.tuples_to_server == 1
+        assert stats.tuples_from_server == 2
+        assert stats.tuples_transmitted == 3
+        assert stats.messages == 3
+
+    def test_control_messages_free(self):
+        stats = NetworkStats()
+        stats.record(Message.bearing(MessageKind.PROBE_REPLY, "site-1", "server", None))
+        assert stats.tuples_transmitted == 0
+        assert stats.messages == 1
+
+    def test_by_kind_breakdown(self):
+        stats = NetworkStats()
+        for _ in range(3):
+            stats.record(Message.bearing(MessageKind.FEEDBACK, "server", "site-1", None))
+        assert stats.by_kind["feedback"] == 3
+
+    def test_simulated_clock(self):
+        stats = NetworkStats(latency_model=LatencyModel(0.1, 0.01))
+        stats.record_round(tuples_in_round=5)
+        stats.record_round(tuples_in_round=0)
+        assert stats.rounds == 2
+        assert stats.simulated_time == pytest.approx(0.1 + 0.05 + 0.1)
+
+    def test_snapshot(self):
+        stats = NetworkStats()
+        stats.record(Message.bearing(MessageKind.DATA, "site-1", "server", None))
+        snap = stats.snapshot()
+        assert snap["tuples_transmitted"] == 1
+        assert snap["messages"] == 1
+
+
+class TestProgressLog:
+    def test_events_accumulate_with_indices(self):
+        stats = NetworkStats()
+        log = ProgressLog()
+        stats.record(Message.bearing(MessageKind.FEEDBACK, "server", "site-1", None))
+        log.report(key=5, probability=0.8, stats=stats)
+        stats.record(Message.bearing(MessageKind.FEEDBACK, "server", "site-1", None))
+        log.report(key=9, probability=0.6, stats=stats)
+        assert len(log) == 2
+        assert [e.result_index for e in log.events] == [1, 2]
+        assert log.bandwidth_series() == [1, 2]
+
+    def test_cpu_series_monotone(self):
+        stats = NetworkStats()
+        log = ProgressLog()
+        for key in range(5):
+            sum(range(10_000))  # burn a little CPU
+            log.report(key=key, probability=0.5, stats=stats)
+        series = log.cpu_series()
+        assert series == sorted(series)
+        assert all(s >= 0.0 for s in series)
+
+    def test_restart_clock(self):
+        log = ProgressLog()
+        log.restart_clock()
+        assert log.cpu_elapsed() < 1.0

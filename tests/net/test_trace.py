@@ -1,0 +1,71 @@
+"""Protocol tracing."""
+
+import pytest
+
+from repro.distributed.edsud import EDSUD
+from repro.distributed.site import LocalSite
+from repro.net.trace import ProtocolTracer, load_trace, summarize_trace
+
+from ..conftest import make_random_database
+
+
+def traced_run(m=3, n=180, q=0.3, seed=1):
+    db = make_random_database(n, 2, seed=seed, grid=10)
+    tracer = ProtocolTracer()
+    sites = tracer.wrap([LocalSite(i, db[i::m]) for i in range(m)])
+    result = EDSUD(sites, q).run()
+    return tracer, result
+
+
+class TestTracer:
+    def test_records_every_protocol_phase(self):
+        tracer, _ = traced_run()
+        methods = {r.method for r in tracer.records}
+        assert {"prepare", "pop_representative", "probe_and_prune"} <= methods
+
+    def test_sequence_and_timestamps_monotone(self):
+        tracer, _ = traced_run()
+        seqs = [r.sequence for r in tracer.records]
+        times = [r.timestamp for r in tracer.records]
+        assert seqs == list(range(len(seqs)))
+        assert times == sorted(times)
+
+    def test_wrapping_preserves_the_answer(self):
+        from repro.core.prob_skyline import prob_skyline_sfs
+
+        db = make_random_database(180, 2, seed=2, grid=10)
+        tracer = ProtocolTracer()
+        sites = tracer.wrap([LocalSite(i, db[i::3]) for i in range(3)])
+        result = EDSUD(sites, 0.3).run()
+        assert result.answer.agrees_with(prob_skyline_sfs(db, 0.3), tol=1e-9)
+        assert len(tracer) > 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        tracer, _ = traced_run(seed=3)
+        path = tmp_path / "run.trace.jsonl"
+        tracer.save(path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(tracer.records)
+        assert loaded[0] == tracer.records[0]
+        assert loaded[-1] == tracer.records[-1]
+
+    def test_passthrough_extra_methods(self):
+        db = make_random_database(30, 2, seed=4)
+        tracer = ProtocolTracer()
+        (endpoint,) = tracer.wrap([LocalSite(0, db)])
+        assert len(endpoint.ship_all()) == 30  # not traced, still works
+
+
+class TestSummary:
+    def test_summary_consistent_with_run_stats(self):
+        tracer, result = traced_run(seed=5)
+        summary = summarize_trace(tracer.records)
+        assert summary["tuples_fetched"] == result.stats.tuples_to_server
+        assert summary["broadcast_deliveries"] == result.stats.tuples_from_server
+        assert summary["calls"] == len(tracer.records)
+        assert set(summary["by_site"]) == {0, 1, 2}
+
+    def test_empty_trace_summary(self):
+        summary = summarize_trace([])
+        assert summary["calls"] == 0
+        assert summary["duration"] == 0.0

@@ -1,0 +1,64 @@
+"""The endpoint contract and the recording decorator."""
+
+from repro.distributed.site import LocalSite
+from repro.net.transport import RecordingEndpoint, SiteEndpoint
+
+from ..conftest import make_random_database
+
+
+def make_endpoint(seed=1):
+    db = make_random_database(60, 2, seed=seed, grid=8)
+    return RecordingEndpoint(LocalSite(0, db)), db
+
+
+class TestProtocolConformance:
+    def test_local_site_satisfies_endpoint_protocol(self):
+        site = LocalSite(0, make_random_database(10, 2, seed=1))
+        assert isinstance(site, SiteEndpoint)
+
+    def test_recording_endpoint_satisfies_protocol(self):
+        endpoint, _ = make_endpoint()
+        assert isinstance(endpoint, SiteEndpoint)
+
+
+class TestRecordingEndpoint:
+    def test_calls_forwarded_and_logged(self):
+        endpoint, _ = make_endpoint()
+        size = endpoint.prepare(0.3)
+        q = endpoint.pop_representative()
+        assert size >= 1 and q is not None
+        methods = [c.method for c in endpoint.log]
+        assert methods == ["prepare", "pop_representative"]
+        assert endpoint.log[0].result == size
+        assert endpoint.log[1].result == q
+
+    def test_probe_and_prune_logged_with_args(self):
+        endpoint, db = make_endpoint()
+        endpoint.prepare(0.3)
+        foreign = db[0]
+        reply = endpoint.probe_and_prune(foreign)
+        record = endpoint.log[-1]
+        assert record.method == "probe_and_prune"
+        assert record.args == (foreign,)
+        assert record.result is reply
+
+    def test_shared_log_across_endpoints(self):
+        log = []
+        db = make_random_database(40, 2, seed=2)
+        a = RecordingEndpoint(LocalSite(0, db[:20]), log=log)
+        b = RecordingEndpoint(LocalSite(1, db[20:]), log=log)
+        a.prepare(0.5)
+        b.prepare(0.5)
+        assert [c.site_id for c in log] == [0, 1]
+
+    def test_passthrough_of_extra_methods(self):
+        endpoint, db = make_endpoint()
+        # ship_all is not part of the recorded surface but must still work
+        assert len(endpoint.ship_all()) == len(db)
+
+    def test_queue_size_recorded(self):
+        endpoint, _ = make_endpoint()
+        endpoint.prepare(0.3)
+        n = endpoint.queue_size()
+        assert endpoint.log[-1].method == "queue_size"
+        assert endpoint.log[-1].result == n
