@@ -14,7 +14,7 @@ import sys
 import time
 
 from .experiments import ALL_FIGURES
-from .harness import SCALES
+from .harness import SCALES, enable_chaos
 from .reporting import render_figure
 
 
@@ -37,7 +37,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list figure ids and exit")
     parser.add_argument("--out", default=None, help="also append output to this file")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run progressive algorithms under a deterministic "
+        "fail-then-recover fault plan (site 0), measuring the "
+        "fault-tolerance machinery's overhead",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="fault-plan seed (with --chaos)"
+    )
     args = parser.parse_args(argv)
+    if args.chaos:
+        enable_chaos(seed=args.chaos_seed)
 
     if args.list:
         for name, fn in ALL_FIGURES.items():
@@ -51,7 +63,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown figures: {unknown}; use --list")
 
     scale = SCALES[args.scale]
-    print(f"# {scale.describe()}")
+    suffix = " [chaos]" if args.chaos else ""
+    print(f"# {scale.describe()}{suffix}")
     blocks = []
     for name in wanted:
         start = time.perf_counter()

@@ -17,9 +17,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..core.cardinality import (
     expected_feedback_tuples,

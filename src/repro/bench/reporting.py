@@ -7,7 +7,7 @@ factor, where the lines cross" can be read straight off.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from .harness import FigureResult, Series
 

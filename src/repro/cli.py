@@ -31,7 +31,7 @@ import numpy as np
 from .core.dominance import Preference
 from .core.cardinality import expected_skyline_cardinality
 from .core.skyline import skyline
-from .core.tuples import UncertainTuple, tuples_from_arrays, validate_database
+from .core.tuples import tuples_from_arrays, validate_database
 from .data.io import load_tuples, save_tuples
 from .data.nyse import attach_uncertainty, generate_nyse_trades
 from .data.partition import (
@@ -107,6 +107,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE",
         help="dump the full protocol conversation as JSONL",
     )
+    query.add_argument(
+        "--chaos",
+        choices=["crash", "recover", "timeout", "flaky"],
+        default=None,
+        help="inject a deterministic site fault: permanent crash, "
+        "fail-then-recover window, transient timeouts, or flaky-p drops",
+    )
+    query.add_argument(
+        "--chaos-site", type=int, default=0, metavar="I",
+        help="site the fault targets (default 0)",
+    )
+    query.add_argument(
+        "--chaos-at", type=int, default=8, metavar="CALL",
+        help="per-site RPC index at which the fault starts (default 8)",
+    )
+    query.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for flaky-p draws and retry jitter",
+    )
 
     info = sub.add_parser("info", help="describe a relation file")
     info.add_argument("data", help="relation file (.csv or .jsonl)")
@@ -155,6 +174,25 @@ def _parse_preference(args: argparse.Namespace) -> Optional[Preference]:
     return Preference(directions=directions, subspace=subspace)
 
 
+def _build_chaos(args: argparse.Namespace):
+    """Translate the --chaos flags into (FaultSchedule, RetryPolicy)."""
+    from .fault.retry import RetryPolicy
+    from .fault.schedule import FaultSchedule
+
+    schedule = FaultSchedule(seed=args.chaos_seed)
+    site, at = args.chaos_site, args.chaos_at
+    if args.chaos == "crash":
+        schedule.crash(site, at_call=at)
+    elif args.chaos == "recover":
+        schedule.crash(site, at_call=at, until_call=at + 8)
+    elif args.chaos == "timeout":
+        schedule.timeout(site, at_call=at, until_call=at + 3)
+    elif args.chaos == "flaky":
+        schedule.flaky(site, probability=0.2)
+    policy = RetryPolicy(max_attempts=3, base_backoff=0.01, seed=args.chaos_seed)
+    return schedule, policy
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     tuples = load_tuples(args.data)
     if not tuples:
@@ -162,6 +200,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
     preference = _parse_preference(args)
     partitions = _PARTITIONERS[args.partition](tuples, args.sites, args.seed)
+    chaos_kwargs = {}
+    if args.chaos:
+        if args.algorithm not in ("dsud", "edsud"):
+            print("--chaos requires a progressive algorithm (dsud/edsud)")
+            return 2
+        schedule, policy = _build_chaos(args)
+        chaos_kwargs = {"fault_schedule": schedule, "retry_policy": policy}
     if args.trace:
         from .distributed.query import ALGORITHMS, build_sites
         from .net.trace import ProtocolTracer, summarize_trace
@@ -170,6 +215,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         sites = tracer.wrap(build_sites(partitions, preference=preference))
         coordinator_cls = ALGORITHMS[args.algorithm]
         kwargs = {"limit": args.limit} if args.algorithm in ("dsud", "edsud") else {}
+        if chaos_kwargs:
+            from .fault.injection import FaultyEndpoint
+
+            sites = [
+                FaultyEndpoint(s, chaos_kwargs["fault_schedule"]) for s in sites
+            ]
+            kwargs["retry_policy"] = chaos_kwargs["retry_policy"]
         result = coordinator_cls(sites, args.threshold, preference, **kwargs).run()
         tracer.save(args.trace)
         summary = summarize_trace(tracer.records)
@@ -182,12 +234,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             preference=preference,
             limit=args.limit,
+            **chaos_kwargs,
         )
     print(result.summary())
     print(
         f"simulated network time: {result.stats.simulated_time:.3f}s over "
         f"{result.stats.rounds} rounds"
     )
+    if args.chaos:
+        stats = result.stats
+        print(
+            f"chaos: failures={stats.rpc_failures} retries={stats.rpc_retries} "
+            f"sites lost={stats.sites_lost} recovered={stats.sites_recovered}"
+        )
+        coverage = result.coverage
+        if coverage is not None and coverage.degraded:
+            print("degraded tuples (Corollary-1 upper bounds):")
+            for key, (bound, contributing) in sorted(coverage.degraded.items()):
+                print(
+                    f"  key={key} upper_bound={bound:.4f} "
+                    f"contributing_sites={list(contributing)}"
+                )
     print()
     shown = list(result.answer)[: args.max_print]
     width = max((len(str(m.key)) for m in shown), default=3)
@@ -234,7 +301,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         off = [corr[i][j] for i in range(d) for j in range(d) if i < j]
         print(f"mean pairwise correlation: {sum(off) / len(off):+.3f}")
     layers = skyline_layers(sample, max_layers=5)
-    print(f"skyline layer sizes (first 5): {[len(l) for l in layers]}")
+    print(f"skyline layer sizes (first 5): {[len(layer) for layer in layers]}")
     dom = dominance_profile(sample, sample=min(200, n))
     print(
         f"dominators per tuple (sampled): mean={dom['mean_dominators']:.1f} "

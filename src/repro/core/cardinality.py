@@ -32,7 +32,7 @@ feedback must earn its bandwidth through pruning.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Optional
 
 __all__ = [
     "expected_skyline_cardinality",

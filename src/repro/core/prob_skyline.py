@@ -20,7 +20,7 @@ distributed layers' result reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .dominance import Preference, dominates
 from .probability import skyline_probability

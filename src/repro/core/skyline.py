@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from .dominance import Preference, dominates, dominates_values
+from .dominance import Preference, dominates
 from .tuples import UncertainTuple
 
 __all__ = [

@@ -23,7 +23,7 @@ planning done with :mod:`repro.distributed.advisor`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .dominance import Preference, dominates

@@ -14,7 +14,7 @@ collections of tuples from plain Python data or numpy arrays.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = [

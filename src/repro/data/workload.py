@@ -9,7 +9,7 @@ seed so every algorithm in a comparison sees byte-identical data.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

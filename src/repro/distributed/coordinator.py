@@ -9,15 +9,40 @@ against the paper's bandwidth metric.  The concrete algorithms
 (:mod:`~repro.distributed.baseline`, :mod:`~repro.distributed.naive`,
 :mod:`~repro.distributed.dsud`, :mod:`~repro.distributed.edsud`)
 subclass it and supply only their iteration policy.
+
+Fault tolerance
+---------------
+Every coordinator→site RPC goes through :meth:`_rpc`, which retries
+transport faults under an optional :class:`~repro.fault.retry.RetryPolicy`
+and, when retries are exhausted, escalates to the per-site lifecycle
+FSM (:class:`~repro.fault.fsm.ClusterHealth`) instead of raising.  A
+DOWN site is excluded from subsequent rounds; the factors it can no
+longer contribute are tracked by a
+:class:`~repro.fault.coverage.CoverageTracker`, so every affected
+result carries its Corollary-1 upper bound and the set of sites that
+did contribute.  Run loops call :meth:`poll_recoveries` once per
+iteration: a DOWN site that answers a liveness probe is re-probed for
+every factor it owes (tightening — possibly retracting — degraded
+results) and handed back to the iteration policy via the sites list
+the poll returns.  On a healthy run none of this machinery sends a
+single extra message, so accounting stays bit-identical to the
+fault-oblivious protocol.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import heapq
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
 from ..core.tuples import UncertainTuple
+from ..fault.coverage import CoverageTracker
+from ..fault.errors import RETRYABLE_FAULTS
+from ..fault.fsm import ClusterHealth
+from ..fault.retry import RetryPolicy, call_with_retry
 from ..net.message import Message, MessageKind, Quaternion
 from ..net.stats import LatencyModel, NetworkStats, ProgressLog
 from ..net.transport import SiteEndpoint
@@ -48,14 +73,10 @@ class TopKBuffer:
         self._heap: List = []
 
     def offer(self, t: UncertainTuple, probability: float) -> None:
-        import heapq
-
         heapq.heappush(self._heap, (-probability, t.key, t))
 
     def drain(self, remaining_cap: float, report) -> bool:
         """Emit everything provably next-best; True once the limit is hit."""
-        import heapq
-
         while self._heap and self.emitted < self.limit:
             probability = -self._heap[0][0]
             if probability < remaining_cap:
@@ -82,6 +103,7 @@ class Coordinator:
         preference: Optional[Preference] = None,
         latency_model: Optional[LatencyModel] = None,
         parallel_broadcast: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not sites:
             raise ValueError("a distributed query needs at least one site")
@@ -100,17 +122,80 @@ class Coordinator:
         #: Accounting is unaffected either way — the simulated clock
         #: already treats a broadcast as one parallel round.
         self.parallel_broadcast = parallel_broadcast
+        #: ``None`` keeps single-attempt semantics: the first transport
+        #: fault marks the site DOWN.  A policy inserts retries (with
+        #: backoff) between the fault and that escalation.
+        self.retry_policy = retry_policy
+        self.health = ClusterHealth(s.site_id for s in self.sites)
+        self.coverage = CoverageTracker(s.site_id for s in self.sites)
+        self._site_by_id = {s.site_id: s for s in self.sites}
+        self._prepared: set = set()
+
+    # ------------------------------------------------------------------
+    # the fault-tolerant RPC funnel
+    # ------------------------------------------------------------------
+
+    def _rpc(
+        self, site: SiteEndpoint, label: str, call: Callable[[], object]
+    ) -> Tuple[bool, object]:
+        """Invoke one site RPC; never raises transport faults.
+
+        Returns ``(True, value)`` on success.  On a terminal transport
+        fault the site is marked DOWN and ``(False, None)`` is returned
+        — the caller degrades instead of unwinding.
+        """
+        site_id = site.site_id
+        lifecycle = self.health.lifecycle(site_id)
+
+        def on_retry(attempt: int, delay: float, exc: Exception) -> None:
+            self.stats.record_retry(delay)
+            lifecycle.record_failure()
+
+        start = time.perf_counter()
+        if self.retry_policy is None:
+            try:
+                value, error = call(), None
+            except RETRYABLE_FAULTS as exc:
+                value, error = None, exc
+        else:
+            value, error = call_with_retry(
+                call, self.retry_policy, site_id=site_id, on_retry=on_retry
+            )
+        self.stats.record_rpc_time(time.perf_counter() - start)
+        if error is not None:
+            self.stats.record_failure()
+            if not lifecycle.is_down:
+                lifecycle.record_failure()
+                self.health.mark_down(site_id, reason=f"{label}: {error!r}")
+                self.stats.sites_lost += 1
+            return False, None
+        if not lifecycle.is_up:
+            # A retry succeeded while SUSPECT, or a reintegration call
+            # succeeded while RECOVERING: either way the site is back.
+            self.health.mark_up(site_id, reason=f"{label} succeeded")
+        return True, value
 
     # ------------------------------------------------------------------
     # protocol building blocks
     # ------------------------------------------------------------------
 
     def prepare_sites(self) -> List[int]:
-        """Local computing phase on every site; returns |SKY(D_i)| sizes."""
+        """Local computing phase on every site; returns |SKY(D_i)| sizes.
+
+        A site that fails its PREPARE (after retries) is marked DOWN
+        and simply contributes no size — the query proceeds over the
+        reachable partitions.
+        """
         sizes = []
         for site in self.sites:
             self._account(MessageKind.PREPARE, _SERVER, self._name(site))
-            sizes.append(site.prepare(self.threshold))
+            ok, size = self._rpc(
+                site, "prepare", lambda site=site: site.prepare(self.threshold)
+            )
+            if not ok:
+                continue
+            self._prepared.add(site.site_id)
+            sizes.append(size)
             self._account(MessageKind.PREPARE_REPLY, self._name(site), _SERVER)
         self.stats.record_round()
         return sizes
@@ -122,10 +207,19 @@ class Coordinator:
 
         ``request=False`` models the initial fill, where every site
         pushes its head spontaneously and no NEXT_REQUEST is paid.
+        Returns ``None`` both for a genuinely exhausted site and for an
+        unreachable one — in the latter case the FSM records the loss
+        and :meth:`poll_recoveries` can undo it later.
         """
+        if self.health.is_down(site.site_id):
+            return None
         if request:
             self._account(MessageKind.NEXT_REQUEST, _SERVER, self._name(site))
-        quaternion = site.pop_representative()
+        ok, quaternion = self._rpc(
+            site, "pop_representative", site.pop_representative
+        )
+        if not ok:
+            return None
         if quaternion is None:
             self._account(MessageKind.EXHAUSTED, self._name(site), _SERVER)
             return None
@@ -145,10 +239,12 @@ class Coordinator:
     def broadcast(self, quaternion: Quaternion) -> float:
         """Server-Delivery + Local-Pruning round for one candidate.
 
-        Sends the tuple to every site except its origin, folds the
-        returned Eq.-9 factors into the exact global probability via
-        Lemma 1, and advances the simulated clock by one parallel
-        round.
+        Sends the tuple to every reachable site except its origin,
+        folds the returned Eq.-9 factors into the global probability
+        via Lemma 1, and advances the simulated clock by one parallel
+        round.  With full coverage the product is exact; with sites
+        down it is the Corollary-1 upper bound (each missing factor
+        ≤ 1), and the coverage tracker knows which.
         """
         global_probability = quaternion.local_probability
         for _site_id, reply in self.broadcast_probes(quaternion):
@@ -156,29 +252,47 @@ class Coordinator:
         return global_probability
 
     def broadcast_probes(self, quaternion: Quaternion):
-        """Deliver one feedback tuple to every other site; yield replies.
+        """Deliver one feedback tuple to every other live site; yield replies.
 
         Returns ``(site_id, ProbeReply)`` pairs and does all the
         accounting; :meth:`broadcast` and e-DSUD's factor-tracking
         variant both build on it.  With ``parallel_broadcast`` the
         probes run concurrently — safe because each target site only
         ever receives its own call.
+
+        Accounting is per-reply: FEEDBACK is billed when the probe is
+        *sent* (DOWN sites are never sent to, so never billed), but
+        PROBE_REPLY only when the site actually answers — a site that
+        dies mid-broadcast costs the attempt, not the reply.
         """
         t = quaternion.tuple
-        targets = [s for s in self.sites if s.site_id != quaternion.site]
+        targets = [
+            s
+            for s in self.sites
+            if s.site_id != quaternion.site and not self.health.is_down(s.site_id)
+        ]
+        self.coverage.open(
+            t.key, quaternion.site, t, quaternion.local_probability
+        )
         for site in targets:
             self._account(MessageKind.FEEDBACK, _SERVER, self._name(site))
+        probe = lambda s: self._rpc(  # noqa: E731 — bound per target below
+            s, "probe_and_prune", lambda: s.probe_and_prune(t)
+        )
         if self.parallel_broadcast and len(targets) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
             with ThreadPoolExecutor(max_workers=len(targets)) as pool:
-                replies = list(pool.map(lambda s: s.probe_and_prune(t), targets))
+                attempts = list(pool.map(probe, targets))
         else:
-            replies = [site.probe_and_prune(t) for site in targets]
-        for site in targets:
+            attempts = [probe(site) for site in targets]
+        out = []
+        for site, (ok, reply) in zip(targets, attempts):
+            if not ok:
+                continue  # factor stays missing in the coverage books
             self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
+            self.coverage.contribute(t.key, site.site_id, reply.factor)
+            out.append((site.site_id, reply))
         self.stats.record_round(tuples_in_round=len(targets))
-        return [(site.site_id, reply) for site, reply in zip(targets, replies)]
+        return out
 
     def report(self, t: UncertainTuple, global_probability: float) -> bool:
         """Progressively emit a resolved candidate; True if it qualified."""
@@ -188,6 +302,88 @@ class Coordinator:
         self.progress.report(t.key, global_probability, self.stats)
         self._account(MessageKind.RESULT, _SERVER, "client")
         return True
+
+    # ------------------------------------------------------------------
+    # recovery and reintegration
+    # ------------------------------------------------------------------
+
+    def poll_recoveries(self) -> List[SiteEndpoint]:
+        """Give every DOWN site one chance to come back.
+
+        Free while the cluster is healthy (a single flag check).  Each
+        DOWN site gets one unretried liveness probe (a CONTROL
+        message); if it answers, the site is re-probed for every Eq.-9
+        factor it owes — tightening, and possibly retracting, degraded
+        results — and returned so the iteration policy can resume
+        fetching its candidates.
+        """
+        if not self.health.any_down:
+            return []
+        recovered: List[SiteEndpoint] = []
+        for site_id in self.health.down_sites():
+            site = self._site_by_id[site_id]
+            self._account(MessageKind.CONTROL, _SERVER, self._name(site))
+            try:
+                site.queue_size()
+            except RETRYABLE_FAULTS:
+                continue
+            self.health.mark_recovering(site_id, "liveness probe answered")
+            if self._reintegrate(site):
+                self.health.mark_up(site_id, "reintegration complete")
+                self.stats.sites_recovered += 1
+                recovered.append(site)
+            else:
+                self.health.mark_down(site_id, "reintegration failed")
+        return recovered
+
+    def _reintegrate(self, site: SiteEndpoint) -> bool:
+        """Bring one RECOVERING site back into the query.
+
+        Prepares it if it never completed PREPARE, then replays every
+        broadcast it missed via probe_and_prune — collecting its exact
+        factors (tightening the Corollary-1 bounds) *and* delivering
+        the feedback its Local-Pruning phase never saw.
+        """
+        site_id = site.site_id
+        if site_id not in self._prepared:
+            self._account(MessageKind.PREPARE, _SERVER, self._name(site))
+            ok, _size = self._rpc(
+                site, "prepare", lambda: site.prepare(self.threshold)
+            )
+            if not ok:
+                return False
+            self._prepared.add(site_id)
+            self._account(MessageKind.PREPARE_REPLY, self._name(site), _SERVER)
+        owed = self.coverage.missing_from(site_id)
+        for cov in owed:
+            self._account(MessageKind.FEEDBACK, _SERVER, self._name(site))
+            ok, reply = self._rpc(
+                site, "probe_and_prune", lambda cov=cov: site.probe_and_prune(cov.tuple)
+            )
+            if not ok:
+                return False
+            self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
+            bound = self.coverage.contribute(cov.key, site_id, reply.factor)
+            self._tighten_result(cov.key, bound)
+        if owed:
+            self.stats.record_round(tuples_in_round=len(owed))
+        return True
+
+    def _tighten_result(self, key: int, bound: float) -> None:
+        """Apply a re-probed, tighter bound to an already-reported tuple.
+
+        Bounds only ever decrease, so tightening can demote a degraded
+        result below ``q`` — in which case it is retracted: the
+        degraded answer was a superset, and this is the shrink.
+        """
+        for i, member in enumerate(self.results):
+            if member.tuple.key != key:
+                continue
+            if bound < self.threshold:
+                del self.results[i]
+            else:
+                self.results[i] = SkylineMember(member.tuple, bound)
+            return
 
     # ------------------------------------------------------------------
     # the run loop contract
@@ -205,6 +401,14 @@ class Coordinator:
             # Local-pruning effectiveness; available for in-process
             # sites (TCP proxies do not expose internals).
             extra["site_pruned_total"] = float(sum(pruned))
+        coverage = self.coverage.report(
+            self.health.down_sites(),
+            result_keys=[m.tuple.key for m in self.results],
+            transitions=[
+                f"site-{t.site_id}: {t.old.value} -> {t.new.value} ({t.reason})"
+                for t in self.health.transitions()
+            ],
+        )
         return RunResult(
             algorithm=self.algorithm,
             answer=ProbabilisticSkyline(self.threshold, list(self.results)),
@@ -212,6 +416,7 @@ class Coordinator:
             progress=self.progress,
             iterations=self.iterations,
             extra=extra,
+            coverage=coverage,
         )
 
     def _execute(self) -> None:

@@ -28,7 +28,7 @@ import itertools
 from typing import List, Optional, Sequence
 
 from ..core.dominance import Preference
-from ..net.message import Quaternion
+from ..fault.retry import RetryPolicy
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
 from .coordinator import Coordinator, TopKBuffer
@@ -49,10 +49,12 @@ class DSUD(Coordinator):
         latency_model: Optional[LatencyModel] = None,
         limit: Optional[int] = None,
         parallel_broadcast: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
             parallel_broadcast=parallel_broadcast,
+            retry_policy=retry_policy,
         )
         self.limit = limit
 
@@ -68,7 +70,27 @@ class DSUD(Coordinator):
         site_by_id = {site.site_id: site for site in self.sites}
         buffer = TopKBuffer(self.limit) if self.limit is not None else None
 
-        while heap:
+        def reintegrate() -> None:
+            # Reintegrate any crashed site that has come back: its
+            # missed factors were already re-probed inside
+            # poll_recoveries; here we resume draining its queue.
+            for site in self.poll_recoveries():
+                exhausted.discard(site.site_id)
+                refill = self.fetch_representative(site)
+                if refill is None:
+                    exhausted.add(site.site_id)
+                else:
+                    heapq.heappush(
+                        heap, (-refill.local_probability, next(counter), refill)
+                    )
+                    self.stats.record_round(tuples_in_round=1)
+
+        while True:
+            reintegrate()
+            if not heap:
+                # L drained while a site was unreachable — one final
+                # poll above was its last chance; terminate degraded.
+                break
             self.iterations += 1
             _, _, head = heapq.heappop(heap)
             if head.local_probability < self.threshold:

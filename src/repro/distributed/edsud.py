@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
 from ..core.probability import observation2_bound
+from ..fault.retry import RetryPolicy
 from ..net.message import Quaternion
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
@@ -101,10 +102,12 @@ class EDSUD(Coordinator):
         config: Optional[EDSUDConfig] = None,
         limit: Optional[int] = None,
         parallel_broadcast: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
             parallel_broadcast=parallel_broadcast,
+            retry_policy=retry_policy,
         )
         self.config = config or EDSUDConfig()
         self.limit = limit
@@ -167,6 +170,11 @@ class EDSUD(Coordinator):
         buffer = TopKBuffer(self.limit) if self.limit is not None else None
 
         while True:
+            # Reintegrate recovered sites: their missed factors were
+            # re-probed inside poll_recoveries; resume their queues.
+            for site in self.poll_recoveries():
+                self._exhausted.discard(site.site_id)
+                self._refill(site_by_id, site.site_id)
             if self.config.server_expunge:
                 self._expunge_dead(site_by_id)
             head = self._max_bound_resident()

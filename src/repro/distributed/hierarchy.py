@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
 from ..core.tuples import UncertainTuple

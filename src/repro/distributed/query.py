@@ -12,6 +12,9 @@ from typing import Dict, List, Optional, Sequence, Type
 
 from ..core.dominance import Preference
 from ..core.tuples import UncertainTuple
+from ..fault.injection import FaultyEndpoint
+from ..fault.retry import RetryPolicy
+from ..fault.schedule import FaultSchedule
 from ..net.stats import LatencyModel
 from .baseline import ShipAllBaseline
 from .coordinator import Coordinator
@@ -52,6 +55,8 @@ def distributed_skyline(
     latency_model: Optional[LatencyModel] = None,
     edsud_config: Optional[EDSUDConfig] = None,
     limit: Optional[int] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> RunResult:
     """Answer a distributed probabilistic skyline query.
 
@@ -75,23 +80,37 @@ def distributed_skyline(
         probability order.  Supported by the progressive algorithms
         (``dsud``/``edsud``) only — the point is stopping early, which
         the bulk strawmen cannot do.
+    fault_schedule:
+        Optional chaos plan: every site is wrapped in a
+        :class:`~repro.fault.injection.FaultyEndpoint` replaying it.
+    retry_policy:
+        Optional :class:`~repro.fault.retry.RetryPolicy` for every
+        coordinator→site RPC (progressive algorithms only); exhausted
+        retries degrade the query instead of failing it.
 
     Returns the :class:`RunResult` with the answer, exact bandwidth
-    accounting, and the progressiveness timeline.
+    accounting, the progressiveness timeline, and the coverage report.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
         )
-    sites = build_sites(partitions, preference=preference, site_config=site_config)
+    sites: Sequence = build_sites(
+        partitions, preference=preference, site_config=site_config
+    )
+    if fault_schedule is not None:
+        sites = [FaultyEndpoint(site, fault_schedule) for site in sites]
     cls = ALGORITHMS[algorithm]
     if cls is EDSUD:
         coordinator: Coordinator = EDSUD(
             sites, threshold, preference, latency_model,
-            config=edsud_config, limit=limit,
+            config=edsud_config, limit=limit, retry_policy=retry_policy,
         )
     elif cls is DSUD:
-        coordinator = DSUD(sites, threshold, preference, latency_model, limit=limit)
+        coordinator = DSUD(
+            sites, threshold, preference, latency_model, limit=limit,
+            retry_policy=retry_policy,
+        )
     else:
         if limit is not None:
             raise ValueError(

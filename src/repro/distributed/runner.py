@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core.prob_skyline import ProbabilisticSkyline
+from ..fault.coverage import CoverageReport
 from ..net.stats import NetworkStats, ProgressLog
 
 __all__ = ["RunResult"]
@@ -27,6 +28,12 @@ class RunResult:
     progress: ProgressLog
     iterations: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Degraded-mode annotations: ``None`` only for legacy callers that
+    #: build results by hand; coordinators always fill it in.  When
+    #: ``coverage.complete`` the answer is exact; otherwise each
+    #: affected tuple's probability is a Corollary-1 upper bound over
+    #: the contributing sites listed in ``coverage.degraded``.
+    coverage: Optional[CoverageReport] = None
 
     @property
     def bandwidth(self) -> int:
@@ -47,9 +54,12 @@ class RunResult:
         return self.result_count * sites
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.algorithm}: |SKY(H)|={self.result_count} "
             f"bandwidth={self.bandwidth} tuples "
             f"(up={self.stats.tuples_to_server}, down={self.stats.tuples_from_server}) "
             f"rounds={self.stats.rounds} iterations={self.iterations}"
         )
+        if self.coverage is not None and not self.coverage.complete:
+            line += f"\n{self.coverage.describe()}"
+        return line

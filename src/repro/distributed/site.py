@@ -27,7 +27,7 @@ coordinator, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates

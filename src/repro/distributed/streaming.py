@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline
@@ -31,7 +31,7 @@ from ..core.tuples import UncertainTuple
 from ..net.stats import LatencyModel
 from .query import build_sites
 from .site import SiteConfig
-from .updates import IncrementalMaintainer, MaintenanceReport
+from .updates import IncrementalMaintainer
 
 __all__ = ["StreamEvent", "DistributedStreamSkyline"]
 

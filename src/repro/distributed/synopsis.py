@@ -22,12 +22,10 @@ up-front synopsis traffic differ.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
-from ..core.tuples import UncertainTuple
 from ..net.message import Message, MessageKind
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint

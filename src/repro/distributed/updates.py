@@ -36,7 +36,7 @@ from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
 from ..core.tuples import UncertainTuple
 from ..net.message import Message, MessageKind
 from ..net.stats import LatencyModel, NetworkStats
-from .edsud import EDSUD, EDSUDConfig
+from .edsud import EDSUD
 from .site import LocalSite
 
 __all__ = ["MaintenanceReport", "IncrementalMaintainer", "NaiveMaintainer"]

@@ -1,0 +1,46 @@
+"""Fault tolerance for the distributed protocol.
+
+The paper's §4 framework assumes every site answers every round; this
+package removes that assumption without touching the algorithms'
+correctness argument:
+
+* :mod:`~repro.fault.errors` — the transport-fault exception family
+  every layer (sockets, injection, coordinator) speaks.
+* :mod:`~repro.fault.fsm` — the per-site lifecycle state machine
+  (``UP → SUSPECT → DOWN → RECOVERING → UP``) the coordinator tracks.
+* :mod:`~repro.fault.schedule` / :mod:`~repro.fault.injection` — a
+  deterministic, seedable fault plan and the :class:`FaultyEndpoint`
+  decorator that replays it, so chaos runs are reproducible.
+* :mod:`~repro.fault.retry` — deadline-capped exponential backoff with
+  deterministic jitter for every coordinator→site RPC.
+* :mod:`~repro.fault.coverage` — which sites contributed Eq.-9 factors
+  to each candidate; the bookkeeping behind degraded-mode answers
+  (Corollary-1 upper bounds) and re-probe-on-recovery.
+"""
+
+from .coverage import CoverageReport, CoverageTracker, TupleCoverage
+from .errors import RETRYABLE_FAULTS, SiteCrashed, SiteFault, SiteTimeout
+from .fsm import ClusterHealth, SiteLifecycle, SiteState, Transition
+from .injection import FaultyEndpoint
+from .retry import RetryPolicy, call_with_retry
+from .schedule import FaultAction, FaultKind, FaultSchedule
+
+__all__ = [
+    "CoverageReport",
+    "CoverageTracker",
+    "TupleCoverage",
+    "RETRYABLE_FAULTS",
+    "SiteCrashed",
+    "SiteFault",
+    "SiteTimeout",
+    "ClusterHealth",
+    "SiteLifecycle",
+    "SiteState",
+    "Transition",
+    "FaultyEndpoint",
+    "RetryPolicy",
+    "call_with_retry",
+    "FaultAction",
+    "FaultKind",
+    "FaultSchedule",
+]

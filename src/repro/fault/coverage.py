@@ -1,0 +1,151 @@
+"""Per-candidate coverage: who contributed Eq.-9 factors, who didn't.
+
+The correctness anchor for degraded mode is Observation 1 / Eq. 9:
+every foreign factor satisfies ``P_sky(t, D_x) ≤ 1``, so by Lemma 1 /
+Corollary 1 the product over any *subset* of sites
+
+    P_sky(t, D_i) × ∏_{x ∈ reachable} P_sky(t, D_x)  ≥  P_g-sky(t)
+
+is a sound **upper bound** on the exact global skyline probability.  A
+query that lost sites therefore still terminates with a *superset* of
+the true answer, each tuple annotated with its bound and the sites
+that contributed — and the bound tightens monotonically as recovered
+sites are re-probed.
+
+:class:`CoverageTracker` keeps those books per broadcast candidate;
+:class:`CoverageReport` is the read-only summary surfaced on
+:class:`~repro.distributed.runner.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TupleCoverage", "CoverageReport", "CoverageTracker"]
+
+
+@dataclass
+class TupleCoverage:
+    """Coverage state for one broadcast candidate."""
+
+    key: int
+    origin: int
+    tuple: object                 # the UncertainTuple, kept for re-probing
+    upper_bound: float            # local probability × received exact factors
+    contributing: set = field(default_factory=set)  # sites folded in (origin included)
+    missing: set = field(default_factory=set)       # sites that owe a factor
+
+    @property
+    def exact(self) -> bool:
+        """True when every site's factor is in the bound (Lemma 1)."""
+        return not self.missing
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """The query-level coverage summary on a :class:`RunResult`.
+
+    ``complete`` means the answer is exact — every reported probability
+    is the Lemma-1 product over *all* sites.  Otherwise ``degraded``
+    maps each affected tuple key to its ``(upper_bound,
+    contributing_sites)`` annotation and ``down_sites`` lists the
+    unreachable participants at termination.
+    """
+
+    complete: bool
+    down_sites: Tuple[int, ...]
+    candidates: int
+    degraded: Dict[int, Tuple[float, Tuple[int, ...]]]
+    transitions: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.complete:
+            return "coverage: complete (exact answer)"
+        return (
+            f"coverage: DEGRADED — sites down {list(self.down_sites)}, "
+            f"{len(self.degraded)} tuple(s) reported as Corollary-1 upper bounds"
+        )
+
+
+class CoverageTracker:
+    """Tracks, per broadcast candidate, which sites' factors arrived."""
+
+    def __init__(self, site_ids: Iterable[int]) -> None:
+        self.site_ids = frozenset(site_ids)
+        self._entries: Dict[int, TupleCoverage] = {}
+
+    # ------------------------------------------------------------------
+    # writes, driven by the coordinator's broadcast path
+    # ------------------------------------------------------------------
+
+    def open(self, key: int, origin: int, t, local_probability: float) -> TupleCoverage:
+        """Register a candidate at broadcast time.
+
+        The origin site's own contribution *is* the local probability,
+        so it starts in ``contributing``; every other site starts in
+        ``missing`` and moves over as its reply arrives.
+        """
+        cov = TupleCoverage(
+            key=key,
+            origin=origin,
+            tuple=t,
+            upper_bound=local_probability,
+            contributing={origin},
+            missing=set(self.site_ids - {origin}),
+        )
+        self._entries[key] = cov
+        return cov
+
+    def contribute(self, key: int, site_id: int, factor: float) -> float:
+        """Fold one site's exact factor into the bound; returns the new bound."""
+        cov = self._entries[key]
+        if site_id in cov.missing:
+            cov.missing.discard(site_id)
+            cov.contributing.add(site_id)
+            cov.upper_bound *= factor
+        return cov.upper_bound
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[TupleCoverage]:
+        return self._entries.get(key)
+
+    def entries(self) -> List[TupleCoverage]:
+        return list(self._entries.values())
+
+    def missing_from(self, site_id: int) -> List[TupleCoverage]:
+        """Candidates still owed a factor by ``site_id`` (the re-probe list)."""
+        return [cov for cov in self._entries.values() if site_id in cov.missing]
+
+    def degraded_keys(self) -> List[int]:
+        return sorted(k for k, cov in self._entries.items() if not cov.exact)
+
+    def report(
+        self,
+        down_sites: Iterable[int],
+        result_keys: Optional[Iterable[int]] = None,
+        transitions: Iterable[str] = (),
+    ) -> CoverageReport:
+        """Build the query-level summary.
+
+        With ``result_keys`` the per-tuple annotations are restricted
+        to tuples actually in the answer (dropped candidates keep no
+        obligation: their bound already proved them unqualified).
+        """
+        keys = None if result_keys is None else set(result_keys)
+        degraded = {
+            key: (cov.upper_bound, tuple(sorted(cov.contributing)))
+            for key, cov in self._entries.items()
+            if not cov.exact and (keys is None or key in keys)
+        }
+        down = tuple(sorted(set(down_sites)))
+        return CoverageReport(
+            complete=not degraded and not down,
+            down_sites=down,
+            candidates=len(self._entries),
+            degraded=degraded,
+            transitions=tuple(transitions),
+        )

@@ -1,0 +1,37 @@
+"""The transport-fault exception family.
+
+Every layer that can lose a site — the TCP proxy, the fault-injection
+decorator, the coordinator's RPC wrapper — raises or catches these, so
+"the site is unreachable" looks the same regardless of whether the
+cause is a real socket error or an injected one.
+
+The classes deliberately subclass the builtins (:class:`ConnectionError`,
+:class:`TimeoutError`) so code written against plain sockets keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SiteFault", "SiteCrashed", "SiteTimeout", "RETRYABLE_FAULTS"]
+
+
+class SiteFault(ConnectionError):
+    """A site RPC failed for transport (not application) reasons."""
+
+    def __init__(self, site_id: int, message: str) -> None:
+        super().__init__(f"site {site_id}: {message}")
+        self.site_id = site_id
+
+
+class SiteCrashed(SiteFault):
+    """The site process is gone: connection refused / reset / injected crash."""
+
+
+class SiteTimeout(SiteFault, TimeoutError):
+    """The site did not answer within the deadline (real or injected)."""
+
+
+#: What the retry layer treats as transient and worth another attempt.
+#: Application errors (``RuntimeError`` from a site's own logic) are
+#: authoritative and deliberately absent — retrying them cannot help.
+RETRYABLE_FAULTS = (ConnectionError, TimeoutError, OSError)

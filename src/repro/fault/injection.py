@@ -1,0 +1,93 @@
+"""The fault-injecting endpoint decorator.
+
+:class:`FaultyEndpoint` wraps any :class:`~repro.net.transport.SiteEndpoint`
+in the style of :class:`~repro.net.transport.RecordingEndpoint` and
+consults a :class:`~repro.fault.schedule.FaultSchedule` before every
+protocol call.  Injected crashes and timeouts raise *before* the inner
+call runs, so a retried RPC is always safe — the site never saw the
+failed attempt, exactly like a packet lost on the wire.
+
+Injected faults are journalled in :attr:`FaultyEndpoint.injected` so a
+chaos test can assert the schedule actually fired.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from .errors import SiteCrashed, SiteTimeout
+from .schedule import FaultAction, FaultKind, FaultSchedule
+
+__all__ = ["InjectedFault", "FaultyEndpoint"]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the decorator actually injected."""
+
+    site_id: int
+    method: str
+    call_index: int
+    action: FaultAction
+
+
+class FaultyEndpoint:
+    """Transparent endpoint decorator that replays a fault schedule."""
+
+    def __init__(
+        self,
+        inner,
+        schedule: FaultSchedule,
+        sleep: Optional[Callable[[float], None]] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.site_id = inner.site_id
+        self.schedule = schedule
+        self.calls = 0
+        self.injected: List[InjectedFault] = []
+        self._sleep = sleep
+
+    def _gate(self, method: str) -> None:
+        """Count the call and apply the scheduled fault, if any."""
+        self.calls += 1
+        action = self.schedule.decide(self.site_id, method, self.calls)
+        if action is None:
+            return
+        self.injected.append(InjectedFault(self.site_id, method, self.calls, action))
+        if action.kind is FaultKind.CRASH:
+            raise SiteCrashed(
+                self.site_id, f"injected crash on {method} (call {self.calls})"
+            )
+        if action.kind is FaultKind.TIMEOUT:
+            raise SiteTimeout(
+                self.site_id, f"injected timeout on {method} (call {self.calls})"
+            )
+        if action.kind is FaultKind.DELAY and self._sleep is not None:
+            self._sleep(action.delay)
+
+    # ------------------------------------------------------------------
+    # the SiteEndpoint surface
+    # ------------------------------------------------------------------
+
+    def prepare(self, threshold: float) -> int:
+        self._gate("prepare")
+        return self.inner.prepare(threshold)
+
+    def pop_representative(self):
+        self._gate("pop_representative")
+        return self.inner.pop_representative()
+
+    def probe_and_prune(self, t):
+        self._gate("probe_and_prune")
+        return self.inner.probe_and_prune(t)
+
+    def queue_size(self) -> int:
+        self._gate("queue_size")
+        return self.inner.queue_size()
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything outside the faulted protocol surface (ship_all,
+        # update hooks, pruned_total, …) passes through untouched.
+        return getattr(self.inner, name)

@@ -1,0 +1,181 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultSchedule` says, for every ``(site, method, call index)``
+triple, whether that RPC should succeed, crash, time out, or be slowed
+down.  Call indices are per site and 1-based, counted by the
+:class:`~repro.fault.injection.FaultyEndpoint` that replays the plan —
+so a chaos run is a pure function of the schedule and the workload,
+and every test or benchmark failure reproduces exactly.
+
+The five primitive fault shapes:
+
+* ``crash(site, at_call=N)``              — crash-at-round-N, permanent.
+* ``crash(site, at_call=N, until_call=M)``— fail-then-recover window.
+* ``timeout(site, at_call=N, ...)``       — like crash but raises a
+  timeout, which the retry layer treats as transient.
+* ``slow(site, delay, ...)``              — slow-reply: delay, then
+  answer normally (exercises RPC deadlines).
+* ``flaky(site, probability)``            — each call independently
+  fails with probability ``p``, derived deterministically from the
+  schedule seed, the site and the call index (no hidden RNG state).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["FaultKind", "FaultAction", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault does to the RPC."""
+
+    CRASH = "crash"      # raise SiteCrashed; the call never reaches the site
+    TIMEOUT = "timeout"  # raise SiteTimeout; the call never reaches the site
+    DELAY = "delay"      # sleep, then let the call through
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """The schedule's verdict for one RPC."""
+
+    kind: FaultKind
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Rule:
+    kind: FaultKind
+    at_call: int
+    until_call: Optional[int]       # exclusive; None = forever
+    methods: Optional[frozenset]    # None = every protocol method
+    probability: Optional[float]    # None = always within the window
+    delay: float
+
+    def matches(self, method: str, call_index: int) -> bool:
+        if self.methods is not None and method not in self.methods:
+            return False
+        if call_index < self.at_call:
+            return False
+        if self.until_call is not None and call_index >= self.until_call:
+            return False
+        return True
+
+
+def _deterministic_unit(seed: int, site_id: int, call_index: int) -> float:
+    """A reproducible pseudo-random float in [0, 1) for one RPC.
+
+    Mixing the coordinates into one integer seed keeps the draw
+    independent of call order and of Python's hash randomisation.
+    """
+    mixed = (seed * 1_000_003 + site_id * 8_191 + call_index) & 0xFFFFFFFF
+    return random.Random(mixed).random()
+
+
+class FaultSchedule:
+    """A reproducible per-site fault plan (builder-style, chainable)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rules: Dict[int, List[_Rule]] = {}
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+
+    def _add(self, site_id: int, rule: _Rule) -> "FaultSchedule":
+        self._rules.setdefault(site_id, []).append(rule)
+        return self
+
+    def crash(
+        self,
+        site_id: int,
+        at_call: int = 1,
+        until_call: Optional[int] = None,
+        methods: Optional[List[str]] = None,
+    ) -> "FaultSchedule":
+        """Site refuses every RPC from ``at_call`` (until ``until_call``)."""
+        return self._add(
+            site_id,
+            _Rule(
+                FaultKind.CRASH, at_call, until_call,
+                frozenset(methods) if methods else None, None, 0.0,
+            ),
+        )
+
+    def timeout(
+        self,
+        site_id: int,
+        at_call: int = 1,
+        until_call: Optional[int] = None,
+        methods: Optional[List[str]] = None,
+    ) -> "FaultSchedule":
+        """Site times out on every RPC in the window."""
+        return self._add(
+            site_id,
+            _Rule(
+                FaultKind.TIMEOUT, at_call, until_call,
+                frozenset(methods) if methods else None, None, 0.0,
+            ),
+        )
+
+    def slow(
+        self,
+        site_id: int,
+        delay: float,
+        at_call: int = 1,
+        until_call: Optional[int] = None,
+        methods: Optional[List[str]] = None,
+    ) -> "FaultSchedule":
+        """Site answers, but only after ``delay`` seconds."""
+        return self._add(
+            site_id,
+            _Rule(
+                FaultKind.DELAY, at_call, until_call,
+                frozenset(methods) if methods else None, None, delay,
+            ),
+        )
+
+    def flaky(
+        self,
+        site_id: int,
+        probability: float,
+        kind: FaultKind = FaultKind.TIMEOUT,
+        at_call: int = 1,
+        until_call: Optional[int] = None,
+        methods: Optional[List[str]] = None,
+    ) -> "FaultSchedule":
+        """Each RPC in the window independently fails with ``probability``."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        return self._add(
+            site_id,
+            _Rule(
+                kind, at_call, until_call,
+                frozenset(methods) if methods else None, probability, 0.0,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # the verdict
+    # ------------------------------------------------------------------
+
+    def decide(
+        self, site_id: int, method: str, call_index: int
+    ) -> Optional[FaultAction]:
+        """The fault (if any) for one RPC; first matching rule wins."""
+        for rule in self._rules.get(site_id, ()):
+            if not rule.matches(method, call_index):
+                continue
+            if rule.probability is not None:
+                draw = _deterministic_unit(self.seed, site_id, call_index)
+                if draw >= rule.probability:
+                    continue
+            return FaultAction(kind=rule.kind, delay=rule.delay)
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 from ..core.dominance import strictly_dominates_region
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember

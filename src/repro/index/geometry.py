@@ -29,7 +29,7 @@ class Rect:
         up = tuple(float(v) for v in self.upper)
         if len(lo) != len(up):
             raise ValueError("lower and upper corners disagree on dimensionality")
-        if any(l > u for l, u in zip(lo, up)):
+        if any(low > high for low, high in zip(lo, up)):
             raise ValueError(f"degenerate rectangle: lower {lo} exceeds upper {up}")
         object.__setattr__(self, "lower", lo)
         object.__setattr__(self, "upper", up)

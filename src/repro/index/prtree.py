@@ -30,7 +30,6 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 from ..core.dominance import Preference
 from ..core.tuples import UncertainTuple
 from .bulk import str_bulk_load
-from .geometry import Rect
 from .rtree import IndexedItem, Node, RTree
 
 __all__ = ["ProbAggregate", "PRTree"]

@@ -24,7 +24,7 @@ and the original :class:`~repro.core.tuples.UncertainTuple`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from .geometry import Rect
 

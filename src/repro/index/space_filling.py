@@ -18,7 +18,7 @@ form, valid for any dimensionality and precision.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 __all__ = [
     "morton_index",

@@ -10,14 +10,13 @@ against.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..core.dominance import Preference
 from ..core.probability import non_occurrence_product
 from ..core.tuples import UncertainTuple
 from .geometry import Rect
 from .prtree import PRTree, _point_dominates
-from .rtree import IndexedItem
 
 __all__ = [
     "dominance_window",

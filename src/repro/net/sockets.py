@@ -20,10 +20,11 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.tuples import UncertainTuple
+from ..fault.errors import SiteTimeout
 from .message import Quaternion, decode_tuple, encode_tuple
 
 __all__ = ["SiteServer", "RemoteSiteProxy", "host_sites", "SiteCluster"]
@@ -123,6 +124,15 @@ class SiteServer(socketserver.ThreadingTCPServer):
 class RemoteSiteProxy:
     """SiteEndpoint implementation speaking the TCP protocol.
 
+    ``timeout`` is a *real* socket deadline applied to connect, send,
+    and receive: a site that accepts the connection but never answers
+    surfaces as :class:`~repro.fault.errors.SiteTimeout` after
+    ``timeout`` seconds instead of hanging the query.  Timeouts are
+    never retried here — whether the lost answer is worth another
+    round trip is the coordinator's :class:`RetryPolicy` decision, and
+    after a timeout the stream position is ambiguous anyway, so the
+    connection is re-dialed before any further use.
+
     ``retries`` controls transparent reconnection: a dropped connection
     (transient network fault, site restart behind the same address) is
     re-dialed and the *idempotent* RPC re-issued up to that many times.
@@ -146,7 +156,9 @@ class RemoteSiteProxy:
         self.timeout = timeout
         self.retries = retries
         self.reconnects = 0
+        self.timeouts = 0
         self._sock = socket.create_connection(address, timeout=timeout)
+        self._needs_redial = False
 
     def _reconnect(self) -> None:
         try:
@@ -154,6 +166,7 @@ class RemoteSiteProxy:
         except OSError:
             pass
         self._sock = socket.create_connection(self.address, timeout=self.timeout)
+        self._needs_redial = False
         self.reconnects += 1
 
     def _call(self, method: str, **kwargs: Any) -> Any:
@@ -161,7 +174,7 @@ class RemoteSiteProxy:
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
-                if attempt > 0:
+                if attempt > 0 or self._needs_redial:
                     self._reconnect()
                 _send_frame(self._sock, {"method": method, **kwargs})
                 response = _recv_frame(self._sock)
@@ -175,6 +188,15 @@ class RemoteSiteProxy:
                         f"site {self.site_id} RPC failed: {response['error']}"
                     )
                 return response["result"]
+            except socket.timeout as exc:
+                # A late reply may still be in flight; the stream is
+                # unusable until re-dialed.  Escalate immediately.
+                self.timeouts += 1
+                self._needs_redial = True
+                raise SiteTimeout(
+                    self.site_id,
+                    f"no answer to {method!r} within {self.timeout}s",
+                ) from exc
             except (ConnectionError, OSError) as exc:
                 last_error = exc
         raise last_error  # type: ignore[misc]
@@ -249,8 +271,12 @@ def host_sites(
     partitions: Sequence[Sequence[UncertainTuple]],
     preference: Optional[Preference] = None,
     site_config=None,
+    timeout: float = 30.0,
 ) -> SiteCluster:
-    """Spin up one TCP-hosted LocalSite per partition on localhost."""
+    """Spin up one TCP-hosted LocalSite per partition on localhost.
+
+    ``timeout`` is each proxy's per-RPC socket deadline (seconds).
+    """
     from ..distributed.site import LocalSite
 
     servers: List[SiteServer] = []
@@ -263,7 +289,9 @@ def host_sites(
             server = SiteServer(site)
             server.serve_in_thread()
             servers.append(server)
-            proxies.append(RemoteSiteProxy(site_id=i, address=server.address))
+            proxies.append(
+                RemoteSiteProxy(site_id=i, address=server.address, timeout=timeout)
+            )
     except Exception:
         for proxy in proxies:
             proxy.close()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .message import Message, MessageKind
 
@@ -53,6 +53,17 @@ class NetworkStats:
     rounds: int = 0
     simulated_time: float = 0.0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Fault-tolerance books (all zero on a healthy run): RPC attempts
+    #: that failed, retries issued (with their cumulative backoff),
+    #: sites declared DOWN / reintegrated, and the observed
+    #: coordinator→site round-trip wall clock.
+    rpc_failures: int = 0
+    rpc_retries: int = 0
+    backoff_seconds: float = 0.0
+    sites_lost: int = 0
+    sites_recovered: int = 0
+    rpc_calls: int = 0
+    rpc_seconds: float = 0.0
 
     def record(self, message: Message) -> None:
         """Account one message (direction inferred from the receiver)."""
@@ -70,6 +81,21 @@ class NetworkStats:
         self.rounds += 1
         self.simulated_time += self.latency_model.round_cost(tuples_in_round)
 
+    def record_rpc_time(self, seconds: float) -> None:
+        """One coordinator→site round trip's observed wall clock."""
+        self.rpc_calls += 1
+        self.rpc_seconds += seconds
+
+    def record_retry(self, backoff: float) -> None:
+        self.rpc_retries += 1
+        self.backoff_seconds += backoff
+
+    def record_failure(self) -> None:
+        self.rpc_failures += 1
+
+    def mean_rpc_seconds(self) -> float:
+        return self.rpc_seconds / self.rpc_calls if self.rpc_calls else 0.0
+
     def snapshot(self) -> Dict[str, float]:
         return {
             "messages": self.messages,
@@ -78,6 +104,11 @@ class NetworkStats:
             "tuples_from_server": self.tuples_from_server,
             "rounds": self.rounds,
             "simulated_time": self.simulated_time,
+            "rpc_failures": self.rpc_failures,
+            "rpc_retries": self.rpc_retries,
+            "backoff_seconds": self.backoff_seconds,
+            "sites_lost": self.sites_lost,
+            "sites_recovered": self.sites_recovered,
         }
 
 

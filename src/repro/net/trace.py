@@ -14,12 +14,12 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..core.tuples import UncertainTuple
-from .message import Quaternion, encode_tuple
+from .message import Quaternion
 from .transport import SiteEndpoint
 
 __all__ = ["TraceRecord", "ProtocolTracer", "load_trace", "summarize_trace"]

@@ -16,7 +16,7 @@ implementations exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..core.tuples import UncertainTuple

@@ -1,7 +1,6 @@
 """Experiment drivers: every figure runs at a smoke scale and carries
 the paper's qualitative shape."""
 
-import pytest
 
 from repro.bench.experiments import (
     ALL_FIGURES,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.harness import SCALES, FigureResult, Scale, Series, average_runs, measure
+from repro.bench.harness import SCALES, FigureResult, Series, average_runs, measure
 from repro.data.workload import make_synthetic_workload
 
 

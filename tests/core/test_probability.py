@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dominance import Preference, dominates
+from repro.core.dominance import dominates
 from repro.core.probability import (
     combine_site_factors,
     corollary2_bound,

@@ -4,11 +4,7 @@ import pytest
 
 from repro.core.dominance import Preference
 from repro.core.prob_skyline import prob_skyline_brute_force
-from repro.core.skycube import (
-    ProbabilisticSkycube,
-    compute_skycube,
-    enumerate_subspaces,
-)
+from repro.core.skycube import compute_skycube, enumerate_subspaces
 from repro.core.tuples import UncertainTuple
 
 from ..conftest import make_random_database

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.dominance import Preference
 from repro.core.statistics import (
     dimension_correlations,
     dominance_profile,

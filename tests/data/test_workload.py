@@ -1,6 +1,5 @@
 """Workload assembly."""
 
-import pytest
 
 from repro.core.tuples import validate_database
 from repro.data.workload import Workload, make_nyse_workload, make_synthetic_workload

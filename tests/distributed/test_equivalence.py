@@ -2,7 +2,6 @@
 the centralized probabilistic skyline of the unified database, for any
 partitioning, any threshold, any preference."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.dominance import dominates
 from repro.core.prob_skyline import prob_skyline_sfs
 from repro.core.probability import foreign_skyline_probability, skyline_probability
 from repro.core.tuples import UncertainTuple

@@ -3,13 +3,8 @@
 import pytest
 
 from repro.core.prob_skyline import prob_skyline_sfs
-from repro.core.tuples import UncertainTuple
 from repro.distributed.query import build_sites
-from repro.distributed.synopsis import (
-    GridSynopsis,
-    SynopsisEDSUD,
-    build_site_synopsis,
-)
+from repro.distributed.synopsis import SynopsisEDSUD, build_site_synopsis
 from repro.distributed.site import LocalSite
 
 from ..conftest import make_random_database

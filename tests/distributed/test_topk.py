@@ -44,6 +44,43 @@ class TestTopKBuffer:
         done = buffer.drain(0.5, lambda t, p: emitted.append(t.key))
         assert not done and emitted == [1]
 
+    def test_limit_one_stops_after_first_emission(self):
+        from repro.core.tuples import UncertainTuple
+
+        buffer = TopKBuffer(1)
+        buffer.offer(UncertainTuple(1, (0.0,), 0.5), 0.9)
+        buffer.offer(UncertainTuple(2, (0.0,), 0.5), 0.8)
+        emitted = []
+        done = buffer.drain(0.0, lambda t, p: emitted.append(t.key))
+        assert done and emitted == [1]
+        # further drains are inert: the limit has been hit
+        assert buffer.drain(0.0, lambda t, p: emitted.append(t.key))
+        assert emitted == [1]
+
+    def test_probability_ties_break_on_key(self):
+        from repro.core.tuples import UncertainTuple
+
+        buffer = TopKBuffer(3)
+        for key in (9, 3, 6):
+            buffer.offer(UncertainTuple(key, (0.0,), 0.5), 0.7)
+        emitted = []
+        buffer.drain(0.0, lambda t, p: emitted.append(t.key))
+        # equal probabilities emit in deterministic key order
+        assert emitted == [3, 6, 9]
+
+    def test_flush_after_partial_drain_releases_the_rest(self):
+        from repro.core.tuples import UncertainTuple
+
+        buffer = TopKBuffer(5)
+        for key, p in ((1, 0.9), (2, 0.5), (3, 0.3)):
+            buffer.offer(UncertainTuple(key, (0.0,), 0.5), p)
+        emitted = []
+        done = buffer.drain(0.6, lambda t, p: emitted.append(t.key))
+        assert not done and emitted == [1]  # 0.5 and 0.3 held back
+        buffer.flush(lambda t, p: emitted.append(t.key))
+        assert emitted == [1, 2, 3]
+        assert buffer.emitted == 3
+
 
 @pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
 class TestTopKQueries:

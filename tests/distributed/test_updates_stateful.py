@@ -5,7 +5,6 @@ operation the maintained SKY(H), its probabilities, and the replicas at
 every site must match a from-scratch centralized recomputation.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

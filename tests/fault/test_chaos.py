@@ -1,0 +1,196 @@
+"""Chaos acceptance tests: seeded fault plans against DSUD and e-DSUD.
+
+Three contracts, straight from the failure-model design:
+
+* **Degraded soundness** — killing a site mid-query still terminates,
+  and every reported tuple's probability is a Corollary-1 *upper
+  bound* on (hence ≥) its exact value from an identical fault-free
+  run; every qualified tuple owned by a surviving site is still
+  reported (the degraded answer is a superset over the reachable
+  data).
+* **Recovery exactness** — with a fail-then-recover window the site is
+  reintegrated mid-query: its missed Eq.-9 factors are re-probed, the
+  degraded bounds tighten (retracting anything that sinks below
+  ``q``), and the final answer equals the fault-free answer exactly.
+* **Zero overhead when healthy** — installing the retry/FSM/coverage
+  layer changes nothing on a clean run: identical message books,
+  identical answers.
+"""
+
+import pytest
+
+from repro.core.prob_skyline import prob_skyline_sfs
+from repro.distributed.query import build_sites, distributed_skyline
+from repro.fault.injection import FaultyEndpoint
+from repro.fault.retry import RetryPolicy
+from repro.fault.schedule import FaultSchedule
+
+from ..conftest import make_random_database
+
+Q = 0.3
+SITES = 3
+VICTIM = 1
+
+
+def make_partitions(n=240, d=2, seed=1, grid=10):
+    db = make_random_database(n, d, seed=seed, grid=grid)
+    return db, [db[i::SITES] for i in range(SITES)]
+
+
+def fast_retries(attempts=2):
+    """Real backoff sleeps, kept microscopic so chaos tests stay fast."""
+    return RetryPolicy(max_attempts=attempts, base_backoff=1e-4, max_backoff=1e-3)
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+class TestSiteLossMidQuery:
+    def test_degraded_run_terminates_with_sound_upper_bounds(self, algorithm):
+        db, partitions = make_partitions()
+        exact = distributed_skyline(partitions, Q, algorithm=algorithm)
+        assert exact.coverage is not None and exact.coverage.complete
+        exact_probs = exact.answer.probabilities()
+
+        # Kill the victim a few RPCs in (after PREPARE + initial fill)
+        # and never bring it back.
+        schedule = FaultSchedule(seed=7).crash(VICTIM, at_call=4)
+        degraded = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+
+        # (a) the query terminated (we are here) and disclosed the loss
+        coverage = degraded.coverage
+        assert not coverage.complete
+        assert coverage.down_sites == (VICTIM,)
+        assert degraded.stats.rpc_failures > 0
+        assert degraded.stats.sites_lost == 1
+
+        # (b) every reported probability is an upper bound on the exact one
+        for key, bound in degraded.answer.probabilities().items():
+            if key in exact_probs:
+                assert bound >= exact_probs[key] - 1e-9
+
+        # Degraded entries are annotated with who contributed — never
+        # the dead site, always the origin.
+        for key, (bound, contributing) in coverage.degraded.items():
+            assert VICTIM not in contributing
+            assert bound == pytest.approx(degraded.answer.probabilities()[key])
+
+        # Superset over reachable data: every exact result owned by a
+        # surviving site is still reported (its bound can only be
+        # larger, so it cannot have been dropped).
+        surviving_keys = {
+            t.key for i, part in enumerate(partitions) if i != VICTIM for t in part
+        }
+        for key in exact_probs:
+            if key in surviving_keys:
+                assert key in degraded.answer
+
+    def test_fail_then_recover_restores_the_exact_answer(self, algorithm):
+        db, partitions = make_partitions()
+        exact = distributed_skyline(partitions, Q, algorithm=algorithm)
+
+        # The victim refuses calls 4 and 5 (first attempt + retry), is
+        # declared DOWN, then the next liveness probe (call 6) answers
+        # and it is reintegrated: missed factors re-probed, queue
+        # drained.
+        schedule = FaultSchedule(seed=7).crash(VICTIM, at_call=4, until_call=6)
+        recovered = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+
+        assert recovered.stats.sites_lost == 1
+        assert recovered.stats.sites_recovered == 1
+        assert recovered.coverage.complete
+        assert recovered.coverage.down_sites == ()
+        # (c) bit-for-bit the same answer as the fault-free run
+        assert recovered.answer.agrees_with(exact.answer, tol=1e-9)
+
+    def test_crash_at_prepare_degrades_to_reachable_partitions(self, algorithm):
+        db, partitions = make_partitions()
+        schedule = FaultSchedule().crash(VICTIM, at_call=1)
+        degraded = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+        # Equivalent to querying only the surviving partitions exactly,
+        # except probabilities may be looser (the dead partition's
+        # dominators are unknown) — so the key set must be a superset
+        # of the two-partition exact answer restricted to live data.
+        live = [p for i, p in enumerate(partitions) if i != VICTIM]
+        live_exact = distributed_skyline(live, Q, algorithm=algorithm)
+        assert degraded.coverage.down_sites == (VICTIM,)
+        assert set(degraded.answer.keys()) == set(live_exact.answer.keys())
+
+    def test_flaky_site_with_retries_stays_exact(self, algorithm):
+        db, partitions = make_partitions(n=180)
+        exact = distributed_skyline(partitions, Q, algorithm=algorithm)
+        # 20% of calls time out; retries absorb them. The window closes
+        # late in the query so even an unlucky streak gets reintegrated.
+        schedule = FaultSchedule(seed=11).flaky(
+            VICTIM, probability=0.2, until_call=60
+        )
+        result = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=schedule, retry_policy=fast_retries(attempts=4),
+        )
+        assert result.stats.rpc_retries > 0
+        assert result.coverage.complete
+        assert result.answer.agrees_with(exact.answer, tol=1e-9)
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+class TestZeroOverheadWhenHealthy:
+    def test_clean_run_books_are_bit_identical(self, algorithm):
+        db, partitions = make_partitions()
+        bare = distributed_skyline(partitions, Q, algorithm=algorithm)
+        guarded = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=FaultSchedule(),  # installed but empty
+            retry_policy=RetryPolicy(),
+        )
+        assert guarded.answer.agrees_with(bare.answer, tol=0.0)
+        assert guarded.stats.messages == bare.stats.messages
+        assert guarded.stats.by_kind == bare.stats.by_kind
+        assert guarded.stats.tuples_transmitted == bare.stats.tuples_transmitted
+        assert guarded.stats.rounds == bare.stats.rounds
+        assert guarded.stats.rpc_failures == 0
+        assert guarded.stats.rpc_retries == 0
+        assert guarded.stats.sites_lost == 0
+        assert guarded.coverage.complete
+        assert guarded.iterations == bare.iterations
+
+    def test_wrapped_sites_report_no_injections(self, algorithm):
+        db, partitions = make_partitions(n=120)
+        sites = [
+            FaultyEndpoint(s, FaultSchedule())
+            for s in build_sites(partitions)
+        ]
+        from repro.distributed.query import ALGORITHMS
+
+        result = ALGORITHMS[algorithm](sites, Q, retry_policy=RetryPolicy()).run()
+        assert all(endpoint.injected == [] for endpoint in sites)
+        central = prob_skyline_sfs(db, Q)
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+
+class TestDegradedAnnotations:
+    def test_run_result_surfaces_coverage(self):
+        db, partitions = make_partitions()
+        schedule = FaultSchedule().crash(VICTIM, at_call=4)
+        result = distributed_skyline(
+            partitions, Q, algorithm="edsud",
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+        assert "DEGRADED" in result.coverage.describe()
+        assert "DEGRADED" in result.summary()
+        # the FSM audit trail is attached
+        assert any("down" in t for t in result.coverage.transitions)
+
+    def test_fault_free_coverage_reports_complete(self):
+        db, partitions = make_partitions(n=90)
+        result = distributed_skyline(partitions, Q, algorithm="dsud")
+        assert result.coverage.complete
+        assert result.coverage.degraded == {}
+        assert "complete" in result.coverage.describe()

@@ -1,0 +1,188 @@
+"""Fault schedules, the injecting endpoint, and the retry policy."""
+
+import pytest
+
+from repro.distributed.site import LocalSite
+from repro.fault.errors import SiteCrashed, SiteTimeout
+from repro.fault.injection import FaultyEndpoint
+from repro.fault.retry import RetryPolicy, call_with_retry
+from repro.fault.schedule import FaultKind, FaultSchedule
+
+from ..conftest import make_random_database
+
+
+def make_faulty(schedule, seed=1, n=40):
+    site = LocalSite(0, make_random_database(n, 2, seed=seed, grid=8))
+    return FaultyEndpoint(site, schedule, sleep=None)
+
+
+class TestFaultSchedule:
+    def test_no_rules_no_faults(self):
+        schedule = FaultSchedule()
+        assert schedule.decide(0, "prepare", 1) is None
+        assert not schedule
+
+    def test_crash_window(self):
+        schedule = FaultSchedule().crash(0, at_call=3, until_call=5)
+        verdicts = [schedule.decide(0, "prepare", i) for i in range(1, 7)]
+        assert [v.kind if v else None for v in verdicts] == [
+            None, None, FaultKind.CRASH, FaultKind.CRASH, None, None,
+        ]
+
+    def test_permanent_crash(self):
+        schedule = FaultSchedule().crash(1, at_call=2)
+        assert schedule.decide(1, "prepare", 1) is None
+        assert schedule.decide(1, "prepare", 100).kind is FaultKind.CRASH
+        assert schedule.decide(0, "prepare", 100) is None  # other site clean
+
+    def test_method_filter(self):
+        schedule = FaultSchedule().timeout(0, methods=["probe_and_prune"])
+        assert schedule.decide(0, "prepare", 1) is None
+        assert schedule.decide(0, "probe_and_prune", 1).kind is FaultKind.TIMEOUT
+
+    def test_slow_carries_delay(self):
+        schedule = FaultSchedule().slow(0, delay=0.25)
+        action = schedule.decide(0, "prepare", 1)
+        assert action.kind is FaultKind.DELAY
+        assert action.delay == pytest.approx(0.25)
+
+    def test_flaky_is_deterministic_and_seed_dependent(self):
+        a = FaultSchedule(seed=42).flaky(0, probability=0.5)
+        b = FaultSchedule(seed=42).flaky(0, probability=0.5)
+        c = FaultSchedule(seed=43).flaky(0, probability=0.5)
+        def verdict(s, i):
+            return s.decide(0, "prepare", i) is not None
+
+        seq_a = [verdict(a, i) for i in range(1, 50)]
+        assert seq_a == [verdict(b, i) for i in range(1, 50)]
+        assert seq_a != [verdict(c, i) for i in range(1, 50)]
+        assert any(seq_a) and not all(seq_a)  # p=0.5 actually mixes
+
+    def test_flaky_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().flaky(0, probability=1.5)
+
+
+class TestFaultyEndpoint:
+    def test_clean_schedule_is_transparent(self):
+        endpoint = make_faulty(FaultSchedule())
+        size = endpoint.prepare(0.3)
+        assert size >= 1
+        assert endpoint.pop_representative() is not None
+        assert endpoint.injected == []
+
+    def test_injected_crash_raises_before_the_site_sees_the_call(self):
+        endpoint = make_faulty(FaultSchedule().crash(0, at_call=2, until_call=3))
+        endpoint.prepare(0.3)  # call 1 passes
+        before = endpoint.inner.queue_size()
+        with pytest.raises(SiteCrashed):
+            endpoint.pop_representative()  # call 2 crashes
+        # the inner queue was not popped: a retry cannot skip a candidate
+        assert endpoint.inner.queue_size() == before
+        q = endpoint.pop_representative()  # call 3: recovered
+        assert q is not None
+
+    def test_injected_timeout_type(self):
+        endpoint = make_faulty(FaultSchedule().timeout(0))
+        with pytest.raises(SiteTimeout):
+            endpoint.prepare(0.3)
+
+    def test_faults_are_journalled(self):
+        endpoint = make_faulty(FaultSchedule().timeout(0, at_call=1, until_call=2))
+        with pytest.raises(SiteTimeout):
+            endpoint.prepare(0.3)
+        endpoint.prepare(0.3)
+        assert len(endpoint.injected) == 1
+        record = endpoint.injected[0]
+        assert (record.method, record.call_index) == ("prepare", 1)
+
+    def test_slow_reply_sleeps_then_answers(self):
+        slept = []
+        site = LocalSite(0, make_random_database(20, 2, seed=3, grid=8))
+        endpoint = FaultyEndpoint(
+            site, FaultSchedule().slow(0, delay=0.5), sleep=slept.append
+        )
+        assert endpoint.prepare(0.3) >= 0
+        assert slept == [0.5]
+
+    def test_passthrough_of_unfaulted_surface(self):
+        endpoint = make_faulty(FaultSchedule().crash(0))
+        # ship_all is outside the faulted protocol surface
+        assert len(endpoint.ship_all()) == 40
+        assert endpoint.calls == 0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, max_backoff=0.3, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.3)  # capped
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.5, seed=7)
+        assert policy.backoff(0, site_id=1) == policy.backoff(0, site_id=1)
+        assert policy.backoff(0, site_id=1) != policy.backoff(0, site_id=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_retry_until_success(self):
+        attempts = []
+
+        def sometimes():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("flap")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_backoff=0.0, jitter=0.0)
+        value, error = call_with_retry(sometimes, policy, sleep=None)
+        assert (value, error) == ("ok", None)
+        assert len(attempts) == 3
+
+    def test_exhaustion_returns_error_instead_of_raising(self):
+        def always():
+            raise TimeoutError("dead")
+
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.0, jitter=0.0)
+        value, error = call_with_retry(always, policy, sleep=None)
+        assert value is None
+        assert isinstance(error, TimeoutError)
+
+    def test_application_errors_propagate(self):
+        def broken():
+            raise RuntimeError("bug, not a fault")
+
+        with pytest.raises(RuntimeError):
+            call_with_retry(broken, RetryPolicy(), sleep=None)
+
+    def test_deadline_stops_early(self):
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise ConnectionError("down")
+
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff=1.0, multiplier=1.0,
+            jitter=0.0, deadline=2.5,
+        )
+        _, error = call_with_retry(always, policy, sleep=lambda s: None)
+        assert error is not None
+        # 1s + 1s fits the 2.5s budget, the third backoff would not
+        assert len(calls) == 3
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        seen = []
+
+        def always():
+            raise ConnectionError("down")
+
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.1, jitter=0.0)
+        call_with_retry(
+            always, policy, sleep=lambda s: None,
+            on_retry=lambda attempt, delay, exc: seen.append((attempt, delay)),
+        )
+        assert seen == [(0, pytest.approx(0.1)), (1, pytest.approx(0.2))]

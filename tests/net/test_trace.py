@@ -1,6 +1,5 @@
 """Protocol tracing."""
 
-import pytest
 
 from repro.distributed.edsud import EDSUD
 from repro.distributed.site import LocalSite

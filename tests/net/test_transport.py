@@ -1,5 +1,7 @@
 """The endpoint contract and the recording decorator."""
 
+import pytest
+
 from repro.distributed.site import LocalSite
 from repro.net.transport import RecordingEndpoint, SiteEndpoint
 
@@ -55,6 +57,26 @@ class TestRecordingEndpoint:
         endpoint, db = make_endpoint()
         # ship_all is not part of the recorded surface but must still work
         assert len(endpoint.ship_all()) == len(db)
+
+    def test_passthrough_of_plain_attributes(self):
+        endpoint, _ = make_endpoint()
+        endpoint.prepare(0.3)
+        # __getattr__ must expose inner state, not just methods
+        assert endpoint.pruned_total == endpoint.inner.pruned_total
+        assert endpoint.config is endpoint.inner.config
+
+    def test_passthrough_calls_are_not_logged(self):
+        endpoint, _ = make_endpoint()
+        endpoint.prepare(0.3)
+        before = len(endpoint.log)
+        endpoint.ship_all()
+        _ = endpoint.pruned_total
+        assert len(endpoint.log) == before
+
+    def test_missing_attribute_still_raises(self):
+        endpoint, _ = make_endpoint()
+        with pytest.raises(AttributeError):
+            endpoint.no_such_method()
 
     def test_queue_size_recorded(self):
         endpoint, _ = make_endpoint()

@@ -10,22 +10,7 @@ import random
 
 import pytest
 
-from repro import (
-    EDSUD,
-    DSUD,
-    IncrementalMaintainer,
-    LatencyModel,
-    Preference,
-    UncertainTuple,
-    build_sites,
-    distributed_skyline,
-    load_tuples,
-    make_nyse_workload,
-    make_synthetic_workload,
-    prob_skyline_sfs,
-    save_tuples,
-    vertical_skyline,
-)
+from repro import EDSUD, IncrementalMaintainer, LatencyModel, Preference, UncertainTuple, build_sites, distributed_skyline, load_tuples, make_nyse_workload, make_synthetic_workload, prob_skyline_sfs, save_tuples, vertical_skyline
 from repro.distributed.streaming import DistributedStreamSkyline
 from repro.net.sockets import host_sites
 
