@@ -1,0 +1,204 @@
+"""Kernel benchmark: columnar vs scalar hot paths, with a JSON artifact.
+
+Times the three paths the columnar kernel layer accelerates —
+
+* ``prob_skyline_sfs`` — the Eq. 3 local skyline computed at
+  ``prepare()`` time,
+* ``probe`` — the Eq. 9 foreign-factor window query on an un-indexed
+  site (one call per broadcast per site), and
+* a full DSUD run over un-indexed sites —
+
+each measured with the vectorized kernels *and* the scalar reference in
+the same process, and writes the comparison to ``BENCH_kernels.json``
+at the repository root (override with ``--out``).  CI runs this
+non-blocking and uploads the JSON, so every PR leaves a comparable
+record; ``scripts``/reviewers diff the ``speedup`` fields across
+commits.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.kernels            # full (n=20k)
+    PYTHONPATH=src python -m repro.bench.kernels --quick    # n=2k only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+from ..core.kernels import ColumnStore
+from ..core.kernels import prob_skyline_sfs as columnar_sfs
+from ..core.prob_skyline import prob_skyline_sfs as scalar_sfs
+from ..core.tuples import UncertainTuple
+from ..distributed.dsud import DSUD
+from ..distributed.query import build_sites
+from ..distributed.site import SiteConfig
+
+__all__ = ["run_kernel_bench", "main"]
+
+Q = 0.3
+PROBES = 64
+SCALE_SMALL = {"name": "small", "n": 2_000, "d": 4, "repeats": 3}
+SCALE_LARGE = {"name": "large", "n": 20_000, "d": 4, "repeats": 1}
+DSUD_SCALES = ({"name": "small", "n": 1_000, "sites": 4}, {"name": "large", "n": 4_000, "sites": 4})
+
+
+def _make_database(n: int, d: int, seed: int, start_key: int = 0) -> List[UncertainTuple]:
+    rng = random.Random(seed)
+    return [
+        UncertainTuple(
+            start_key + i,
+            tuple(rng.random() for _ in range(d)),
+            rng.random() * 0.99 + 0.01,
+        )
+        for i in range(n)
+    ]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_sfs(scale: Dict) -> Dict:
+    db = _make_database(scale["n"], scale["d"], seed=101)
+    vec = _best_of(lambda: columnar_sfs(db, Q), scale["repeats"])
+    ref = _best_of(lambda: scalar_sfs(db, Q), scale["repeats"])
+    return {
+        "benchmark": "prob_skyline_sfs",
+        "scale": scale["name"],
+        "n": scale["n"],
+        "d": scale["d"],
+        "threshold": Q,
+        "scalar_seconds": ref,
+        "vectorized_seconds": vec,
+        "speedup": ref / vec if vec > 0 else float("inf"),
+    }
+
+
+def _bench_probe(scale: Dict) -> Dict:
+    db = _make_database(scale["n"], scale["d"], seed=202)
+    probes = _make_database(PROBES, scale["d"], seed=303, start_key=10**6)
+    store = ColumnStore.from_tuples(db)
+
+    def vectorized() -> None:
+        for t in probes:
+            store.dominator_product(store.project_point(t), exclude_key=t.key)
+
+    from ..core.probability import non_occurrence_product
+
+    def scalar() -> None:
+        for t in probes:
+            non_occurrence_product(t, db)
+
+    vec = _best_of(vectorized, scale["repeats"])
+    ref = _best_of(scalar, scale["repeats"])
+    return {
+        "benchmark": "probe",
+        "scale": scale["name"],
+        "n": scale["n"],
+        "d": scale["d"],
+        "probes": PROBES,
+        "scalar_seconds": ref,
+        "vectorized_seconds": vec,
+        "speedup": ref / vec if vec > 0 else float("inf"),
+    }
+
+
+def _bench_dsud(scale: Dict) -> Dict:
+    d = 3
+    db = _make_database(scale["n"], d, seed=404)
+    partitions = [db[i :: scale["sites"]] for i in range(scale["sites"])]
+
+    def run(vectorized: bool):
+        sites = build_sites(
+            partitions,
+            site_config=SiteConfig(use_index=False, vectorized=vectorized),
+        )
+        return DSUD(sites, Q).run()
+
+    start = time.perf_counter()
+    vec_result = run(vectorized=True)
+    vec = time.perf_counter() - start
+    start = time.perf_counter()
+    ref_result = run(vectorized=False)
+    ref = time.perf_counter() - start
+    assert vec_result.answer.agrees_with(ref_result.answer, tol=1e-9), (
+        "vectorized and scalar DSUD answers diverged"
+    )
+    return {
+        "benchmark": "dsud_full_run",
+        "scale": scale["name"],
+        "n": scale["n"],
+        "d": d,
+        "sites": scale["sites"],
+        "threshold": Q,
+        "results": len(vec_result.answer),
+        "scalar_seconds": ref,
+        "vectorized_seconds": vec,
+        "speedup": ref / vec if vec > 0 else float("inf"),
+    }
+
+
+def run_kernel_bench(quick: bool = False) -> Dict:
+    """Run every kernel benchmark; returns the JSON-ready document."""
+    scales = [SCALE_SMALL] if quick else [SCALE_SMALL, SCALE_LARGE]
+    results = []
+    for scale in scales:
+        results.append(_bench_sfs(scale))
+        results.append(_bench_probe(scale))
+    for scale in DSUD_SCALES[:1] if quick else DSUD_SCALES:
+        results.append(_bench_dsud(scale))
+    return {
+        "artifact": "BENCH_kernels",
+        "generated_by": "python -m repro.bench.kernels",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "threshold": Q,
+        "quick": quick,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.kernels",
+        description="Benchmark the columnar kernels against the scalar reference.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        help="output path (default: BENCH_kernels.json in the cwd)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scale only (CI smoke; the full run uses n=20k)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_kernel_bench(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    for row in doc["results"]:
+        print(
+            f"{row['benchmark']:18s} {row['scale']:6s} n={row['n']:<6d} "
+            f"scalar {row['scalar_seconds']:8.3f}s  "
+            f"vectorized {row['vectorized_seconds']:8.3f}s  "
+            f"speedup {row['speedup']:6.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

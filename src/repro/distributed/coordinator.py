@@ -104,11 +104,14 @@ class Coordinator:
         latency_model: Optional[LatencyModel] = None,
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: int = 1,
     ) -> None:
         if not sites:
             raise ValueError("a distributed query needs at least one site")
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size!r}")
         self.sites = list(sites)
         self.threshold = threshold
         self.preference = preference
@@ -126,6 +129,16 @@ class Coordinator:
         #: fault marks the site DOWN.  A policy inserts retries (with
         #: backoff) between the fault and that escalation.
         self.retry_policy = retry_policy
+        #: Feedback quaternions shipped per FEEDBACK message.  1 keeps
+        #: every message, round, and floating-point product bit-identical
+        #: to the paper's per-candidate protocol; k > 1 trades strictly
+        #: fewer coordination rounds for slightly staler Local-Pruning
+        #: feedback within a round (see docs/performance.md).
+        self.batch_size = batch_size
+        #: Coordinator-lifetime broadcast pool, created lazily on the
+        #: first parallel broadcast and shut down in :meth:`run`'s
+        #: finally path (or :meth:`close`).
+        self._pool: Optional[ThreadPoolExecutor] = None
         self.health = ClusterHealth(s.site_id for s in self.sites)
         self.coverage = CoverageTracker(s.site_id for s in self.sites)
         self._site_by_id = {s.site_id: s for s in self.sites}
@@ -280,8 +293,7 @@ class Coordinator:
             s, "probe_and_prune", lambda: s.probe_and_prune(t)
         )
         if self.parallel_broadcast and len(targets) > 1:
-            with ThreadPoolExecutor(max_workers=len(targets)) as pool:
-                attempts = list(pool.map(probe, targets))
+            attempts = list(self._broadcast_pool().map(probe, targets))
         else:
             attempts = [probe(site) for site in targets]
         out = []
@@ -292,6 +304,103 @@ class Coordinator:
             self.coverage.contribute(t.key, site.site_id, reply.factor)
             out.append((site.site_id, reply))
         self.stats.record_round(tuples_in_round=len(targets))
+        return out
+
+    def broadcast_batch(self, quaternions: Sequence[Quaternion]) -> List[float]:
+        """Server-Delivery round for up to ``batch_size`` candidates at once.
+
+        Returns one exact (or Corollary-1 bounded, under failures)
+        global probability per quaternion, aligned with the input.  For
+        a single-element batch this is byte-for-byte :meth:`broadcast`
+        — same messages, same rounds, same multiplication order.
+        """
+        quaternions = list(quaternions)
+        probabilities = [q.local_probability for q in quaternions]
+        for _site_id, index, factor in self.broadcast_probes_batch(quaternions):
+            probabilities[index] *= factor
+        return probabilities
+
+    def broadcast_probes_batch(self, quaternions: Sequence[Quaternion]):
+        """Deliver a batch of feedback tuples; yield per-tuple factors.
+
+        Returns ``(site_id, batch_index, factor)`` triples.  Each live
+        site receives *one* FEEDBACK message carrying every batch tuple
+        it did not originate (billed at k tuples — the paper's metric
+        counts tuples, not envelopes) and answers with one PROBE_REPLY
+        carrying k scalars.  The whole batch costs a single parallel
+        round.  A single-element batch routes through
+        :meth:`broadcast_probes` so traces, accounting, and arithmetic
+        stay bit-identical to the unbatched protocol.
+
+        Endpoints without :meth:`probe_and_prune_batch` (e.g. region
+        aggregators) degrade to per-tuple probe_and_prune RPCs behind
+        the same batched accounting.
+        """
+        quaternions = list(quaternions)
+        if not quaternions:
+            return []
+        if len(quaternions) == 1:
+            return [
+                (site_id, 0, reply.factor)
+                for site_id, reply in self.broadcast_probes(quaternions[0])
+            ]
+        for q in quaternions:
+            self.coverage.open(q.tuple.key, q.site, q.tuple, q.local_probability)
+        plan = []  # (site, indices of batch tuples it must probe)
+        total_tuples = 0
+        for site in self.sites:
+            if self.health.is_down(site.site_id):
+                continue
+            indices = [
+                i for i, q in enumerate(quaternions) if q.site != site.site_id
+            ]
+            if not indices:
+                continue
+            plan.append((site, indices))
+            self._account(
+                MessageKind.FEEDBACK, _SERVER, self._name(site), tuples=len(indices)
+            )
+            total_tuples += len(indices)
+
+        def probe(entry):
+            site, indices = entry
+            ts = [quaternions[i].tuple for i in indices]
+            if len(ts) == 1:
+                ok, reply = self._rpc(
+                    site, "probe_and_prune", lambda: site.probe_and_prune(ts[0])
+                )
+                return [reply.factor] if ok else []
+            batch_call = getattr(site, "probe_and_prune_batch", None)
+            if batch_call is not None:
+                ok, reply = self._rpc(
+                    site, "probe_and_prune_batch", lambda: batch_call(ts)
+                )
+                return list(reply.factors) if ok else []
+            factors = []
+            for t in ts:
+                ok, reply = self._rpc(
+                    site, "probe_and_prune", lambda t=t: site.probe_and_prune(t)
+                )
+                if not ok:
+                    break  # partial factors still tighten coverage
+                factors.append(reply.factor)
+            return factors
+
+        if self.parallel_broadcast and len(plan) > 1:
+            attempts = list(self._broadcast_pool().map(probe, plan))
+        else:
+            attempts = [probe(entry) for entry in plan]
+        out = []
+        for (site, indices), factors in zip(plan, attempts):
+            if not factors:
+                continue  # factors stay missing in the coverage books
+            self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
+            for index, factor in zip(indices, factors):
+                self.coverage.contribute(
+                    quaternions[index].tuple.key, site.site_id, factor
+                )
+                out.append((site.site_id, index, factor))
+        self.stats.record_round(tuples_in_round=total_tuples)
         return out
 
     def report(self, t: UncertainTuple, global_probability: float) -> bool:
@@ -392,7 +501,10 @@ class Coordinator:
     def run(self) -> RunResult:
         """Execute the query; subclasses implement :meth:`_execute`."""
         self.progress.restart_clock()
-        self._execute()
+        try:
+            self._execute()
+        finally:
+            self.close()
         extra = self._extra()
         pruned = [
             getattr(site, "pruned_total", None) for site in self.sites
@@ -425,12 +537,40 @@ class Coordinator:
     def _extra(self) -> dict:
         return {}
 
+    def close(self) -> None:
+        """Release coordinator-owned resources (the broadcast pool).
+
+        Idempotent; :meth:`run` calls it on every exit path, but a
+        caller driving the protocol building blocks directly should
+        close explicitly (or rely on GC of the daemonless pool).
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _broadcast_pool(self) -> ThreadPoolExecutor:
+        """The lazily created coordinator-lifetime broadcast pool."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(2, len(self.sites)),
+                thread_name_prefix="broadcast",
+            )
+        return self._pool
+
     # ------------------------------------------------------------------
     # accounting helpers
     # ------------------------------------------------------------------
 
-    def _account(self, kind: MessageKind, sender: str, receiver: str) -> None:
-        self.stats.record(Message.bearing(kind, sender, receiver, payload=None))
+    def _account(
+        self,
+        kind: MessageKind,
+        sender: str,
+        receiver: str,
+        tuples: Optional[int] = None,
+    ) -> None:
+        self.stats.record(
+            Message.bearing(kind, sender, receiver, payload=None, tuple_count=tuples)
+        )
 
     @staticmethod
     def _name(site: SiteEndpoint) -> str:

@@ -50,11 +50,13 @@ class DSUD(Coordinator):
         limit: Optional[int] = None,
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
             parallel_broadcast=parallel_broadcast,
             retry_policy=retry_policy,
+            batch_size=batch_size,
         )
         self.limit = limit
 
@@ -91,25 +93,40 @@ class DSUD(Coordinator):
                 # L drained while a site was unreachable — one final
                 # poll above was its last chance; terminate degraded.
                 break
-            self.iterations += 1
-            _, _, head = heapq.heappop(heap)
-            if head.local_probability < self.threshold:
+            # Collect up to batch_size heads by *peeking* before each
+            # pop: a head below q must stay unbatched (Corollary 1 says
+            # nothing below it can qualify), but heads already popped
+            # into the batch remain sound — their origins hold only
+            # smaller candidates.  With batch_size=1 this is exactly
+            # the per-candidate loop: same pops, same iteration count.
+            batch: List = []
+            while heap and len(batch) < self.batch_size:
+                if heap[0][2].local_probability < self.threshold:
+                    break
+                self.iterations += 1
+                _, _, head = heapq.heappop(heap)
+                batch.append(head)
+            if not batch:
                 # Corollary 1: nothing in L (or unfetched) can qualify.
+                self.iterations += 1
+                heapq.heappop(heap)
                 break
-            global_probability = self.broadcast(head)
-            if buffer is None:
-                self.report(head.tuple, global_probability)
-            elif global_probability >= self.threshold:
-                buffer.offer(head.tuple, global_probability)
-            if head.site not in exhausted:
-                refill = self.fetch_representative(site_by_id[head.site])
-                if refill is None:
-                    exhausted.add(head.site)
-                else:
-                    heapq.heappush(
-                        heap, (-refill.local_probability, next(counter), refill)
-                    )
-                    self.stats.record_round(tuples_in_round=1)
+            global_probabilities = self.broadcast_batch(batch)
+            for head, global_probability in zip(batch, global_probabilities):
+                if buffer is None:
+                    self.report(head.tuple, global_probability)
+                elif global_probability >= self.threshold:
+                    buffer.offer(head.tuple, global_probability)
+            for head in batch:
+                if head.site not in exhausted:
+                    refill = self.fetch_representative(site_by_id[head.site])
+                    if refill is None:
+                        exhausted.add(head.site)
+                    else:
+                        heapq.heappush(
+                            heap, (-refill.local_probability, next(counter), refill)
+                        )
+                        self.stats.record_round(tuples_in_round=1)
             if buffer is not None:
                 remaining_cap = -heap[0][0] if heap else 0.0
                 if buffer.drain(remaining_cap, self.report):

@@ -103,11 +103,13 @@ class EDSUD(Coordinator):
         limit: Optional[int] = None,
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
             parallel_broadcast=parallel_broadcast,
             retry_policy=retry_policy,
+            batch_size=batch_size,
         )
         self.config = config or EDSUDConfig()
         self.limit = limit
@@ -177,23 +179,28 @@ class EDSUD(Coordinator):
                 self._refill(site_by_id, site.site_id)
             if self.config.server_expunge:
                 self._expunge_dead(site_by_id)
-            head = self._max_bound_resident()
-            if head is None or head.bound < self.threshold:
+            heads = self._top_residents()
+            if not heads:
                 if self._all_sites_drained():
                     break
                 # Lazy mode: dead residents block non-exhausted sites;
                 # drop them so those sites can surface fresh candidates.
                 self._expunge_dead(site_by_id)
                 continue
-            self.iterations += 1
-            quaternion = head.quaternion
-            del self._residents[quaternion.site]
-            global_probability = self._broadcast_tracking_factors(quaternion)
-            if buffer is None:
-                self.report(quaternion.tuple, global_probability)
-            elif global_probability >= self.threshold:
-                buffer.offer(quaternion.tuple, global_probability)
-            self._refill(site_by_id, quaternion.site)
+            self.iterations += len(heads)
+            quaternions = [resident.quaternion for resident in heads]
+            for quaternion in quaternions:
+                del self._residents[quaternion.site]
+            global_probabilities = self._broadcast_batch_tracking(quaternions)
+            for quaternion, global_probability in zip(
+                quaternions, global_probabilities
+            ):
+                if buffer is None:
+                    self.report(quaternion.tuple, global_probability)
+                elif global_probability >= self.threshold:
+                    buffer.offer(quaternion.tuple, global_probability)
+            for quaternion in quaternions:
+                self._refill(site_by_id, quaternion.site)
             if buffer is not None:
                 # Everything unresolved — residents and their sites'
                 # unfetched tails alike — is capped by the residents'
@@ -213,20 +220,34 @@ class EDSUD(Coordinator):
 
     def _broadcast_tracking_factors(self, quaternion: Quaternion) -> float:
         """Broadcast like the base class, but remember exact factors."""
-        global_probability = quaternion.local_probability
-        exact: Dict[int, float] = {}
-        for site_id, reply in self.broadcast_probes(quaternion):
-            global_probability *= reply.factor
-            exact[site_id] = reply.factor
-        for seen in self._seen:
-            if seen.quaternion.tuple.key == quaternion.tuple.key:
-                seen.exact_factors = exact
-                break
-        if self.config.reuse_probe_factors and self.config.eager_bound_refresh:
-            entry = _SeenTuple(quaternion=quaternion, exact_factors=exact)
-            for other in self._residents.values():
-                self._apply_seen_to(other, entry)
-        return global_probability
+        return self._broadcast_batch_tracking([quaternion])[0]
+
+    def _broadcast_batch_tracking(
+        self, quaternions: Sequence[Quaternion]
+    ) -> List[float]:
+        """Batched broadcast that records each tuple's exact factors.
+
+        A single-element batch routes through the unbatched protocol
+        inside :meth:`Coordinator.broadcast_probes_batch`, so factors,
+        messages, and multiplication order match the per-candidate
+        e-DSUD exactly.
+        """
+        quaternions = list(quaternions)
+        global_probabilities = [q.local_probability for q in quaternions]
+        exacts: List[Dict[int, float]] = [{} for _ in quaternions]
+        for site_id, index, factor in self.broadcast_probes_batch(quaternions):
+            global_probabilities[index] *= factor
+            exacts[index][site_id] = factor
+        for quaternion, exact in zip(quaternions, exacts):
+            for seen in self._seen:
+                if seen.quaternion.tuple.key == quaternion.tuple.key:
+                    seen.exact_factors = exact
+                    break
+            if self.config.reuse_probe_factors and self.config.eager_bound_refresh:
+                entry = _SeenTuple(quaternion=quaternion, exact_factors=exact)
+                for other in self._residents.values():
+                    self._apply_seen_to(other, entry)
+        return global_probabilities
 
     def _refill(self, site_by_id: Dict[int, SiteEndpoint], site_id: int) -> None:
         """Ask a site whose resident was consumed for its next candidate."""
@@ -265,6 +286,22 @@ class EDSUD(Coordinator):
             if best is None or resident.bound > best.bound:
                 best = resident
         return best
+
+    def _top_residents(self) -> List[_Resident]:
+        """Up to ``batch_size`` qualified residents, best bound first.
+
+        Empty exactly when :meth:`_max_bound_resident` is ``None`` or
+        below ``q`` — the termination test.  The stable sort keeps
+        first-admitted order on ties, matching the single-head max
+        scan.
+        """
+        live = [
+            resident
+            for resident in self._residents.values()
+            if resident.bound >= self.threshold
+        ]
+        live.sort(key=lambda resident: resident.bound, reverse=True)
+        return live[: self.batch_size]
 
     def _all_sites_drained(self) -> bool:
         return len(self._exhausted) == len(self.sites)

@@ -57,6 +57,7 @@ def distributed_skyline(
     limit: Optional[int] = None,
     fault_schedule: Optional[FaultSchedule] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    batch_size: int = 1,
 ) -> RunResult:
     """Answer a distributed probabilistic skyline query.
 
@@ -87,6 +88,11 @@ def distributed_skyline(
         Optional :class:`~repro.fault.retry.RetryPolicy` for every
         coordinator→site RPC (progressive algorithms only); exhausted
         retries degrade the query instead of failing it.
+    batch_size:
+        Feedback quaternions per FEEDBACK message (progressive
+        algorithms only).  The default 1 reproduces the paper's
+        per-candidate protocol bit-for-bit; larger batches cut
+        coordination rounds (see docs/performance.md).
 
     Returns the :class:`RunResult` with the answer, exact bandwidth
     accounting, the progressiveness timeline, and the coverage report.
@@ -105,17 +111,23 @@ def distributed_skyline(
         coordinator: Coordinator = EDSUD(
             sites, threshold, preference, latency_model,
             config=edsud_config, limit=limit, retry_policy=retry_policy,
+            batch_size=batch_size,
         )
     elif cls is DSUD:
         coordinator = DSUD(
             sites, threshold, preference, latency_model, limit=limit,
-            retry_policy=retry_policy,
+            retry_policy=retry_policy, batch_size=batch_size,
         )
     else:
         if limit is not None:
             raise ValueError(
                 f"limit= requires a progressive algorithm (dsud/edsud); "
                 f"{algorithm!r} resolves everything before its first result"
+            )
+        if batch_size != 1:
+            raise ValueError(
+                f"batch_size= requires a progressive algorithm (dsud/edsud); "
+                f"{algorithm!r} has no broadcast rounds to batch"
             )
         coordinator = cls(sites, threshold, preference, latency_model)
     return coordinator.run()

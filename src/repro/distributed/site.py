@@ -12,7 +12,9 @@ the DSUD/e-DSUD protocol:
   :class:`~repro.net.message.Quaternion` on request.
 * **Server-Delivery phase** — answer a probe for a foreign tuple ``t``
   with the factor ``P_sky(t, D_i) = ∏_{t'∈D_i, t'≺t}(1 − P(t'))``
-  (Eq. 9) through the §6.3 window query.
+  (Eq. 9) through the §6.3 window query, one tuple at a time or as a
+  batch (:meth:`probe_and_prune_batch`) when the coordinator ships
+  several feedback quaternions per round.
 * **Local-Pruning phase** — fold each received feedback tuple into the
   pruning set and expunge queue candidates whose global-probability
   upper bound ``P_sky(s, D_i) × ∏_{f ≺ s}(1 − P(f))`` sinks below the
@@ -20,6 +22,15 @@ the DSUD/e-DSUD protocol:
   only their candidacy dies.
 * **§5.4 maintenance** — apply inserts/deletes to the PR-tree, the
   candidate queue, and the replicated copy of ``SKY(H)``.
+
+Hot paths run on the columnar kernels of :mod:`repro.core.kernels` by
+default: the candidate queue is kept as a small column store (values
+matrix + bound vector + alive mask), so one feedback broadcast tightens
+*every* candidate's bound in a single masked multiply, and un-indexed
+probes and local skylines use the vectorized Eq. 9 / SFS kernels.
+``SiteConfig.vectorized=False`` selects the scalar reference path —
+same queue discipline, same accounting, pure-Python arithmetic — which
+the exactness tests diff against the kernels.
 
 Sites never talk to each other; everything flows through the
 coordinator, exactly as in the paper.
@@ -30,7 +41,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.dominance import Preference, dominates
+from ..core.kernels import ColumnStore
+from ..core.kernels import prob_skyline_sfs as columnar_prob_skyline_sfs
 from ..core.prob_skyline import ProbabilisticSkyline, prob_skyline_sfs
 from ..core.probability import skyline_probability
 from ..core.tuples import UncertainTuple, validate_database
@@ -38,7 +53,7 @@ from ..index.bbs import bbs_prob_skyline
 from ..index.prtree import PRTree
 from ..net.message import Quaternion
 
-__all__ = ["SiteConfig", "ProbeReply", "LocalSite"]
+__all__ = ["SiteConfig", "ProbeReply", "BatchProbeReply", "LocalSite"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +71,11 @@ class SiteConfig:
     ``store_products``   — keep non-occurrence products in the tree
                            (the §6.3 probe optimization; ablation
                            switch).
+    ``vectorized``       — run the un-indexed probe/skyline kernels and
+                           the Local-Pruning scan on the columnar numpy
+                           layer (:mod:`repro.core.kernels`).  False
+                           selects the scalar reference path, which the
+                           exactness suite diffs against the kernels.
     """
 
     use_index: bool = True
@@ -63,6 +83,7 @@ class SiteConfig:
     feedback_pruning: bool = True
     max_entries: int = 16
     store_products: bool = True
+    vectorized: bool = True
 
 
 @dataclass(frozen=True)
@@ -70,6 +91,19 @@ class ProbeReply:
     """Answer to a feedback/probe broadcast."""
 
     factor: float
+    pruned: int
+    queue_remaining: int
+
+
+@dataclass(frozen=True)
+class BatchProbeReply:
+    """Answer to a batched feedback broadcast: one factor per probe tuple.
+
+    ``factors`` aligns with the request order; ``pruned`` totals the
+    Local-Pruning drops across the whole batch.
+    """
+
+    factors: List[float]
     pruned: int
     queue_remaining: int
 
@@ -115,10 +149,22 @@ class LocalSite:
                     f"expected 'prtree' or 'grid'"
                 )
         self.threshold: Optional[float] = None
-        self._queue: List[_Candidate] = []
-        self._feedback: List[UncertainTuple] = []
         self._popped_keys: set = set()
         self.pruned_total = 0
+        # The candidate queue: parallel to ``_cands`` run a cursor
+        # (``_q_head``), an alive mask, a bound vector, and — on the
+        # vectorized path — the candidates' min-space coordinate matrix.
+        # Front-pops advance the cursor in O(1); feedback pruning flips
+        # alive bits instead of rebuilding lists.
+        self._cands: List[_Candidate] = []
+        self._q_head = 0
+        self._q_alive = np.zeros(0, dtype=bool)
+        self._q_bounds = np.zeros(0, dtype=np.float64)
+        self._q_values: Optional[np.ndarray] = None
+        # Columnar view of the whole partition for un-indexed probes;
+        # rebuilt lazily after §5.4 updates.
+        self._columns: Optional[ColumnStore] = None
+        self._feedback: List[UncertainTuple] = []
         #: Replica of the global result set for §5.4 updates: key →
         #: (tuple, global skyline probability).  Replicating SKY(H) at
         #: every participant is what lets most updates resolve without
@@ -140,23 +186,58 @@ class LocalSite:
             raise ValueError(f"threshold q must be in (0, 1], got {threshold!r}")
         self.threshold = threshold
         answer = self._local_skyline(threshold)
-        self._queue = [
+        self._cands = [
             _Candidate(tuple=m.tuple, local_probability=m.probability, bound=m.probability)
             for m in answer  # ProbabilisticSkyline iterates descending
         ]
+        k = len(self._cands)
+        self._q_head = 0
+        self._q_alive = np.ones(k, dtype=bool)
+        self._q_bounds = np.array(
+            [c.local_probability for c in self._cands], dtype=np.float64
+        )
+        if self.config.vectorized and k:
+            store = ColumnStore.from_tuples(
+                [c.tuple for c in self._cands], self.preference
+            )
+            self._q_values = store.values
+        else:
+            self._q_values = None
         self._feedback = []
         self._popped_keys = set()
         self.pruned_total = 0
-        return len(self._queue)
+        return k
 
     def _local_skyline(self, threshold: float) -> ProbabilisticSkyline:
         if isinstance(self.tree, PRTree):
             return bbs_prob_skyline(self.tree, threshold)
+        if self.config.vectorized:
+            return columnar_prob_skyline_sfs(
+                list(self.database.values()), threshold, self.preference
+            )
         return prob_skyline_sfs(list(self.database.values()), threshold, self.preference)
 
     # ------------------------------------------------------------------
     # to-server phase
     # ------------------------------------------------------------------
+
+    @property
+    def _queue(self) -> List[_Candidate]:
+        """The live candidates, in queue order, with current bounds.
+
+        A materialised read-only view — synopsis building and tests
+        iterate it; the mutable state lives in the cursor/mask/bound
+        arrays.
+        """
+        return [
+            _Candidate(
+                tuple=self._cands[i].tuple,
+                local_probability=self._cands[i].local_probability,
+                bound=float(self._q_bounds[i]),
+            )
+            for i in range(self._q_head, len(self._cands))
+            if self._q_alive[i]
+        ]
 
     def pop_representative(self) -> Optional[Quaternion]:
         """Hand the most promising remaining candidate to the server.
@@ -166,9 +247,14 @@ class LocalSite:
         lazily); ``None`` signals exhaustion.
         """
         self._require_prepared()
-        while self._queue:
-            cand = self._queue.pop(0)
-            if cand.bound < self.threshold:
+        while self._q_head < len(self._cands):
+            idx = self._q_head
+            self._q_head += 1
+            if not self._q_alive[idx]:
+                continue  # pruned or deleted earlier; already accounted
+            self._q_alive[idx] = False  # consumed either way
+            cand = self._cands[idx]
+            if float(self._q_bounds[idx]) < self.threshold:
                 self.pruned_total += 1
                 continue
             self._popped_keys.add(cand.tuple.key)
@@ -180,7 +266,7 @@ class LocalSite:
         return None
 
     def queue_size(self) -> int:
-        return len(self._queue)
+        return int(self._q_alive.sum())
 
     def ship_all(self) -> List[UncertainTuple]:
         """Surrender the whole partition (the §3.2 ship-all baseline)."""
@@ -203,22 +289,55 @@ class LocalSite:
     # server-delivery + local-pruning phases
     # ------------------------------------------------------------------
 
+    def _partition_columns(self) -> ColumnStore:
+        if self._columns is None:
+            self._columns = ColumnStore.from_tuples(
+                list(self.database.values()), self.preference
+            )
+        return self._columns
+
     def probe(self, t: UncertainTuple) -> float:
         """Eq. 9: the exact factor this site contributes for foreign ``t``."""
         if self.tree is not None:
             return self.tree.dominators_product(t)
+        if self.config.vectorized:
+            store = self._partition_columns()
+            return store.dominator_product(
+                store.project_point(t, self.preference), exclude_key=t.key
+            )
         product = 1.0
         for other in self.database.values():
             if other.key != t.key and dominates(other, t, self.preference):
                 product *= 1.0 - other.probability
         return product
 
+    def probe_batch(self, ts: Sequence[UncertainTuple]) -> List[float]:
+        """Eq. 9 for many foreign tuples at once (one kernel dispatch)."""
+        ts = list(ts)
+        if self.tree is not None:
+            batch = getattr(self.tree, "dominators_products", None)
+            if batch is not None:
+                return [float(f) for f in batch(ts)]
+            return [self.tree.dominators_product(t) for t in ts]
+        if self.config.vectorized and ts:
+            store = self._partition_columns()
+            points = np.stack(
+                [store.project_point(t, self.preference) for t in ts]
+            )
+            factors = store.dominator_products(
+                points, exclude_keys=[t.key for t in ts]
+            )
+            return [float(f) for f in factors]
+        return [self.probe(t) for t in ts]
+
     def apply_feedback(self, t: UncertainTuple) -> int:
         """Local-Pruning phase: expunge candidates the feedback disqualifies.
 
         Tightens every queued candidate dominated by ``t`` with the
         factor ``(1 − P(t))`` and drops those whose bound sinks below
-        ``q``.  Returns the number dropped.  With pruning disabled the
+        ``q``.  Returns the number dropped.  On the vectorized path the
+        whole queue tightens in one masked multiply; the scalar path
+        walks it candidate by candidate.  With pruning disabled the
         feedback is recorded (for update maintenance) but nothing is
         dropped.
         """
@@ -226,24 +345,70 @@ class LocalSite:
         self._feedback.append(t)
         if not self.config.feedback_pruning:
             return 0
-        survivors: List[_Candidate] = []
+        if not self._q_alive.any():
+            return 0
+        if self.config.vectorized and self._q_values is not None:
+            return self._apply_feedback_columnar(t)
         pruned = 0
-        for cand in self._queue:
-            if dominates(t, cand.tuple, self.preference):
-                cand.bound *= 1.0 - t.probability
-                if cand.bound < self.threshold:
+        factor = 1.0 - t.probability
+        for idx in range(self._q_head, len(self._cands)):
+            if not self._q_alive[idx]:
+                continue
+            if dominates(t, self._cands[idx].tuple, self.preference):
+                self._q_bounds[idx] *= factor
+                if float(self._q_bounds[idx]) < self.threshold:
+                    self._q_alive[idx] = False
                     pruned += 1
-                    continue
-            survivors.append(cand)
-        self._queue = survivors
         self.pruned_total += pruned
+        return pruned
+
+    def _apply_feedback_columnar(self, t: UncertainTuple) -> int:
+        """One broadcast → one masked multiply over the candidate columns."""
+        point = np.asarray(t.values, dtype=np.float64).reshape(1, -1)
+        if self.preference is not None:
+            from ..core.kernels import _project_matrix
+
+            point = _project_matrix(point, self.preference)
+        point = point[0]
+        dominated = (
+            self._q_alive
+            & (self._q_values >= point).all(axis=1)
+            & (self._q_values > point).any(axis=1)
+        )
+        if not dominated.any():
+            return 0
+        self._q_bounds[dominated] *= 1.0 - t.probability
+        dead = dominated & (self._q_bounds < self.threshold)
+        pruned = int(dead.sum())
+        if pruned:
+            self._q_alive[dead] = False
+            self.pruned_total += pruned
         return pruned
 
     def probe_and_prune(self, t: UncertainTuple) -> ProbeReply:
         """The combined Server-Delivery message handler."""
         factor = self.probe(t)
         pruned = self.apply_feedback(t)
-        return ProbeReply(factor=factor, pruned=pruned, queue_remaining=len(self._queue))
+        return ProbeReply(
+            factor=factor, pruned=pruned, queue_remaining=self.queue_size()
+        )
+
+    def probe_and_prune_batch(self, ts: Sequence[UncertainTuple]) -> BatchProbeReply:
+        """Batched Server-Delivery: k feedback tuples in, k factors out.
+
+        Factors are Eq. 9 against the stored partition, which feedback
+        never mutates — so probing everything first and pruning after is
+        exactly equivalent to k sequential :meth:`probe_and_prune`
+        calls.
+        """
+        ts = list(ts)
+        factors = self.probe_batch(ts)
+        pruned = 0
+        for t in ts:
+            pruned += self.apply_feedback(t)
+        return BatchProbeReply(
+            factors=factors, pruned=pruned, queue_remaining=self.queue_size()
+        )
 
     # ------------------------------------------------------------------
     # §5.4 update maintenance hooks
@@ -258,6 +423,7 @@ class LocalSite:
         if t.key in self.database:
             raise ValueError(f"tuple {t.key} already stored at site {self.site_id}")
         self.database[t.key] = t
+        self._columns = None
         if self.tree is not None:
             self.tree.add(t)
 
@@ -266,9 +432,12 @@ class LocalSite:
         t = self.database.pop(key, None)
         if t is None:
             raise KeyError(f"tuple {key} not stored at site {self.site_id}")
+        self._columns = None
         if self.tree is not None:
             self.tree.remove(t)
-        self._queue = [c for c in self._queue if c.tuple.key != key]
+        for idx in range(self._q_head, len(self._cands)):
+            if self._q_alive[idx] and self._cands[idx].tuple.key == key:
+                self._q_alive[idx] = False
         return t
 
     def local_skyline_probability(self, t: UncertainTuple, floor: float = 0.0) -> float:
@@ -283,6 +452,13 @@ class LocalSite:
         inner_floor = floor / t.probability if floor > 0.0 else 0.0
         if self.tree is not None:
             return t.probability * self.tree.dominators_product(t, floor=inner_floor)
+        if self.config.vectorized:
+            store = self._partition_columns()
+            return t.probability * store.dominator_product(
+                store.project_point(t, self.preference),
+                exclude_key=t.key,
+                floor=inner_floor,
+            )
         return skyline_probability(
             t, self.database.values(), self.preference, floor=floor
         )

@@ -83,6 +83,13 @@ class FaultyEndpoint:
         self._gate("probe_and_prune")
         return self.inner.probe_and_prune(t)
 
+    def probe_and_prune_batch(self, ts):
+        # One gate per batch RPC (it is one message on the wire).  Must
+        # be explicit: the __getattr__ passthrough below would silently
+        # hand back the inner method *without* fault injection.
+        self._gate("probe_and_prune_batch")
+        return self.inner.probe_and_prune_batch(ts)
+
     def queue_size(self) -> int:
         self._gate("queue_size")
         return self.inner.queue_size()

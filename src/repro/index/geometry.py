@@ -1,9 +1,16 @@
 """Axis-aligned rectangle (MBR) geometry for the R-tree family.
 
-Everything is plain tuples of floats — no numpy in the per-node hot
-path — and rectangles are immutable values, which keeps node updates
-explicit: a node's MBR is only ever *recomputed*, never mutated in
-place, so a stale bound is a bug the invariant checker can catch.
+Everything is plain tuples of floats — deliberately no numpy in the
+per-node hot path, and this stays true even now that columnar kernels
+exist: tree traversal touches one small fixed-``d`` box at a time,
+where interpreter-level tuple comparisons beat numpy's per-call
+dispatch overhead by a wide margin.  Vectorization pays only at
+partition granularity, and that lives in :mod:`repro.core.kernels`
+(the PR-tree's batched ``dominators_products`` loops these scalar
+traversals rather than columnising nodes).  Rectangles are immutable
+values, which keeps node updates explicit: a node's MBR is only ever
+*recomputed*, never mutated in place, so a stale bound is a bug the
+invariant checker can catch.
 Coordinates are assumed to live in canonical min-space (preferences are
 applied before anything reaches the index; see
 :meth:`repro.core.dominance.Preference.project`).

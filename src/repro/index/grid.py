@@ -234,6 +234,16 @@ class GridIndex:
                 return product
         return product
 
+    def dominators_products(
+        self, targets: Iterable[UncertainTuple], floor: float = 0.0
+    ) -> List[float]:
+        """Batched probe: one Eq.-9 product per target.
+
+        Mirrors :meth:`PRTree.dominators_products` so either index can
+        back the coordinator's batched FEEDBACK rounds.
+        """
+        return [self.dominators_product(t, floor=floor) for t in targets]
+
     def _candidate_cells(self, target_cell: Tuple[int, ...]):
         """Cells that can hold dominators: index ≤ target on every dim.
 

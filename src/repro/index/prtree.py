@@ -218,6 +218,17 @@ class PRTree(RTree):
                 return product
         return product
 
+    def dominators_products(
+        self, targets: Sequence[UncertainTuple], floor: float = 0.0
+    ) -> List[float]:
+        """Batched §6.3 window query: one Eq.-9 product per target.
+
+        The batch entry point the coordinator's batched FEEDBACK rounds
+        use; each target gets the same traversal (and the same
+        ``floor`` early-exit contract) as :meth:`dominators_product`.
+        """
+        return [self.dominators_product(t, floor=floor) for t in targets]
+
     def _subtree_contains_key(
         self, node: Node, key: Optional[int], point: Tuple[float, ...]
     ) -> bool:

@@ -105,15 +105,27 @@ class Message:
 
     @classmethod
     def bearing(
-        cls, kind: MessageKind, sender: str, receiver: str, payload: Any
+        cls,
+        kind: MessageKind,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        tuple_count: int = None,
     ) -> "Message":
-        """Build a message, deriving the tuple count from its kind."""
+        """Build a message, deriving the tuple count from its kind.
+
+        ``tuple_count`` overrides the per-kind default for batched
+        messages (a FEEDBACK carrying k quaternions bears k tuples —
+        the paper's §3.2 metric counts tuples, not envelopes).
+        """
+        if tuple_count is None:
+            tuple_count = 1 if kind in _TUPLE_BEARING else 0
         return cls(
             kind=kind,
             sender=sender,
             receiver=receiver,
             payload=payload,
-            tuple_count=1 if kind in _TUPLE_BEARING else 0,
+            tuple_count=tuple_count,
         )
 
     def size_bytes(self, dimensionality: int = 3) -> int:

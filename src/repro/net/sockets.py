@@ -88,6 +88,15 @@ class _SiteRequestHandler(socketserver.BaseRequestHandler):
                 "pruned": reply.pruned,
                 "queue_remaining": reply.queue_remaining,
             }
+        if method == "probe_and_prune_batch":
+            reply = site.probe_and_prune_batch(
+                [decode_tuple(d) for d in request["tuples"]]
+            )
+            return {
+                "factors": list(reply.factors),
+                "pruned": reply.pruned,
+                "queue_remaining": reply.queue_remaining,
+            }
         if method == "queue_size":
             return site.queue_size()
         if method == "ship_all":
@@ -214,6 +223,18 @@ class RemoteSiteProxy:
         result = self._call("probe_and_prune", tuple=encode_tuple(t))
         return ProbeReply(
             factor=float(result["factor"]),
+            pruned=int(result["pruned"]),
+            queue_remaining=int(result["queue_remaining"]),
+        )
+
+    def probe_and_prune_batch(self, ts: Sequence[UncertainTuple]):
+        from ..distributed.site import BatchProbeReply
+
+        result = self._call(
+            "probe_and_prune_batch", tuples=[encode_tuple(t) for t in ts]
+        )
+        return BatchProbeReply(
+            factors=[float(f) for f in result["factors"]],
             pruned=int(result["pruned"]),
             queue_remaining=int(result["queue_remaining"]),
         )

@@ -75,6 +75,13 @@ class RecordingEndpoint:
     def probe_and_prune(self, t: UncertainTuple):
         return self._record("probe_and_prune", (t,), self.inner.probe_and_prune(t))
 
+    def probe_and_prune_batch(self, ts):
+        # Explicit (not via __getattr__) so batched rounds appear in
+        # the journal under their own method name.
+        return self._record(
+            "probe_and_prune_batch", (tuple(ts),), self.inner.probe_and_prune_batch(ts)
+        )
+
     def queue_size(self) -> int:
         return self._record("queue_size", (), self.inner.queue_size())
 

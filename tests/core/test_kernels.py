@@ -1,0 +1,215 @@
+"""Property tests: the columnar kernels agree with the scalar reference.
+
+The vectorized paths (ColumnStore + the columnar SFS) must reproduce
+the scalar arithmetic within 1e-9 on *any* input — random preferences
+(directions and subspaces), duplicate coordinates (the grid strategy
+forces ties), and boundary probabilities (exactly 1.0 and near-zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dominance import Direction, Preference, dominates
+from repro.core.kernels import ColumnStore, prob_skyline_sfs
+from repro.core.prob_skyline import all_skyline_probabilities
+from repro.core.prob_skyline import prob_skyline_sfs as scalar_sfs
+from repro.core.probability import non_occurrence_product
+from repro.core.tuples import UncertainTuple
+from repro.distributed.site import LocalSite, SiteConfig
+
+from ..conftest import make_random_database
+
+TOL = 1e-9
+
+
+def preferences(d: int) -> st.SearchStrategy:
+    """None, pure directions, pure subspace, or both — for dimensionality d."""
+    directions = st.one_of(
+        st.none(),
+        st.lists(
+            st.sampled_from([Direction.MIN, Direction.MAX]), min_size=d, max_size=d
+        ).map(tuple),
+    )
+    subspace = st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=0, max_value=d - 1),
+            min_size=1,
+            max_size=d,
+            unique=True,
+        ).map(tuple),
+    )
+    return st.builds(Preference, directions=directions, subspace=subspace)
+
+
+@st.composite
+def database_and_preference(draw):
+    """Small databases on an integer grid (ties guaranteed) + preference.
+
+    Probabilities mix the generic (0, 1] range with the boundary values
+    the masked products must survive: exactly 1.0 (a dominating certain
+    tuple zeroes every product below it) and near-zero.
+    """
+    d = draw(st.integers(min_value=1, max_value=4))
+    boundary = st.sampled_from([1.0, 1e-12, 0.5])
+    generic = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=6).map(float),
+                    min_size=d,
+                    max_size=d,
+                ),
+                st.one_of(generic, boundary),
+            ),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    db = [UncertainTuple(i, tuple(v), p) for i, (v, p) in enumerate(rows)]
+    pref = draw(preferences(d))
+    return d, db, pref
+
+
+class TestDominatorKernels:
+    @given(database_and_preference())
+    def test_dominators_mask_matches_scalar_dominates(self, case):
+        _d, db, pref = case
+        store = ColumnStore.from_tuples(db, pref)
+        for t in db:
+            mask = store.dominators_mask(store.project_point(t, pref), exclude_key=t.key)
+            expected = [
+                other.key != t.key and dominates(other, t, pref) for other in db
+            ]
+            assert mask.tolist() == expected
+
+    @given(database_and_preference())
+    def test_dominator_product_matches_non_occurrence_product(self, case):
+        _d, db, pref = case
+        store = ColumnStore.from_tuples(db, pref)
+        for t in db:
+            got = store.dominator_product(
+                store.project_point(t, pref), exclude_key=t.key
+            )
+            want = non_occurrence_product(t, db, pref)
+            assert got == pytest.approx(want, abs=TOL)
+
+    @given(database_and_preference())
+    def test_batched_products_match_single_probes(self, case):
+        _d, db, pref = case
+        if not db:
+            return
+        store = ColumnStore.from_tuples(db, pref)
+        points = np.stack([store.project_point(t, pref) for t in db])
+        batched = store.dominator_products(
+            points, exclude_keys=[t.key for t in db], block=3
+        )
+        for t, got in zip(db, batched):
+            want = store.dominator_product(
+                store.project_point(t, pref), exclude_key=t.key
+            )
+            assert got == pytest.approx(want, abs=TOL)
+
+    def test_exclude_key_none_keeps_every_dominator(self):
+        db = make_random_database(40, 2, seed=3, grid=5)
+        store = ColumnStore.from_tuples(db)
+        foreign = UncertainTuple(10_000, (3.0, 3.0), 0.5)
+        point = store.project_point(foreign)
+        with_none = store.dominator_product(point)
+        batched = store.dominator_products(point.reshape(1, -1))[0]
+        want = non_occurrence_product(foreign, db)
+        assert with_none == pytest.approx(want, abs=TOL)
+        assert batched == pytest.approx(want, abs=TOL)
+
+    def test_empty_store_is_neutral(self):
+        store = ColumnStore.from_tuples([])
+        assert len(store) == 0
+        point = np.zeros(0)
+        assert store.dominators_mask(point).size == 0
+        assert store.dominator_product(point) == 1.0
+        assert store.dominator_products(np.zeros((3, 0))).tolist() == [1.0] * 3
+
+
+class TestColumnarSFS:
+    @given(
+        database_and_preference(),
+        st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+    )
+    def test_matches_quadratic_reference(self, case, threshold):
+        _d, db, pref = case
+        answer = prob_skyline_sfs(db, threshold, pref)
+        exact = all_skyline_probabilities(db, pref)
+        expected_keys = {k for k, p in exact.items() if p >= threshold}
+        got = answer.probabilities()
+        assert set(got) == expected_keys
+        for key, p in got.items():
+            assert p == pytest.approx(exact[key], abs=TOL)
+
+    @given(
+        database_and_preference(),
+        st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+    )
+    def test_matches_scalar_sfs(self, case, threshold):
+        _d, db, pref = case
+        vec = prob_skyline_sfs(db, threshold, pref)
+        ref = scalar_sfs(db, threshold, pref)
+        assert vec.agrees_with(ref, tol=TOL)
+
+    def test_tiny_block_size_preserves_early_exit_answer(self):
+        db = make_random_database(200, 3, seed=5, grid=6)
+        a = prob_skyline_sfs(db, 0.3, block=1)
+        b = prob_skyline_sfs(db, 0.3, block=10_000)
+        assert a.agrees_with(b, tol=TOL)
+        assert a.agrees_with(scalar_sfs(db, 0.3), tol=TOL)
+
+
+class TestSitePathsAgree:
+    """The vectorized and scalar LocalSite paths are interchangeable."""
+
+    @given(
+        database_and_preference(),
+        st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+    )
+    def test_probe_agrees_across_paths(self, case, threshold):
+        d, db, pref = case
+        vec = LocalSite(0, db, pref, SiteConfig(use_index=False, vectorized=True))
+        ref = LocalSite(0, db, pref, SiteConfig(use_index=False, vectorized=False))
+        foreign = UncertainTuple(99_999, tuple(3.0 for _ in range(d)), 0.7)
+        fv = vec.probe(foreign)
+        fr = ref.probe(foreign)
+        assert fv == pytest.approx(fr, abs=TOL)
+        batched = vec.probe_batch([foreign, foreign])
+        assert batched == pytest.approx([fr, fr], abs=TOL)
+
+    @given(
+        database_and_preference(),
+        st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+    )
+    def test_full_site_protocol_agrees_across_paths(self, case, threshold):
+        """prepare → feedback → pops match between the two paths."""
+        d, db, pref = case
+        vec = LocalSite(0, db, pref, SiteConfig(use_index=False, vectorized=True))
+        ref = LocalSite(0, db, pref, SiteConfig(use_index=False, vectorized=False))
+        assert vec.prepare(threshold) == ref.prepare(threshold)
+        feedback = UncertainTuple(88_888, tuple(2.0 for _ in range(d)), 0.9)
+        rv = vec.probe_and_prune(feedback)
+        rr = ref.probe_and_prune(feedback)
+        assert rv.factor == pytest.approx(rr.factor, abs=TOL)
+        assert rv.pruned == rr.pruned
+        assert rv.queue_remaining == rr.queue_remaining
+        while True:
+            qv = vec.pop_representative()
+            qr = ref.pop_representative()
+            assert (qv is None) == (qr is None)
+            if qv is None:
+                break
+            assert qv.tuple.key == qr.tuple.key
+            assert qv.local_probability == pytest.approx(
+                qr.local_probability, abs=TOL
+            )
+        assert vec.pruned_total == ref.pruned_total

@@ -1,0 +1,104 @@
+"""Chaos under batched probe rounds: Corollary-1 bounds stay sound.
+
+Batching changes the RPC shape — one FEEDBACK message carries several
+quaternions, and one crashed RPC therefore loses *several* Eq.-9
+factors at once.  The fault machinery must compose unchanged: every
+lost factor is ≤ 1, so each affected result still carries a sound
+Corollary-1 upper bound, and a recovered site is re-probed for every
+factor it owes regardless of how they were originally batched.
+"""
+
+import pytest
+
+from repro.distributed.query import distributed_skyline
+from repro.fault.retry import RetryPolicy
+from repro.fault.schedule import FaultSchedule
+
+from ..conftest import make_random_database
+
+Q = 0.3
+SITES = 3
+VICTIM = 1
+BATCH = 3
+
+
+def make_partitions(n=240, d=2, seed=1, grid=10):
+    db = make_random_database(n, d, seed=seed, grid=grid)
+    return [db[i::SITES] for i in range(SITES)]
+
+
+def fast_retries(attempts=2):
+    return RetryPolicy(max_attempts=attempts, base_backoff=1e-4, max_backoff=1e-3)
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+class TestBatchedChaos:
+    def test_crash_mid_batch_yields_sound_upper_bounds(self, algorithm):
+        partitions = make_partitions()
+        exact = distributed_skyline(
+            partitions, Q, algorithm=algorithm, batch_size=BATCH
+        )
+        assert exact.coverage.complete
+        exact_probs = exact.answer.probabilities()
+
+        schedule = FaultSchedule(seed=7).crash(VICTIM, at_call=4)
+        degraded = distributed_skyline(
+            partitions, Q, algorithm=algorithm, batch_size=BATCH,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+
+        coverage = degraded.coverage
+        assert not coverage.complete
+        assert coverage.down_sites == (VICTIM,)
+        assert degraded.stats.sites_lost == 1
+
+        # Corollary 1: every reported probability is an upper bound on
+        # the exact value — a whole batch of factors went missing with
+        # the crashed RPC, and each missing factor is ≤ 1.
+        for key, bound in degraded.answer.probabilities().items():
+            if key in exact_probs:
+                assert bound >= exact_probs[key] - 1e-9
+        for key, (bound, contributing) in coverage.degraded.items():
+            assert VICTIM not in contributing
+
+        # Superset over reachable data, exactly as in the unbatched
+        # chaos contract.
+        surviving = {
+            t.key
+            for i, part in enumerate(partitions)
+            if i != VICTIM
+            for t in part
+        }
+        for key in exact_probs:
+            if key in surviving:
+                assert key in degraded.answer
+
+    def test_recovery_replays_batched_factors_exactly(self, algorithm):
+        partitions = make_partitions()
+        exact = distributed_skyline(
+            partitions, Q, algorithm=algorithm, batch_size=BATCH
+        )
+        schedule = FaultSchedule(seed=7).crash(VICTIM, at_call=4, until_call=6)
+        recovered = distributed_skyline(
+            partitions, Q, algorithm=algorithm, batch_size=BATCH,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+        assert recovered.stats.sites_lost == 1
+        assert recovered.stats.sites_recovered == 1
+        assert recovered.coverage.complete
+        assert recovered.answer.agrees_with(exact.answer, tol=1e-9)
+
+    def test_unbatched_and_batched_degraded_answers_agree_on_keys(self, algorithm):
+        """The degraded *key set* is a protocol property, not a batching one."""
+        partitions = make_partitions()
+        schedule = FaultSchedule(seed=7).crash(VICTIM, at_call=1)
+        unbatched = distributed_skyline(
+            partitions, Q, algorithm=algorithm,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+        rebatched = distributed_skyline(
+            partitions, Q, algorithm=algorithm, batch_size=BATCH,
+            fault_schedule=FaultSchedule(seed=7).crash(VICTIM, at_call=1),
+            retry_policy=fast_retries(),
+        )
+        assert set(rebatched.answer.keys()) == set(unbatched.answer.keys())
