@@ -1,0 +1,51 @@
+"""skylint — repo-specific static analysis for the skyline reproduction.
+
+Run as ``python -m repro.analysis [paths] [--format json] [--baseline FILE]``.
+
+The framework (:mod:`~repro.analysis.framework`) is plain-``ast`` and
+dependency-free; the rules (:mod:`~repro.analysis.rules`) encode the
+invariants ordinary linters cannot see — protocol accounting (Eq. 10),
+deterministic replay, Eq. 3/9 probability arithmetic, the fault-aware
+RPC funnel, and executor-shared state.  See ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    BaselineComparison,
+    BaselineEntry,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from .framework import (
+    Finding,
+    ModuleContext,
+    Project,
+    Rule,
+    Severity,
+    analyze_paths,
+    run_rules,
+)
+from .reporters import render_json, render_text, summarize
+from .rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "BaselineComparison",
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "compare",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+    "run_rules",
+    "summarize",
+    "write_baseline",
+]

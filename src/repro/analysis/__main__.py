@@ -1,0 +1,123 @@
+"""The skylint command line: ``python -m repro.analysis``.
+
+Exit status is 0 only when the run is *clean*: no finding outside the
+baseline and no stale baseline entry.  ``--write-baseline`` accepts the
+current findings as the new baseline (justifications must then be
+filled in by hand — the self-check test refuses empty ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from .framework import analyze_paths
+from .reporters import render_json, render_text
+from .rules import ALL_RULES
+
+
+def _repo_root(start: Path) -> Path:
+    """The nearest ancestor holding pyproject.toml (fallback: cwd)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="skylint: repo-specific static analysis "
+        "(protocol accounting, determinism, probability safety, "
+        "RPC discipline, thread-shared state)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyse (default: src/ under the repo root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file (default: <repo-root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding is new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list findings matched by the baseline (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}  [{rule.severity}]")
+            print(f"    {rule.description.strip()}")
+        return 0
+
+    root = _repo_root(Path.cwd())
+    if args.paths:
+        paths: List[Path] = [Path(p) for p in args.paths]
+    else:
+        src = root / "src"
+        paths = [src if src.is_dir() else root]
+
+    findings = analyze_paths(paths, ALL_RULES, root=root)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}; "
+            "add a justification to every entry"
+        )
+        return 0
+
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
+    comparison = compare(findings, baseline)
+
+    if args.format == "json":
+        print(render_json(comparison, ALL_RULES))
+    else:
+        print(render_text(comparison, ALL_RULES, show_matched=args.show_baselined))
+    return 0 if comparison.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Baseline bookkeeping: grandfathered findings, matched by fingerprint.
+
+A baseline lets skylint gate *new* violations without forcing a
+historical cleanup in the same change.  The committed file
+(``skylint-baseline.json`` at the repo root) stores one entry per
+accepted finding — its fingerprint plus a mandatory justification —
+and comparison is exact in both directions:
+
+* a finding not covered by the baseline is **new** (fails the run);
+* a baseline entry matching no current finding is **stale** (also
+  fails: the debt was paid, so the entry must be deleted, keeping the
+  file an honest inventory rather than a growing allowlist).
+
+Matching is by multiset of fingerprints, so two identical offending
+lines in the same function need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .framework import Finding
+
+__all__ = ["BaselineEntry", "BaselineComparison", "load_baseline", "write_baseline", "compare"]
+
+DEFAULT_BASELINE_NAME = "skylint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is acceptable."""
+
+    rule: str
+    path: str
+    context: str
+    snippet: str
+    justification: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.context, self.snippet)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineComparison:
+    """The verdict of findings vs. baseline."""
+
+    new: List[Finding]
+    matched: List[Finding]
+    stale: List[BaselineEntry]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data["entries"] if isinstance(data, dict) else data
+    return [
+        BaselineEntry(
+            rule=str(e["rule"]),
+            path=str(e["path"]),
+            context=str(e.get("context", "")),
+            snippet=str(e.get("snippet", "")),
+            justification=str(e.get("justification", "")),
+        )
+        for e in entries
+    ]
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Accept the current findings as the new baseline.
+
+    Justifications are emitted empty on purpose: whoever baselines a
+    finding owes the one-line reason, and the self-check test refuses
+    entries that never received one.
+    """
+    entries = [
+        BaselineEntry(
+            rule=f.rule,
+            path=f.path,
+            context=f.context,
+            snippet=f.snippet,
+            justification="",
+        ).to_dict()
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def compare(
+    findings: Sequence[Finding], baseline: Sequence[BaselineEntry]
+) -> BaselineComparison:
+    """Split findings into new/matched and surface stale baseline entries."""
+    available = Counter(entry.fingerprint() for entry in baseline)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if available.get(fp, 0) > 0:
+            available[fp] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = []
+    for entry in baseline:
+        fp = entry.fingerprint()
+        if available.get(fp, 0) > 0:
+            available[fp] -= 1
+            stale.append(entry)
+    return BaselineComparison(new=new, matched=matched, stale=stale)

@@ -1,0 +1,90 @@
+"""Text and JSON rendering of a skylint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import BaselineComparison
+from .framework import Finding, Rule, Severity
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    summary = {
+        "total": len(findings),
+        "errors": sum(1 for f in findings if f.severity == Severity.ERROR),
+        "warnings": sum(1 for f in findings if f.severity == Severity.WARNING),
+    }
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary.update({f"rule:{rule}": n for rule, n in sorted(by_rule.items())})
+    return summary
+
+
+def render_text(
+    comparison: BaselineComparison,
+    rules: Sequence[Rule],
+    show_matched: bool = False,
+) -> str:
+    """Human-oriented report: one line per finding, grouped by file."""
+    lines: List[str] = []
+    visible = list(comparison.new) + (comparison.matched if show_matched else [])
+    current_path: Optional[str] = None
+    for finding in sorted(visible, key=lambda f: (f.path, f.line, f.column)):
+        if finding.path != current_path:
+            current_path = finding.path
+            lines.append(finding.path)
+        baselined = finding in comparison.matched
+        tag = f"{finding.rule} [{finding.severity}]"
+        if baselined:
+            tag += " (baselined)"
+        lines.append(
+            f"  {finding.line}:{finding.column}  {tag}  {finding.message}"
+        )
+    for entry in comparison.stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} at {entry.path} "
+            f"({entry.context}) — the finding no longer exists; remove it"
+        )
+    new, matched, stale = (
+        len(comparison.new),
+        len(comparison.matched),
+        len(comparison.stale),
+    )
+    if comparison.clean:
+        lines.append(
+            f"skylint: clean ({matched} baselined finding(s), "
+            f"{len(rules)} rule(s) ran)"
+        )
+    else:
+        lines.append(
+            f"skylint: {new} new finding(s), {stale} stale baseline "
+            f"entr(y/ies), {matched} baselined"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    comparison: BaselineComparison, rules: Sequence[Rule]
+) -> str:
+    """Machine-oriented report for CI annotation tooling."""
+    payload = {
+        "clean": comparison.clean,
+        "summary": summarize(list(comparison.new)),
+        "new": [f.to_dict() for f in comparison.new],
+        "baselined": [f.to_dict() for f in comparison.matched],
+        "stale_baseline": [e.to_dict() for e in comparison.stale],
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "severity": rule.severity,
+                "description": rule.description.strip(),
+            }
+            for rule in rules
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,32 @@
+"""The skylint rule registry.
+
+Every rule family lives in its own module; :data:`ALL_RULES` is the
+canonical ordered registry the CLI and the self-check tests run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..framework import Rule
+from .concurrency import ThreadSharedStateRule
+from .determinism import UnseededRandomRule, WallClockRule
+from .probability import FloatEqualityRule, RawNonOccurrenceProductRule
+from .protocol import ProtocolAccountingRule
+from .rpc import RpcDisciplineRule
+
+__all__ = ["ALL_RULES", "rules_by_id"]
+
+ALL_RULES: List[Rule] = [
+    ProtocolAccountingRule(),
+    UnseededRandomRule(),
+    WallClockRule(),
+    FloatEqualityRule(),
+    RawNonOccurrenceProductRule(),
+    RpcDisciplineRule(),
+    ThreadSharedStateRule(),
+]
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.id: rule for rule in ALL_RULES}

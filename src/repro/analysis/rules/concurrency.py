@@ -1,0 +1,219 @@
+"""SKY501 — thread-shared-state: attribute writes reachable from pool workers.
+
+PR 2 gave the coordinator a lifetime :class:`ThreadPoolExecutor`; every
+parallel broadcast runs its probe thunks on worker threads.  Any
+``self``-rooted attribute those thunks write — directly or through
+methods they call — is shared mutable state, and an unlocked
+read-modify-write (``self.stats.sites_lost += 1``) is a lost-update
+race: two sites failing in the same broadcast can be booked as one.
+
+The heuristic:
+
+1. Find executor dispatches — ``X.map(fn, …)`` / ``X.submit(fn, …)``
+   where ``X``'s dotted form mentions ``pool`` or ``executor`` (the
+   lazily-built ``self._broadcast_pool()`` renders as
+   ``self._broadcast_pool().map``).
+2. Resolve ``fn`` to a local ``lambda``/``def`` in the same scope.
+3. Collect attribute writes in its body, following ``self.method()``
+   calls transitively through the same class (visited-set bounded).
+4. Report ``+=``-style augmented writes not under a ``with …lock…:``
+   block as errors; plain assignments written both inside and outside
+   the thread-reachable region (excluding ``__init__``) as warnings.
+
+It is deliberately a *heuristic* — cross-class flows (e.g. methods of
+``NetworkStats`` called from workers) are out of reach; the rule's job
+is the pattern that actually bit this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..framework import Finding, ModuleContext, Project, Rule, Severity, dotted_name
+
+__all__ = ["ThreadSharedStateRule"]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _attribute_target(node: ast.AST) -> Optional[str]:
+    """Dotted form of a ``self``-rooted attribute write target."""
+    if isinstance(node, ast.Attribute):
+        name = dotted_name(node)
+        if name.startswith("self."):
+            return name
+    if isinstance(node, ast.Subscript):
+        return _attribute_target(node.value)
+    return None
+
+
+def _under_lock(module: ModuleContext, node: ast.AST) -> bool:
+    for anc in module.ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                if "lock" in dotted_name(item.context_expr).lower():
+                    return True
+    return False
+
+
+class ThreadSharedStateRule(Rule):
+    id = "SKY501"
+    name = "thread-shared-state"
+    severity = Severity.ERROR
+    description = (
+        "self attribute written from executor-submitted callables without a "
+        "lock: broadcast workers run concurrently, so unlocked += on shared "
+        "counters (NetworkStats, FSM state) loses updates."
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(module, cls)
+
+    # ------------------------------------------------------------------
+
+    def _check_class(self, module: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods: Dict[str, _FunctionNode] = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        entry_points = self._executor_callables(module, cls, methods)
+        if not entry_points:
+            return
+        # Every self-attribute write reachable from a worker thread.
+        threaded_writes: List[Tuple[ast.AST, str, bool]] = []
+        visited: Set[str] = set()
+        for fn in entry_points:
+            self._collect_writes(module, fn, methods, visited, threaded_writes)
+        if not threaded_writes:
+            return
+        threaded_targets = {target for _n, target, _aug in threaded_writes}
+        for node, target, augmented in threaded_writes:
+            if _under_lock(module, node):
+                continue
+            if augmented:
+                yield module.finding(
+                    self,
+                    node,
+                    f"`{target} +=` runs on broadcast-pool worker threads; "
+                    "the read-modify-write needs a lock (two concurrent "
+                    "failures would be booked as one)",
+                )
+        # Plain assigns: racy only if the same attribute is also written
+        # outside the thread-reachable region (construction aside).
+        for fn_name, fn in methods.items():
+            if fn_name == "__init__" or fn in entry_points:
+                continue
+            for node, target, augmented in self._direct_writes(fn):
+                if augmented or target not in threaded_targets:
+                    continue
+                if any(n is node for n, _t, _a in threaded_writes):
+                    continue
+                if _under_lock(module, node):
+                    continue
+                yield module.finding(
+                    self,
+                    node,
+                    f"`{target}` is written both on worker threads and in "
+                    f"`{fn_name}` without a lock; reads may interleave "
+                    "with broadcast workers",
+                    severity=Severity.WARNING,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _executor_callables(
+        self,
+        module: ModuleContext,
+        cls: ast.ClassDef,
+        methods: Dict[str, _FunctionNode],
+    ) -> List[_FunctionNode]:
+        """Callables handed to ``pool.map``/``pool.submit`` within ``cls``."""
+        out: List[_FunctionNode] = []
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in ("map", "submit"):
+                continue
+            receiver = dotted_name(func.value).lower()
+            if "pool" not in receiver and "executor" not in receiver:
+                continue
+            if not node.args:
+                continue
+            resolved = self._resolve_callable(module, node.args[0], methods)
+            if resolved is not None:
+                out.append(resolved)
+        return out
+
+    def _resolve_callable(
+        self,
+        module: ModuleContext,
+        arg: ast.expr,
+        methods: Dict[str, _FunctionNode],
+    ) -> Optional[_FunctionNode]:
+        if isinstance(arg, ast.Lambda):
+            return arg
+        if isinstance(arg, ast.Attribute):
+            name = dotted_name(arg)
+            if name.startswith("self."):
+                return methods.get(name[len("self."):])
+            return None
+        if not isinstance(arg, ast.Name):
+            return None
+        if arg.id in methods:
+            return methods[arg.id]
+        # A local `probe = lambda …` / `def probe(…)` in the dispatching scope.
+        scope = module.enclosing_function(arg)
+        if scope is None:
+            return None
+        for node in ast.walk(scope):
+            if isinstance(node, ast.FunctionDef) and node.name == arg.id:
+                return node
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == arg.id:
+                        return node.value
+        return None
+
+    def _collect_writes(
+        self,
+        module: ModuleContext,
+        fn: _FunctionNode,
+        methods: Dict[str, _FunctionNode],
+        visited: Set[str],
+        out: List[Tuple[ast.AST, str, bool]],
+    ) -> None:
+        out.extend(self._direct_writes(fn))
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name.startswith("self."):
+                continue
+            method_name = name[len("self."):]
+            if "." in method_name or method_name in visited:
+                continue
+            callee = methods.get(method_name)
+            if callee is None:
+                continue
+            visited.add(method_name)
+            self._collect_writes(module, callee, methods, visited, out)
+
+    @staticmethod
+    def _direct_writes(fn: _FunctionNode) -> List[Tuple[ast.AST, str, bool]]:
+        writes: List[Tuple[ast.AST, str, bool]] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign):
+                target = _attribute_target(node.target)
+                if target:
+                    writes.append((node, target, True))
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    target = _attribute_target(tgt)
+                    if target:
+                        writes.append((node, target, False))
+        return writes

@@ -1,0 +1,94 @@
+"""SKY401 — rpc-discipline: coordinator→site calls ride the fault funnel.
+
+PR 1 made site failure a first-class protocol event: every
+coordinator→site RPC flows through :meth:`Coordinator._rpc`, which
+retries under the :class:`RetryPolicy`, escalates exhausted retries to
+the lifecycle FSM, and keeps the Corollary-1 coverage books honest.  A
+direct endpoint call from a coordinator bypasses all of it — one
+transport fault unwinds the whole query instead of degrading it.
+
+The rule checks functions of classes that (transitively) subclass
+``Coordinator`` inside ``distributed/``.  A site-endpoint call on a
+non-``self`` receiver is legal only when it is
+
+* inside ``_rpc`` itself (the funnel's own body),
+* inside a lambda/nested function passed as an argument to
+  ``self._rpc(...)`` or ``call_with_retry(...)``, or
+* inside a ``try`` whose handler catches ``RETRYABLE_FAULTS`` (the
+  deliberately unretried single-shot liveness probe pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..framework import Finding, ModuleContext, Project, Rule, Severity, dotted_name
+from .protocol import RPC_METHODS, _is_rpc_call
+
+__all__ = ["RpcDisciplineRule"]
+
+#: Function names whose call arguments are the fault-aware path.
+_FUNNELS = ("_rpc", "call_with_retry")
+
+
+class RpcDisciplineRule(Rule):
+    id = "SKY401"
+    name = "rpc-discipline"
+    severity = Severity.ERROR
+    description = (
+        "Coordinator→site RPC outside the _rpc/RetryPolicy funnel: a direct "
+        "endpoint call turns one transport fault into a full-query failure "
+        "instead of a Corollary-1 degraded answer."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return "distributed/" in module.relpath
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = _is_rpc_call(node)
+            if method is None:
+                continue
+            cls = module.enclosing_class(node)
+            if cls is None or not project.inherits_from(cls.name, "Coordinator"):
+                continue  # regions/maintainers have their own surfaces
+            if self._funnelled(module, node):
+                continue
+            yield module.finding(
+                self,
+                node,
+                f"`{dotted_name(node.func)}(...)` is a direct site RPC; wrap "
+                f'it as `self._rpc(site, "{method}", lambda: ...)` so retries, '
+                "FSM escalation, and coverage tracking apply",
+            )
+
+    def _funnelled(self, module: ModuleContext, node: ast.Call) -> bool:
+        previous: ast.AST = node
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if anc.name == "_rpc":
+                    return True
+            if isinstance(anc, ast.Try) and previous in anc.body:
+                if self._catches_retryable(anc):
+                    return True
+            if isinstance(anc, ast.Call) and previous is not anc:
+                tail = dotted_name(anc.func).split(".")[-1]
+                if tail in _FUNNELS and previous in anc.args:
+                    return True
+            previous = anc
+        return False
+
+    @staticmethod
+    def _catches_retryable(node: ast.Try) -> bool:
+        for handler in node.handlers:
+            if handler.type is None:
+                continue
+            for sub in ast.walk(handler.type):
+                if isinstance(sub, ast.Name) and sub.id == "RETRYABLE_FAULTS":
+                    return True
+                if isinstance(sub, ast.Attribute) and sub.attr == "RETRYABLE_FAULTS":
+                    return True
+        return False

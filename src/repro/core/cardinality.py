@@ -32,7 +32,7 @@ feedback must earn its bandwidth through pruning.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Tuple
 
 __all__ = [
     "expected_skyline_cardinality",
@@ -58,7 +58,7 @@ def _log_binom_pmf(n: int, size: int, p: float) -> float:
 
 def uniform_presence_pmf_window(
     cardinality: int, mean_presence: float = 0.5, sigmas: float = 8.0
-):
+) -> Tuple[int, List[float]]:
     """Binomial pmf over the plausible presence counts.
 
     Returns ``(start, probabilities)`` covering ``mean ± sigmas·σ``;
@@ -120,7 +120,7 @@ def expected_skyline_cardinality(
 
 
 def expected_feedback_tuples(
-    dimensionality: int, cardinality: int, sites: int, **kwargs
+    dimensionality: int, cardinality: int, sites: int, **kwargs: object
 ) -> float:
     """Eq. 7: N_back = (m − 1) × H(d, N)."""
     _check_sites(sites)
@@ -130,7 +130,7 @@ def expected_feedback_tuples(
 
 
 def expected_local_skyline_tuples(
-    dimensionality: int, cardinality: int, sites: int, **kwargs
+    dimensionality: int, cardinality: int, sites: int, **kwargs: object
 ) -> float:
     """Eq. 8: N_local = (m − 1) × H(d, N / m).
 
@@ -145,7 +145,7 @@ def expected_local_skyline_tuples(
 
 
 def feedback_overhead_ratio(
-    dimensionality: int, cardinality: int, sites: int, **kwargs
+    dimensionality: int, cardinality: int, sites: int, **kwargs: object
 ) -> float:
     """``N_back / N_local`` — how much costlier indiscriminate feedback is.
 

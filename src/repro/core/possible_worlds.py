@@ -43,7 +43,7 @@ def world_probability(
     present = {t.key for t in world}
     p = 1.0
     for t in database:
-        p *= t.probability if t.key in present else (1.0 - t.probability)
+        p *= t.probability if t.key in present else (1.0 - t.probability)  # skylint: ignore[SKY302] Eq. 1 oracle: the uncollapsed definition itself
     return p
 
 
@@ -66,7 +66,7 @@ def enumerate_worlds(
         world = tuple(t for t, present in zip(database, mask) if present)
         p = 1.0
         for t, present in zip(database, mask):
-            p *= t.probability if present else (1.0 - t.probability)
+            p *= t.probability if present else (1.0 - t.probability)  # skylint: ignore[SKY302] Eq. 1 oracle: the uncollapsed definition itself
         yield world, p
 
 
@@ -114,9 +114,12 @@ def skyline_probabilities_monte_carlo(
     Bernoulli coin) and returns the fraction of sampled worlds in which
     each tuple was a skyline member.  Standard error per tuple is at
     most ``0.5 / sqrt(samples)``.
+
+    Deterministic by default (a fixed seed-0 generator); pass ``rng``
+    to vary the sample.
     """
     if rng is None:
-        rng = random.Random()
+        rng = random.Random(0)
     counts: Dict[int, float] = {t.key: 0 for t in database}
     for _ in range(samples):
         world = [t for t in database if rng.random() < t.probability]

@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
-from .dominance import Preference, dominates
-from .probability import skyline_probability
+from .dominance import Preference
+from .probability import non_occurrence_product, skyline_probability
 from .tuples import UncertainTuple
 
 __all__ = [
@@ -140,15 +140,12 @@ def prob_skyline_sfs(
         if t.probability < threshold:
             continue
         floor = threshold / t.probability
-        product = 1.0
-        qualified = True
-        for other in ordered[:i]:
-            if dominates(other, t, preference):
-                product *= 1.0 - other.probability
-                if product < floor:
-                    qualified = False
-                    break
-        if qualified:
+        # Dominators all precede t in the monotone order, so the prefix
+        # is a sufficient database; the helper's floor gives the same
+        # early exit as the classic inline break, in the same
+        # multiplication order.
+        product = non_occurrence_product(t, ordered[:i], preference, floor=floor)
+        if product >= floor:
             members.append(SkylineMember(t, t.probability * product))
     return ProbabilisticSkyline(threshold, members)
 

@@ -26,6 +26,7 @@ from .tuples import UncertainTuple
 
 __all__ = [
     "non_occurrence_product",
+    "product_of_non_occurrence",
     "skyline_probability",
     "foreign_skyline_probability",
     "global_skyline_probability",
@@ -58,6 +59,26 @@ def non_occurrence_product(
             product *= 1.0 - t.probability
             if product < floor:
                 return product
+    return product
+
+
+def product_of_non_occurrence(
+    probabilities: Iterable[float], floor: float = 0.0
+) -> float:
+    """``∏ (1 − p)`` over bare probabilities, in iteration order.
+
+    The scalar sibling of :func:`non_occurrence_product` for callers
+    that have already selected the dominating tuples (TA-style vertical
+    sites, pruning prechecks over replicas) and hold only their
+    existential probabilities.  ``floor`` gives the same early exit:
+    once the running product drops below it, the partial (upper-bounding)
+    product is returned immediately.
+    """
+    product = 1.0
+    for p in probabilities:
+        product *= 1.0 - p
+        if product < floor:
+            return product
     return product
 
 
@@ -124,6 +145,7 @@ def combine_site_factors(own_factor: float, foreign_factors: Iterable[float]) ->
 def feedback_pruning_bound(
     candidate_local_probability: float,
     dominating_feedback: Iterable[UncertainTuple],
+    floor: float = 0.0,
 ) -> float:
     """Upper bound used by the Local-Pruning phase.
 
@@ -136,11 +158,15 @@ def feedback_pruning_bound(
     because each dominating foreign feedback tuple contributes its
     non-occurrence factor to some other site's term in Lemma 1.  The
     caller is responsible for passing only the feedback tuples that
-    dominate ``s``.
+    dominate ``s``.  A nonzero ``floor`` (typically the threshold
+    ``q``) stops the accumulation as soon as the bound provably fails
+    it; the returned partial product is still a valid upper bound.
     """
     bound = candidate_local_probability
     for f in dominating_feedback:
         bound *= 1.0 - f.probability
+        if bound < floor:
+            return bound
     return bound
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "UncertainTuple",
@@ -124,7 +124,9 @@ def make_tuples(
     return out
 
 
-def tuples_from_arrays(values, probabilities, start_key: int = 0) -> List[UncertainTuple]:
+def tuples_from_arrays(
+    values: Any, probabilities: Any, start_key: int = 0
+) -> List[UncertainTuple]:
     """Build tuples from a ``(n, d)`` array of values and ``(n,)`` probabilities.
 
     Thin convenience wrapper around :func:`make_tuples` for numpy input;

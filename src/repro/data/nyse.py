@@ -71,7 +71,7 @@ def generate_nyse_trades(
     if n < 0:
         raise ValueError("n must be non-negative")
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(0 if seed is None else seed)
     if n == 0:
         return []
     day_returns = rng.normal(daily_drift, daily_volatility, size=TRADING_DAYS)
@@ -110,7 +110,7 @@ def attach_uncertainty(
     make any individual deal only probably real.
     """
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(0 if seed is None else seed)
     probs = generate_probabilities(kind, len(trades), rng=rng, mean=mean, std=std)
     return [
         UncertainTuple(key=t.key, values=t.values, probability=float(p))

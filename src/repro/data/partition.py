@@ -36,10 +36,12 @@ def partition_uniform(
     """Random disjoint equal-size assignment (the paper's scheme).
 
     Sizes differ by at most one when ``m`` does not divide ``N``.
+    Deterministic by default (a fixed seed-0 generator); pass ``rng``
+    to vary the placement.
     """
     _check_sites(sites)
     if rng is None:
-        rng = random.Random()
+        rng = random.Random(0)
     shuffled = list(tuples)
     rng.shuffle(shuffled)
     return _deal(shuffled, sites)

@@ -61,7 +61,7 @@ def generate_probabilities(
 ) -> np.ndarray:
     """Dispatch by kind (``uniform`` / ``gaussian`` / ``constant``)."""
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(0 if seed is None else seed)
     if kind == "uniform":
         return uniform_probabilities(n, rng)
     if kind == "gaussian":

@@ -129,7 +129,7 @@ def generate_values(
             f"expected one of {sorted(DISTRIBUTIONS)}"
         )
     if rng is None:
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(0 if seed is None else seed)
     return DISTRIBUTIONS[distribution](n, d, rng)
 
 

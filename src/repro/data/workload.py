@@ -120,17 +120,17 @@ def make_synthetic_workload(
 
     Mirrors §7's recipe: draw values from ``distribution``, attach
     occurrence probabilities of ``probability_kind``, then scatter the
-    tuples uniformly over ``sites`` equal partitions.
+    tuples uniformly over ``sites`` equal partitions.  ``seed=None``
+    means seed 0 — every workload is replayable by construction.
     """
+    seed = 0 if seed is None else seed
     rng = np.random.default_rng(seed)
     values = generate_values(distribution, n, d, rng=rng)
     probs = generate_probabilities(
         probability_kind, n, rng=rng, mean=probability_mean, std=probability_std
     )
     database = tuples_from_arrays(values, probs)
-    partitions = partition_uniform(
-        database, sites, rng=random.Random(None if seed is None else seed + 1)
-    )
+    partitions = partition_uniform(database, sites, rng=random.Random(seed + 1))
     return Workload(
         name=f"synthetic-{distribution}-{probability_kind}",
         global_database=database,
@@ -148,15 +148,17 @@ def make_nyse_workload(
     probability_std: float = 0.2,
     seed: Optional[int] = None,
 ) -> Workload:
-    """Build the §7.4 setting on the synthetic NYSE substitute trace."""
+    """Build the §7.4 setting on the synthetic NYSE substitute trace.
+
+    ``seed=None`` means seed 0, as in :func:`make_synthetic_workload`.
+    """
+    seed = 0 if seed is None else seed
     rng = np.random.default_rng(seed)
     trades = generate_nyse_trades(n, rng=rng)
     database = attach_uncertainty(
         trades, kind=probability_kind, rng=rng, mean=probability_mean, std=probability_std
     )
-    partitions = partition_uniform(
-        database, sites, rng=random.Random(None if seed is None else seed + 1)
-    )
+    partitions = partition_uniform(database, sites, rng=random.Random(seed + 1))
     return Workload(
         name=f"nyse-{probability_kind}",
         global_database=database,

@@ -28,7 +28,12 @@ class ShipAllBaseline(Coordinator):
     def _execute(self) -> None:
         union: List[UncertainTuple] = []
         for site in self.sites:
-            shipped = site.ship_all()
+            # The RPC funnel keeps even the strawman fault-tolerant: an
+            # unreachable partition is simply absent from the union, and
+            # the answer degrades to the reachable sites' data.
+            ok, shipped = self._rpc(site, "ship_all", site.ship_all)
+            if not ok:
+                continue
             for _ in shipped:
                 self.stats.record(
                     Message.bearing(

@@ -32,6 +32,7 @@ fault-oblivious protocol.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -139,6 +140,10 @@ class Coordinator:
         #: first parallel broadcast and shut down in :meth:`run`'s
         #: finally path (or :meth:`close`).
         self._pool: Optional[ThreadPoolExecutor] = None
+        #: Serialises the shared-state mutations inside :meth:`_rpc`
+        #: (stats counters, lifecycle FSM) — under ``parallel_broadcast``
+        #: several probe threads finish their RPCs concurrently.
+        self._state_lock = threading.Lock()
         self.health = ClusterHealth(s.site_id for s in self.sites)
         self.coverage = CoverageTracker(s.site_id for s in self.sites)
         self._site_by_id = {s.site_id: s for s in self.sites}
@@ -161,8 +166,9 @@ class Coordinator:
         lifecycle = self.health.lifecycle(site_id)
 
         def on_retry(attempt: int, delay: float, exc: Exception) -> None:
-            self.stats.record_retry(delay)
-            lifecycle.record_failure()
+            with self._state_lock:
+                self.stats.record_retry(delay)
+                lifecycle.record_failure()
 
         start = time.perf_counter()
         if self.retry_policy is None:
@@ -174,18 +180,22 @@ class Coordinator:
             value, error = call_with_retry(
                 call, self.retry_policy, site_id=site_id, on_retry=on_retry
             )
-        self.stats.record_rpc_time(time.perf_counter() - start)
-        if error is not None:
-            self.stats.record_failure()
-            if not lifecycle.is_down:
-                lifecycle.record_failure()
-                self.health.mark_down(site_id, reason=f"{label}: {error!r}")
-                self.stats.sites_lost += 1
-            return False, None
-        if not lifecycle.is_up:
-            # A retry succeeded while SUSPECT, or a reintegration call
-            # succeeded while RECOVERING: either way the site is back.
-            self.health.mark_up(site_id, reason=f"{label} succeeded")
+        elapsed = time.perf_counter() - start
+        # The call itself ran unlocked; only the bookkeeping is
+        # serialised, so parallel probes still overlap on the wire.
+        with self._state_lock:
+            self.stats.record_rpc_time(elapsed)
+            if error is not None:
+                self.stats.record_failure()
+                if not lifecycle.is_down:
+                    lifecycle.record_failure()
+                    self.health.mark_down(site_id, reason=f"{label}: {error!r}")
+                    self.stats.sites_lost += 1
+                return False, None
+            if not lifecycle.is_up:
+                # A retry succeeded while SUSPECT, or a reintegration call
+                # succeeded while RECOVERING: either way the site is back.
+                self.health.mark_up(site_id, reason=f"{label} succeeded")
         return True, value
 
     # ------------------------------------------------------------------

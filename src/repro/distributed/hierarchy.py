@@ -32,6 +32,7 @@ import itertools
 from typing import List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
+from ..core.probability import feedback_pruning_bound
 from ..core.tuples import UncertainTuple
 from ..net.message import Message, MessageKind, Quaternion
 from ..net.stats import NetworkStats
@@ -69,7 +70,9 @@ class RegionCoordinator:
         self._feedback = []
         total = 0
         for site in self.sites:
+            self._lan(MessageKind.PREPARE, to_site=site)
             total += site.prepare(threshold)
+            self._lan(MessageKind.PREPARE_REPLY, from_site=site)
             self._pull_from(site)
         return total
 
@@ -128,7 +131,11 @@ class RegionCoordinator:
         return ProbeReply(factor=factor, pruned=pruned, queue_remaining=remaining)
 
     def queue_size(self) -> int:
-        return len(self._heap) + sum(site.queue_size() for site in self.sites)
+        total = len(self._heap)
+        for site in self.sites:
+            self._lan(MessageKind.CONTROL, to_site=site)
+            total += site.queue_size()
+        return total
 
     # ------------------------------------------------------------------
     # internals
@@ -152,10 +159,10 @@ class RegionCoordinator:
         # Feedback that arrived while this candidate sat in its site's
         # queue has already pruned there; feedback received since must
         # be applied to the regional bound as well.
-        bound = quaternion.local_probability
-        for f in self._feedback:
-            if dominates(f, quaternion.tuple):
-                bound *= 1.0 - f.probability
+        bound = feedback_pruning_bound(
+            quaternion.local_probability,
+            (f for f in self._feedback if dominates(f, quaternion.tuple)),
+        )
         if bound < (self.threshold or 0.0):
             self._pull_from(site)
             return
@@ -192,7 +199,7 @@ class RegionCoordinator:
         for neg_prob, tick, quaternion, resolved, origin in self._heap:
             bound = -neg_prob
             if dominates(feedback, quaternion.tuple):
-                bound *= 1.0 - feedback.probability
+                bound = feedback_pruning_bound(bound, [feedback])
                 if bound < (self.threshold or 0.0):
                     pruned += 1
                     # Its origin site deserves a fresh slot.

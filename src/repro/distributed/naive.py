@@ -33,7 +33,13 @@ class NaiveLocalSkylines(Coordinator):
         self.prepare_sites()
         gathered: List[Quaternion] = []
         for site in self.sites:
-            burst = site.ship_local_skyline(self.threshold)
+            ok, burst = self._rpc(
+                site,
+                "ship_local_skyline",
+                lambda site=site: site.ship_local_skyline(self.threshold),
+            )
+            if not ok:
+                continue
             for _ in burst:
                 self.stats.record(
                     Message.bearing(

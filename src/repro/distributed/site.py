@@ -47,7 +47,11 @@ from ..core.dominance import Preference, dominates
 from ..core.kernels import ColumnStore
 from ..core.kernels import prob_skyline_sfs as columnar_prob_skyline_sfs
 from ..core.prob_skyline import ProbabilisticSkyline, prob_skyline_sfs
-from ..core.probability import skyline_probability
+from ..core.probability import (
+    feedback_pruning_bound,
+    foreign_skyline_probability,
+    skyline_probability,
+)
 from ..core.tuples import UncertainTuple, validate_database
 from ..index.bbs import bbs_prob_skyline
 from ..index.prtree import PRTree
@@ -305,11 +309,7 @@ class LocalSite:
             return store.dominator_product(
                 store.project_point(t, self.preference), exclude_key=t.key
             )
-        product = 1.0
-        for other in self.database.values():
-            if other.key != t.key and dominates(other, t, self.preference):
-                product *= 1.0 - other.probability
-        return product
+        return foreign_skyline_probability(t, self.database.values(), self.preference)
 
     def probe_batch(self, ts: Sequence[UncertainTuple]) -> List[float]:
         """Eq. 9 for many foreign tuples at once (one kernel dispatch)."""
@@ -493,12 +493,15 @@ class LocalSite:
             if not dominates(t, s, self.preference):
                 continue
             if pruners is not None:
-                bound = s.probability
-                for f in pruners:
-                    if f.key != s.key and dominates(f, s, self.preference):
-                        bound *= 1.0 - f.probability
-                        if bound < threshold:
-                            break
+                bound = feedback_pruning_bound(
+                    s.probability,
+                    (
+                        f
+                        for f in pruners
+                        if f.key != s.key and dominates(f, s, self.preference)
+                    ),
+                    floor=threshold,
+                )
                 if bound < threshold:
                     continue
             p = self.local_skyline_probability(s, floor=threshold)

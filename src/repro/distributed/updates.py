@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference, dominates
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
+from ..core.probability import feedback_pruning_bound
 from ..core.tuples import UncertainTuple
 from ..net.message import Message, MessageKind
 from ..net.stats import LatencyModel, NetworkStats
@@ -82,6 +83,7 @@ class _MaintainerBase:
 
     def _push_replicas(self) -> None:
         for site in self.sites:
+            self._control_message("server", f"site-{site.site_id}")
             site.set_replica(self.sky)
 
     def skyline(self) -> ProbabilisticSkyline:
@@ -117,7 +119,7 @@ class IncrementalMaintainer(_MaintainerBase):
         removed = []
         for key, (s, prob) in list(self.sky.items()):
             if dominates(t, s, self.preference):
-                new_prob = prob * (1.0 - t.probability)
+                new_prob = feedback_pruning_bound(prob, [t])
                 if new_prob < self.threshold:
                     removed.append(key)
                     del self.sky[key]
@@ -128,10 +130,10 @@ class IncrementalMaintainer(_MaintainerBase):
 
         # 2. Does the new tuple itself qualify?  The replica gives a
         #    free upper bound before any bandwidth is spent.
-        bound = t.probability
-        for s, _prob in self.sky.values():
-            if dominates(s, t, self.preference):
-                bound *= 1.0 - s.probability
+        bound = feedback_pruning_bound(
+            t.probability,
+            (s for s, _prob in self.sky.values() if dominates(s, t, self.preference)),
+        )
         if bound >= self.threshold:
             prob = self._resolve_global(site_id, t)
             if prob >= self.threshold:
@@ -196,10 +198,14 @@ class IncrementalMaintainer(_MaintainerBase):
         for cand, _local_prob, origin in candidates:
             if cand.key in self.sky:
                 continue
-            bound = cand.probability
-            for s, _prob in self.sky.values():
-                if s.key != cand.key and dominates(s, cand, self.preference):
-                    bound *= 1.0 - s.probability
+            bound = feedback_pruning_bound(
+                cand.probability,
+                (
+                    s
+                    for s, _prob in self.sky.values()
+                    if s.key != cand.key and dominates(s, cand, self.preference)
+                ),
+            )
             if bound < self.threshold:
                 continue
             prob = self._resolve_global(origin, cand)
@@ -237,9 +243,8 @@ class IncrementalMaintainer(_MaintainerBase):
     def _sync_replicas_if_changed(self, report: MaintenanceReport) -> None:
         if not (report.added or report.removed or report.reweighted):
             return
+        # _push_replicas bills one control message per site.
         self._push_replicas()
-        for site in self.sites:
-            self._control_message("server", f"site-{site.site_id}")
         self.stats.record_round()
 
 

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
+from ..core.probability import product_of_non_occurrence
 from ..core.tuples import UncertainTuple
 
 __all__ = ["VerticalSite", "VerticalRunStats", "VerticalSkylineCoordinator",
@@ -193,12 +194,15 @@ class VerticalSkylineCoordinator:
                     pending_complete.append(key)
             if all(f is not None for f in frontier):
                 still_pending = []
+                folded: List[float] = []
                 for key in pending_complete:
                     if self._strictly_below_frontier(partials[key], frontier):
-                        unseen_bound *= 1.0 - partials[key].probability
+                        folded.append(partials[key].probability)
                     else:
                         still_pending.append(key)
                 pending_complete = still_pending
+                if folded:
+                    unseen_bound *= product_of_non_occurrence(folded)
                 if unseen_bound < self.threshold:
                     # No tuple still unseen on every dimension can qualify.
                     break
@@ -247,12 +251,14 @@ class VerticalSkylineCoordinator:
             if prob < self.threshold:
                 continue
             floor = self.threshold / prob
-            bound = 1.0
-            for _okey, ovec, oprob in vectors[:i]:
-                if _dominates_vec(ovec, vec):
-                    bound *= 1.0 - oprob
-                    if bound < floor:
-                        break
+            bound = product_of_non_occurrence(
+                (
+                    oprob
+                    for _okey, ovec, oprob in vectors[:i]
+                    if _dominates_vec(ovec, vec)
+                ),
+                floor=floor,
+            )
             if bound >= floor:
                 survivors.append(key)
         return survivors
@@ -283,12 +289,13 @@ class VerticalSkylineCoordinator:
             for _count, j in counts[1:]:
                 keys = self.sites[j].filter_leq(keys, vec[j])
                 self.stats.dominator_entries += len(keys)
-            product = 1.0
+            dominator_probs: List[float] = []
             for dom_key, strict in keys.items():
                 if dom_key == key or not strict:
                     continue  # self, or equal on every dimension
                 _value, prob = self.sites[0].random_access(dom_key)
-                product *= 1.0 - prob
+                dominator_probs.append(prob)
+            product = product_of_non_occurrence(dominator_probs)
             probability = partial.probability * product
             self.stats.verified += 1
             if probability >= self.threshold:

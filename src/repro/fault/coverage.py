@@ -20,7 +20,10 @@ sites are re-probed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # typing only — fault must not import core at runtime
+    from ..core.tuples import UncertainTuple
 
 __all__ = ["TupleCoverage", "CoverageReport", "CoverageTracker"]
 
@@ -31,10 +34,10 @@ class TupleCoverage:
 
     key: int
     origin: int
-    tuple: object                 # the UncertainTuple, kept for re-probing
+    tuple: "UncertainTuple"       # kept for re-probing
     upper_bound: float            # local probability × received exact factors
-    contributing: set = field(default_factory=set)  # sites folded in (origin included)
-    missing: set = field(default_factory=set)       # sites that owe a factor
+    contributing: Set[int] = field(default_factory=set)  # sites folded in (origin included)
+    missing: Set[int] = field(default_factory=set)       # sites that owe a factor
 
     @property
     def exact(self) -> bool:
@@ -79,7 +82,9 @@ class CoverageTracker:
     # writes, driven by the coordinator's broadcast path
     # ------------------------------------------------------------------
 
-    def open(self, key: int, origin: int, t, local_probability: float) -> TupleCoverage:
+    def open(
+        self, key: int, origin: int, t: "UncertainTuple", local_probability: float
+    ) -> TupleCoverage:
         """Register a candidate at broadcast time.
 
         The origin site's own contribution *is* the local probability,

@@ -15,10 +15,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from .errors import SiteCrashed, SiteTimeout
 from .schedule import FaultAction, FaultKind, FaultSchedule
+
+if TYPE_CHECKING:  # typing only — fault must not import distributed at runtime
+    from ..core.tuples import UncertainTuple
+    from ..distributed.site import BatchProbeReply, ProbeReply
+    from ..net.message import Quaternion
+    from ..net.transport import SiteEndpoint
 
 __all__ = ["InjectedFault", "FaultyEndpoint"]
 
@@ -38,7 +44,7 @@ class FaultyEndpoint:
 
     def __init__(
         self,
-        inner,
+        inner: "SiteEndpoint",
         schedule: FaultSchedule,
         sleep: Optional[Callable[[float], None]] = time.sleep,
     ) -> None:
@@ -75,15 +81,15 @@ class FaultyEndpoint:
         self._gate("prepare")
         return self.inner.prepare(threshold)
 
-    def pop_representative(self):
+    def pop_representative(self) -> "Optional[Quaternion]":
         self._gate("pop_representative")
         return self.inner.pop_representative()
 
-    def probe_and_prune(self, t):
+    def probe_and_prune(self, t: "UncertainTuple") -> "ProbeReply":
         self._gate("probe_and_prune")
         return self.inner.probe_and_prune(t)
 
-    def probe_and_prune_batch(self, ts):
+    def probe_and_prune_batch(self, ts: "Sequence[UncertainTuple]") -> "BatchProbeReply":
         # One gate per batch RPC (it is one message on the wire).  Must
         # be explicit: the __getattr__ passthrough below would silently
         # hand back the inner method *without* fault injection.

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..core.tuples import UncertainTuple
 
@@ -110,7 +110,7 @@ class Message:
         sender: str,
         receiver: str,
         payload: Any,
-        tuple_count: int = None,
+        tuple_count: Optional[int] = None,
     ) -> "Message":
         """Build a message, deriving the tuple count from its kind.
 

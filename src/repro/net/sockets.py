@@ -20,11 +20,14 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.tuples import UncertainTuple
 from ..fault.errors import SiteTimeout
+
+if TYPE_CHECKING:  # typing only — net must not import distributed at runtime
+    from ..distributed.site import BatchProbeReply, LocalSite, ProbeReply, SiteConfig
 from .message import Quaternion, decode_tuple, encode_tuple
 
 __all__ = ["SiteServer", "RemoteSiteProxy", "host_sites", "SiteCluster"]
@@ -74,7 +77,7 @@ class _SiteRequestHandler(socketserver.BaseRequestHandler):
                 _send_frame(self.request, {"ok": False, "error": repr(exc)})
 
     @staticmethod
-    def _dispatch(site, request: Dict[str, Any]) -> Any:
+    def _dispatch(site: "LocalSite", request: Dict[str, Any]) -> Any:
         method = request["method"]
         if method == "prepare":
             return site.prepare(float(request["threshold"]))
@@ -116,7 +119,7 @@ class SiteServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, site, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, site: "LocalSite", host: str = "127.0.0.1", port: int = 0) -> None:
         super().__init__((host, port), _SiteRequestHandler)
         self.site = site
 
@@ -217,7 +220,7 @@ class RemoteSiteProxy:
         result = self._call("pop_representative")
         return None if result is None else Quaternion.from_dict(result)
 
-    def probe_and_prune(self, t: UncertainTuple):
+    def probe_and_prune(self, t: UncertainTuple) -> "ProbeReply":
         from ..distributed.site import ProbeReply
 
         result = self._call("probe_and_prune", tuple=encode_tuple(t))
@@ -227,7 +230,7 @@ class RemoteSiteProxy:
             queue_remaining=int(result["queue_remaining"]),
         )
 
-    def probe_and_prune_batch(self, ts: Sequence[UncertainTuple]):
+    def probe_and_prune_batch(self, ts: Sequence[UncertainTuple]) -> "BatchProbeReply":
         from ..distributed.site import BatchProbeReply
 
         result = self._call(
@@ -277,7 +280,7 @@ class SiteCluster:
     def __enter__(self) -> "SiteCluster":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -291,7 +294,7 @@ class SiteCluster:
 def host_sites(
     partitions: Sequence[Sequence[UncertainTuple]],
     preference: Optional[Preference] = None,
-    site_config=None,
+    site_config: "Optional[SiteConfig]" = None,
     timeout: float = 30.0,
 ) -> SiteCluster:
     """Spin up one TCP-hosted LocalSite per partition on localhost.

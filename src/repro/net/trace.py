@@ -16,11 +16,14 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..core.tuples import UncertainTuple
 from .message import Quaternion
 from .transport import SiteEndpoint
+
+if TYPE_CHECKING:  # typing only — net must not import distributed at runtime
+    from ..distributed.site import ProbeReply
 
 __all__ = ["TraceRecord", "ProtocolTracer", "load_trace", "summarize_trace"]
 
@@ -70,7 +73,7 @@ class _TracedEndpoint:
         self._tracer._record(self.site_id, "pop_representative", detail)
         return quaternion
 
-    def probe_and_prune(self, t: UncertainTuple):
+    def probe_and_prune(self, t: UncertainTuple) -> "ProbeReply":
         reply = self._inner.probe_and_prune(t)
         self._tracer._record(
             self.site_id,

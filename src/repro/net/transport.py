@@ -17,10 +17,22 @@ implementations exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..core.tuples import UncertainTuple
 from .message import Quaternion
+
+if TYPE_CHECKING:  # typing only — net must not import distributed at runtime
+    from ..distributed.site import BatchProbeReply, ProbeReply
 
 __all__ = ["SiteEndpoint", "RecordingEndpoint", "CallRecord"]
 
@@ -37,7 +49,7 @@ class SiteEndpoint(Protocol):
     def pop_representative(self) -> Optional[Quaternion]:
         """To-Server phase; None once exhausted."""
 
-    def probe_and_prune(self, t: UncertainTuple):
+    def probe_and_prune(self, t: UncertainTuple) -> "ProbeReply":
         """Server-Delivery + Local-Pruning; returns a ProbeReply."""
 
     def queue_size(self) -> int:
@@ -72,10 +84,10 @@ class RecordingEndpoint:
     def pop_representative(self) -> Optional[Quaternion]:
         return self._record("pop_representative", (), self.inner.pop_representative())
 
-    def probe_and_prune(self, t: UncertainTuple):
+    def probe_and_prune(self, t: UncertainTuple) -> "ProbeReply":
         return self._record("probe_and_prune", (t,), self.inner.probe_and_prune(t))
 
-    def probe_and_prune_batch(self, ts):
+    def probe_and_prune_batch(self, ts: Sequence[UncertainTuple]) -> "BatchProbeReply":
         # Explicit (not via __getattr__) so batched rounds appear in
         # the journal under their own method name.
         return self._record(

@@ -1,0 +1,115 @@
+"""Framework-level behaviour: suppressions, fingerprints, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.framework import ModuleContext, run_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, rules_by_id
+from repro.analysis.rules.probability import FloatEqualityRule
+
+BAD_FLOAT_EQ = """\
+def check(prob):
+    return prob == 0.5
+"""
+
+
+def _module(source: str, relpath: str = "repro/core/fake.py") -> ModuleContext:
+    return ModuleContext(relpath, source)
+
+
+def test_rule_registry_ids_are_unique():
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    assert rules_by_id()["SKY301"].name == "probability-float-equality"
+
+
+def test_suppression_with_reason_silences_the_finding():
+    source = BAD_FLOAT_EQ.replace(
+        "prob == 0.5",
+        "prob == 0.5  # skylint: ignore[SKY301] fixture: documented waiver",
+    )
+    findings = run_rules([_module(source)], [FloatEqualityRule()])
+    assert findings == []
+
+
+def test_suppression_without_reason_is_itself_reported():
+    source = BAD_FLOAT_EQ.replace(
+        "prob == 0.5", "prob == 0.5  # skylint: ignore[SKY301]"
+    )
+    findings = run_rules([_module(source)], [FloatEqualityRule()])
+    assert [f.rule for f in findings] == ["SKY000"]
+    assert findings[0].severity == "error"
+
+
+def test_wildcard_suppression_covers_every_rule():
+    source = BAD_FLOAT_EQ.replace(
+        "prob == 0.5", "prob == 0.5  # skylint: ignore[*] fixture: waive all"
+    )
+    findings = run_rules([_module(source)], [FloatEqualityRule()])
+    assert findings == []
+
+
+def test_fingerprint_survives_line_shifts():
+    findings_a = run_rules([_module(BAD_FLOAT_EQ)], [FloatEqualityRule()])
+    shifted = "import math\n\n\n" + BAD_FLOAT_EQ
+    findings_b = run_rules([_module(shifted)], [FloatEqualityRule()])
+    assert len(findings_a) == len(findings_b) == 1
+    assert findings_a[0].line != findings_b[0].line
+    assert findings_a[0].fingerprint() == findings_b[0].fingerprint()
+
+
+def test_baseline_round_trip_and_compare(tmp_path: Path):
+    findings = run_rules([_module(BAD_FLOAT_EQ)], [FloatEqualityRule()])
+    path = tmp_path / "skylint-baseline.json"
+    write_baseline(path, findings)
+
+    raw = json.loads(path.read_text())
+    assert raw["version"] == 1
+    assert len(raw["entries"]) == 1
+
+    baseline = load_baseline(path)
+    comparison = compare(findings, baseline)
+    assert comparison.clean
+    assert not comparison.new and not comparison.stale
+
+
+def test_missing_baseline_means_every_finding_is_new(tmp_path: Path):
+    findings = run_rules([_module(BAD_FLOAT_EQ)], [FloatEqualityRule()])
+    baseline = load_baseline(tmp_path / "does-not-exist.json")
+    comparison = compare(findings, baseline)
+    assert not comparison.clean
+    assert len(comparison.new) == 1
+
+
+def test_fixed_finding_turns_the_baseline_entry_stale():
+    finding = run_rules([_module(BAD_FLOAT_EQ)], [FloatEqualityRule()])[0]
+    entry = BaselineEntry(
+        rule=finding.rule,
+        path=finding.path,
+        context=finding.context,
+        snippet=finding.snippet,
+        justification="fixture",
+    )
+    comparison = compare([], [entry])
+    assert not comparison.clean
+    assert len(comparison.stale) == 1
+
+
+def test_reporters_render_both_formats():
+    findings = run_rules([_module(BAD_FLOAT_EQ)], [FloatEqualityRule()])
+    comparison = compare(findings, [])
+    text = render_text(comparison, ALL_RULES)
+    assert "SKY301" in text and "repro/core/fake.py" in text
+    payload = json.loads(render_json(comparison, ALL_RULES))
+    assert payload["clean"] is False
+    assert payload["summary"]["total"] == 1
+    assert payload["new"][0]["rule"] == "SKY301"

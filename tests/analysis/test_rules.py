@@ -1,0 +1,405 @@
+"""Good/bad fixture pairs for every skylint rule.
+
+Each bad fixture proves the rule catches the defect class it was
+written for; each good fixture proves the idiomatic repo pattern stays
+clean (no false positives on the code style the fix commits introduced).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, run_rules
+from repro.analysis.rules.concurrency import ThreadSharedStateRule
+from repro.analysis.rules.determinism import UnseededRandomRule, WallClockRule
+from repro.analysis.rules.probability import (
+    FloatEqualityRule,
+    RawNonOccurrenceProductRule,
+)
+from repro.analysis.rules.protocol import ProtocolAccountingRule
+from repro.analysis.rules.rpc import RpcDisciplineRule
+
+
+def _run(source: str, rule: Rule, relpath: str = "repro/core/fake.py") -> List[Finding]:
+    return run_rules([ModuleContext(relpath, source)], [rule])
+
+
+# ----------------------------------------------------------------------
+# SKY101 — protocol-accounting
+
+
+SKY101_BAD = """\
+class Region:
+    def pull(self, site, preference):
+        return site.prepare(preference)
+"""
+
+SKY101_GOOD = """\
+class Region:
+    def pull(self, site, preference):
+        self._lan("PREPARE", to_site=site)
+        return site.prepare(preference)
+"""
+
+
+def test_sky101_flags_unbilled_site_rpc():
+    findings = _run(SKY101_BAD, ProtocolAccountingRule(), "repro/distributed/fake.py")
+    assert [f.rule for f in findings] == ["SKY101"]
+    assert "prepare" in findings[0].message
+
+
+def test_sky101_accepts_rpc_with_accounting_in_same_function():
+    assert _run(SKY101_GOOD, ProtocolAccountingRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky101_nested_thunk_bills_against_outermost_function():
+    source = """\
+class Region:
+    def pull(self, site):
+        thunk = lambda: site.pop_representative()
+        return thunk()
+"""
+    findings = _run(source, ProtocolAccountingRule(), "repro/distributed/fake.py")
+    assert [f.rule for f in findings] == ["SKY101"]
+
+
+def test_sky101_exempts_the_site_module_itself():
+    assert _run(SKY101_BAD, ProtocolAccountingRule(), "repro/distributed/site.py") == []
+
+
+def test_sky101_ignores_non_distributed_modules():
+    assert _run(SKY101_BAD, ProtocolAccountingRule(), "repro/core/fake.py") == []
+
+
+# ----------------------------------------------------------------------
+# SKY201 — determinism-rng
+
+
+def test_sky201_flags_process_global_random():
+    source = """\
+import random
+
+def jitter():
+    return random.random()
+"""
+    findings = _run(source, UnseededRandomRule())
+    assert [f.rule for f in findings] == ["SKY201"]
+
+
+def test_sky201_flags_unseeded_constructors():
+    source = """\
+import random
+import numpy as np
+
+def build():
+    a = random.Random()
+    b = np.random.default_rng()
+    return a, b
+"""
+    findings = _run(source, UnseededRandomRule())
+    assert [f.rule for f in findings] == ["SKY201", "SKY201"]
+
+
+def test_sky201_flags_numpy_legacy_global_state():
+    source = """\
+import numpy as np
+
+def draw():
+    return np.random.rand(3)
+"""
+    findings = _run(source, UnseededRandomRule())
+    assert [f.rule for f in findings] == ["SKY201"]
+
+
+def test_sky201_flags_maybe_none_seed_passthrough():
+    source = """\
+import numpy as np
+
+def make(seed=None):
+    return np.random.default_rng(seed)
+"""
+    findings = _run(source, UnseededRandomRule())
+    assert [f.rule for f in findings] == ["SKY201"]
+    assert "seed" in findings[0].message
+
+
+def test_sky201_flags_conditional_none_seed():
+    source = """\
+import random
+
+def make(flag):
+    return random.Random(None if flag else 3)
+"""
+    findings = _run(source, UnseededRandomRule())
+    assert [f.rule for f in findings] == ["SKY201"]
+
+
+def test_sky201_accepts_seeded_and_normalised_generators():
+    source = """\
+import random
+import numpy as np
+
+def make(seed=None):
+    rng = np.random.default_rng(0 if seed is None else seed)
+    seed = 0 if seed is None else seed
+    sub = random.Random(seed + 1)
+    return rng, sub
+"""
+    assert _run(source, UnseededRandomRule()) == []
+
+
+def test_sky201_exempts_bench_and_cli_paths():
+    source = """\
+import random
+
+def jitter():
+    return random.random()
+"""
+    assert _run(source, UnseededRandomRule(), "repro/bench/fake.py") == []
+    assert _run(source, UnseededRandomRule(), "repro/cli.py") == []
+
+
+# ----------------------------------------------------------------------
+# SKY202 — determinism-clock
+
+
+def test_sky202_flags_wall_clock_reads():
+    source = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+    findings = _run(source, WallClockRule())
+    assert [f.rule for f in findings] == ["SKY202"]
+
+
+def test_sky202_accepts_monotonic_measurement_clocks():
+    source = """\
+import time
+
+def measure():
+    return time.perf_counter() - time.process_time()
+"""
+    assert _run(source, WallClockRule()) == []
+
+
+def test_sky202_exempts_socket_transport():
+    source = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+    assert _run(source, WallClockRule(), "repro/net/sockets.py") == []
+
+
+# ----------------------------------------------------------------------
+# SKY301 — probability-float-equality
+
+
+def test_sky301_flags_probability_equality_with_float_literal():
+    source = """\
+def check(prob):
+    return prob == 0.5
+"""
+    findings = _run(source, FloatEqualityRule())
+    assert [f.rule for f in findings] == ["SKY301"]
+
+
+def test_sky301_flags_probability_to_probability_inequality():
+    source = """\
+def same(p_sky, other_prob):
+    return p_sky != other_prob
+"""
+    findings = _run(source, FloatEqualityRule())
+    assert [f.rule for f in findings] == ["SKY301"]
+
+
+def test_sky301_accepts_integer_sentinels_and_order_comparisons():
+    source = """\
+def check(prob, count, threshold):
+    if count == 0:
+        return False
+    return prob >= threshold
+"""
+    assert _run(source, FloatEqualityRule()) == []
+
+
+# ----------------------------------------------------------------------
+# SKY302 — probability-raw-product
+
+
+def test_sky302_flags_loop_accumulation_of_one_minus_p():
+    source = """\
+def bound(tuples):
+    acc = 1.0
+    for t in tuples:
+        acc *= 1.0 - t.probability
+    return acc
+"""
+    findings = _run(source, RawNonOccurrenceProductRule())
+    assert [f.rule for f in findings] == ["SKY302"]
+
+
+def test_sky302_flags_prod_calls_over_one_minus_p():
+    source = """\
+import numpy as np
+
+def bound(probs):
+    return np.prod([1.0 - prob for prob in probs])
+"""
+    findings = _run(source, RawNonOccurrenceProductRule())
+    assert [f.rule for f in findings] == ["SKY302"]
+
+
+def test_sky302_accepts_helper_calls_and_single_factors():
+    source = """\
+from repro.core.probability import non_occurrence_product
+
+def bound(prob, other_prob, probs):
+    single = prob * (1.0 - other_prob)
+    return single * non_occurrence_product(probs)
+"""
+    assert _run(source, RawNonOccurrenceProductRule()) == []
+
+
+def test_sky302_exempts_the_blessed_helper_modules():
+    source = """\
+def bound(tuples):
+    acc = 1.0
+    for t in tuples:
+        acc *= 1.0 - t.probability
+    return acc
+"""
+    assert _run(source, RawNonOccurrenceProductRule(), "repro/core/probability.py") == []
+    assert _run(source, RawNonOccurrenceProductRule(), "repro/index/fake.py") == []
+
+
+# ----------------------------------------------------------------------
+# SKY401 — rpc-discipline
+
+
+def test_sky401_flags_direct_rpc_from_a_coordinator_subclass():
+    source = """\
+class FastCoordinator(Coordinator):
+    def poll(self, site, t):
+        return site.probe(t)
+"""
+    findings = _run(source, RpcDisciplineRule(), "repro/distributed/fake.py")
+    assert [f.rule for f in findings] == ["SKY401"]
+    assert "_rpc" in findings[0].message
+
+
+def test_sky401_accepts_rpcs_inside_the_funnel():
+    source = """\
+class FastCoordinator(Coordinator):
+    def poll(self, site, t):
+        return self._rpc(site, "probe", lambda: site.probe(t))
+
+    def liveness(self, site):
+        try:
+            return site.queue_size()
+        except RETRYABLE_FAULTS:
+            return None
+"""
+    assert _run(source, RpcDisciplineRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky401_ignores_non_coordinator_classes():
+    source = """\
+class RegionMaintainer:
+    def poll(self, site, t):
+        return site.probe(t)
+"""
+    assert _run(source, RpcDisciplineRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky401_transitive_inheritance_is_resolved_across_modules():
+    base = ModuleContext(
+        "repro/distributed/base.py",
+        "class EagerCoordinator(Coordinator):\n    pass\n",
+    )
+    leaf = ModuleContext(
+        "repro/distributed/leaf.py",
+        """\
+class Leaf(EagerCoordinator):
+    def poll(self, site, t):
+        return site.probe(t)
+""",
+    )
+    findings = run_rules([base, leaf], [RpcDisciplineRule()])
+    assert [f.rule for f in findings] == ["SKY401"]
+    assert findings[0].path == "repro/distributed/leaf.py"
+
+
+# ----------------------------------------------------------------------
+# SKY501 — thread-shared-state
+
+
+def test_sky501_flags_unlocked_augassign_reachable_from_pool_workers():
+    source = """\
+class Coordinator:
+    def broadcast(self, sites):
+        def probe(site):
+            self.stats.sites_lost += 1
+        return list(self._pool.map(probe, sites))
+"""
+    findings = _run(source, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+    assert "lock" in findings[0].message
+
+
+def test_sky501_follows_self_method_calls_transitively():
+    source = """\
+class Coordinator:
+    def _book(self, site):
+        self.stats.rounds += 1
+
+    def broadcast(self, sites):
+        return list(self._pool.map(self._book, sites))
+"""
+    findings = _run(source, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+
+
+def test_sky501_accepts_writes_under_a_lock():
+    source = """\
+class Coordinator:
+    def broadcast(self, sites):
+        def probe(site):
+            with self._state_lock:
+                self.stats.sites_lost += 1
+        return list(self._pool.map(probe, sites))
+"""
+    assert _run(source, ThreadSharedStateRule()) == []
+
+
+def test_sky501_warns_on_plain_assigns_shared_with_other_methods():
+    source = """\
+class Coordinator:
+    def __init__(self):
+        self.latest = None
+
+    def reset(self):
+        self.latest = None
+
+    def broadcast(self, sites):
+        def probe(site):
+            self.latest = site
+        return list(self._pool.map(probe, sites))
+"""
+    findings = _run(source, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+    assert findings[0].severity == "warning"
+    assert "reset" in findings[0].message
+
+
+def test_sky501_ignores_classes_without_executor_dispatch():
+    source = """\
+class Coordinator:
+    def run(self, sites):
+        for site in sites:
+            self.stats.rounds += 1
+"""
+    assert _run(source, ThreadSharedStateRule()) == []

@@ -1,0 +1,82 @@
+"""Regression tests for the SKY201 fixes: seedless defaults are seed 0.
+
+Before the skylint pass, ``seed=None`` fell through to
+``np.random.default_rng(None)`` / ``random.Random()`` — OS entropy —
+so two "default" workloads disagreed and no experiment was replayable
+without remembering to pass a seed.  These tests pin the fixed
+contract: no arguments means seed 0, identically, everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.possible_worlds import skyline_probabilities_monte_carlo
+from repro.core.tuples import UncertainTuple
+from repro.data.partition import partition_uniform
+from repro.data.probabilities import generate_probabilities
+from repro.data.synthetic import generate_values
+from repro.data.workload import make_nyse_workload, make_synthetic_workload
+
+
+def _keys(partitions):
+    return [[t.key for t in part] for part in partitions]
+
+
+def test_default_synthetic_workload_is_deterministic_and_equals_seed_zero():
+    a = make_synthetic_workload(n=64, d=2, sites=4)
+    b = make_synthetic_workload(n=64, d=2, sites=4)
+    c = make_synthetic_workload(n=64, d=2, sites=4, seed=0)
+    assert a.seed == 0
+    for other in (b, c):
+        assert _keys(a.partitions) == _keys(other.partitions)
+        assert [t.values for t in a.global_database] == [
+            t.values for t in other.global_database
+        ]
+        assert [t.probability for t in a.global_database] == [
+            t.probability for t in other.global_database
+        ]
+
+
+def test_default_nyse_workload_is_deterministic_and_equals_seed_zero():
+    a = make_nyse_workload(n=64, sites=4)
+    b = make_nyse_workload(n=64, sites=4, seed=0)
+    assert a.seed == 0
+    assert _keys(a.partitions) == _keys(b.partitions)
+    assert [t.probability for t in a.global_database] == [
+        t.probability for t in b.global_database
+    ]
+
+
+def test_explicit_seed_still_varies_the_workload():
+    a = make_synthetic_workload(n=64, d=2, sites=4, seed=0)
+    b = make_synthetic_workload(n=64, d=2, sites=4, seed=1)
+    assert [t.values for t in a.global_database] != [
+        t.values for t in b.global_database
+    ]
+
+
+def test_partition_uniform_default_placement_is_reproducible():
+    tuples = [UncertainTuple(key=i, values=(float(i),), probability=0.5) for i in range(23)]
+    assert _keys(partition_uniform(tuples, 4)) == _keys(partition_uniform(tuples, 4))
+
+
+def test_generator_defaults_equal_seed_zero():
+    np.testing.assert_array_equal(
+        generate_values("independent", 32, 3),
+        generate_values("independent", 32, 3, seed=0),
+    )
+    np.testing.assert_array_equal(
+        generate_probabilities("uniform", 32),
+        generate_probabilities("uniform", 32, seed=0),
+    )
+
+
+def test_monte_carlo_default_seed_is_stable():
+    db = [
+        UncertainTuple(key=i, values=(float(i), float(3 - i)), probability=0.6)
+        for i in range(4)
+    ]
+    a = skyline_probabilities_monte_carlo(db, samples=200)
+    b = skyline_probabilities_monte_carlo(db, samples=200)
+    assert a == b
