@@ -12,13 +12,14 @@ from ..framework import Rule
 from .concurrency import ThreadSharedStateRule
 from .determinism import UnseededRandomRule, WallClockRule
 from .probability import FloatEqualityRule, RawNonOccurrenceProductRule
-from .protocol import ProtocolAccountingRule
+from .protocol import EmissionDisciplineRule, ProtocolAccountingRule
 from .rpc import RpcDisciplineRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
 
 ALL_RULES: List[Rule] = [
     ProtocolAccountingRule(),
+    EmissionDisciplineRule(),
     UnseededRandomRule(),
     WallClockRule(),
     FloatEqualityRule(),

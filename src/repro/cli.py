@@ -249,11 +249,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         coverage = result.coverage
         if coverage is not None and coverage.degraded:
+            buffered = set(coverage.buffered)
             print("degraded tuples (Corollary-1 upper bounds):")
             for key, (bound, contributing) in sorted(coverage.degraded.items()):
+                note = " [buffered: top-k order unprovable]" if key in buffered else ""
                 print(
                     f"  key={key} upper_bound={bound:.4f} "
-                    f"contributing_sites={list(contributing)}"
+                    f"contributing_sites={list(contributing)}{note}"
                 )
     print()
     shown = list(result.answer)[: args.max_print]

@@ -45,4 +45,4 @@ class ShipAllBaseline(Coordinator):
         self.iterations = 1
         answer = prob_skyline_sfs(union, self.threshold, self.preference)
         for member in answer:
-            self.report(member.tuple, member.probability)
+            self.emit(member.tuple, member.probability)

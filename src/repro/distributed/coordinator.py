@@ -31,16 +31,17 @@ fault-oblivious protocol.
 
 from __future__ import annotations
 
-import heapq
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
 from ..core.tuples import UncertainTuple
-from ..fault.coverage import CoverageTracker
+from ..fault.coverage import CoverageTracker, TupleCoverage
 from ..fault.errors import RETRYABLE_FAULTS
 from ..fault.fsm import ClusterHealth
 from ..fault.retry import RetryPolicy, call_with_retry
@@ -49,9 +50,48 @@ from ..net.stats import LatencyModel, NetworkStats, ProgressLog
 from ..net.transport import SiteEndpoint
 from .runner import RunResult
 
-__all__ = ["Coordinator", "TopKBuffer"]
+__all__ = ["Coordinator", "TopKBuffer", "BufferedResult"]
 
 _SERVER = "server"
+
+#: The emission callback drains hand results to (Coordinator.report).
+ReportFn = Callable[[UncertainTuple, float], object]
+
+
+@dataclass
+class BufferedResult:
+    """One resolved, qualified tuple waiting inside a :class:`TopKBuffer`.
+
+    ``coverage`` is the *live* :class:`TupleCoverage` the broadcast
+    opened — shared with the coordinator's tracker, so a recovered
+    site's re-probe tightens :attr:`effective` in place instead of the
+    entry staying frozen at its offer-time probability.  ``origin`` and
+    ``seq`` namespace the ordering tiebreak: two tuples that share a
+    key across sites never fall through to comparing
+    :class:`UncertainTuple` objects.
+    """
+
+    tuple: UncertainTuple
+    probability: float                        # offer-time global probability
+    coverage: Optional[TupleCoverage] = None  # live Corollary-1 books
+    origin: int = -1
+    seq: int = 0
+
+    @property
+    def effective(self) -> float:
+        """The current probability: exact, or the live Corollary-1 bound."""
+        if self.coverage is not None:
+            return self.coverage.upper_bound
+        return self.probability
+
+    @property
+    def exact(self) -> bool:
+        """True when every site's Eq.-9 factor is folded in (Lemma 1)."""
+        return self.coverage is None or self.coverage.exact
+
+    def sort_key(self) -> Tuple[float, int, int, int]:
+        """Deterministic total order: probability desc, then (key, origin)."""
+        return (-self.effective, self.tuple.key, self.origin, self.seq)
 
 
 class TopKBuffer:
@@ -60,36 +100,144 @@ class TopKBuffer:
     The iteration policies resolve candidates in *bound* order, not in
     exact-probability order, so under a result limit a resolved tuple
     may only be emitted once nothing still unresolved could beat it.
-    The buffer holds resolved qualified tuples and releases them while
-    the best buffered exact probability is at least the caller-supplied
-    cap on everything unresolved; k emitted results end the query —
-    that early stop is the whole bandwidth win of ``limit=``.
+    The buffer holds resolved qualified tuples and releases one only
+    when its probability is **exact** (all Eq.-9 factors present) and
+    **strictly** greater than both the caller-supplied cap on
+    everything unresolved and every other buffered entry's Corollary-1
+    bound; k emitted results end the query — that early stop is the
+    whole bandwidth win of ``limit=``.
+
+    Emission rules, deterministic by construction:
+
+    * **Tie rule** — a probability merely *equal* to the cap is held:
+      an unresolved candidate could still tie, and with equal exact
+      probabilities the ``(key, origin)`` order must decide.  Once the
+      tied candidates are all buffered, ties emit in ascending
+      ``(key, origin)`` order.
+    * **Degraded entries** — an entry whose probability is a mere
+      Corollary-1 upper bound (a site was DOWN during its broadcast)
+      is never released by :meth:`drain`; it re-scores in place as
+      recovered sites are re-probed, and is retracted silently if its
+      bound sinks below ``threshold``.  Only :meth:`flush` (natural
+      termination, nothing left to resolve or recover) emits inexact
+      entries, in bound order — the coordinator then surfaces them via
+      ``CoverageReport.degraded``.
+    * **Bounded memory** — at most ``limit`` pending entries whenever
+      everything buffered is exact; an entry is dropped only when
+      ``limit - emitted`` *exact* entries provably outrank it forever
+      (exact values are final and a bound only ever decreases, so the
+      order cannot invert).
     """
 
-    def __init__(self, limit: int) -> None:
+    def __init__(self, limit: int, threshold: float = 0.0) -> None:
         if limit < 1:
             raise ValueError(f"limit must be positive, got {limit!r}")
         self.limit = limit
+        self.threshold = threshold
         self.emitted = 0
-        self._heap: List = []
+        self._entries: List[BufferedResult] = []
+        self._seq = itertools.count()
 
-    def offer(self, t: UncertainTuple, probability: float) -> None:
-        heapq.heappush(self._heap, (-probability, t.key, t))
+    def __len__(self) -> int:
+        return len(self._entries)
 
-    def drain(self, remaining_cap: float, report) -> bool:
-        """Emit everything provably next-best; True once the limit is hit."""
-        while self._heap and self.emitted < self.limit:
-            probability = -self._heap[0][0]
-            if probability < remaining_cap:
+    @property
+    def capacity(self) -> int:
+        """Pending entries that could still be emitted."""
+        return self.limit - self.emitted
+
+    def offer(
+        self,
+        t: UncertainTuple,
+        probability: float,
+        coverage: Optional[TupleCoverage] = None,
+    ) -> None:
+        """Buffer one resolved qualified tuple (with its live coverage)."""
+        self._entries.append(
+            BufferedResult(
+                tuple=t,
+                probability=probability,
+                coverage=coverage,
+                origin=coverage.origin if coverage is not None else -1,
+                seq=next(self._seq),
+            )
+        )
+        self._entries.sort(key=BufferedResult.sort_key)
+        self._trim()
+
+    def _trim(self) -> None:
+        """Drop tail entries provably outside the remaining capacity.
+
+        Sound only when the ``capacity`` best entries are all exact:
+        their values are final, and the tail's bound can only decrease,
+        so the tail can never climb back in.  While any leading entry
+        is inexact everything is kept — its bound may tighten below the
+        tail.
+        """
+        while len(self._entries) > self.capacity and all(
+            entry.exact for entry in self._entries[: self.capacity]
+        ):
+            self._entries.pop()
+
+    def _prune_retracted(self) -> None:
+        """Drop entries a re-probe has pushed below the threshold.
+
+        They were never emitted, so the progressive guarantee holds:
+        tightening retracts *buffered* state, never a reported tuple.
+        """
+        if self.threshold > 0.0:
+            self._entries = [
+                e for e in self._entries if e.effective >= self.threshold
+            ]
+
+    def inexact_entries(self) -> List[BufferedResult]:
+        """Pending entries whose probability is still a mere upper bound."""
+        return [e for e in self._entries if not e.exact]
+
+    def inexact_cap(self) -> float:
+        """The largest Corollary-1 bound among pending inexact entries."""
+        return max(
+            (e.effective for e in self._entries if not e.exact), default=0.0
+        )
+
+    def drain(self, remaining_cap: float, report: ReportFn) -> bool:
+        """Emit everything provably next-best; True once the limit is hit.
+
+        An entry is emittable only when it is exact and its probability
+        strictly beats ``remaining_cap`` *and* every other pending
+        entry's bound — see the class docstring for the tie and
+        degraded-entry rules.
+        """
+        self._prune_retracted()
+        self._entries.sort(key=BufferedResult.sort_key)
+        while self._entries and self.emitted < self.limit:
+            head = self._entries[0]
+            if not head.exact:
                 break
-            _, _, t = heapq.heappop(self._heap)
-            report(t, probability)
+            if head.effective <= max(remaining_cap, self.inexact_cap()):
+                break
+            self._entries.pop(0)
+            report(head.tuple, head.effective)
             self.emitted += 1
+        self._trim()
         return self.emitted >= self.limit
 
-    def flush(self, report) -> None:
-        """Natural termination: nothing unresolved remains."""
-        self.drain(remaining_cap=0.0, report=report)
+    def flush(self, report: ReportFn) -> bool:
+        """Natural termination: nothing unresolved (or recoverable) remains.
+
+        Exact entries emit at their exact probability; entries still
+        inexact — their sites stayed DOWN to the end — emit at their
+        Corollary-1 upper bound, in bound order, and the coordinator
+        annotates them through ``CoverageReport.degraded``.  Entries
+        beyond the limit stay pending for that same disclosure.
+        """
+        self._prune_retracted()
+        self._entries.sort(key=BufferedResult.sort_key)
+        while self._entries and self.emitted < self.limit:
+            head = self._entries.pop(0)
+            report(head.tuple, head.effective)
+            self.emitted += 1
+        return self.emitted >= self.limit
 
 
 class Coordinator:
@@ -106,6 +254,7 @@ class Coordinator:
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
+        limit: Optional[int] = None,
     ) -> None:
         if not sites:
             raise ValueError("a distributed query needs at least one site")
@@ -146,8 +295,27 @@ class Coordinator:
         self._state_lock = threading.Lock()
         self.health = ClusterHealth(s.site_id for s in self.sites)
         self.coverage = CoverageTracker(s.site_id for s in self.sites)
+        self.coverage.add_tighten_hook(self._tighten_result)
         self._site_by_id = {s.site_id: s for s in self.sites}
         self._prepared: set = set()
+        #: ``limit=k`` makes the query a top-k probabilistic skyline:
+        #: the buffer below holds resolved qualified tuples until they
+        #: are provably next-best (see :class:`TopKBuffer`); ``None``
+        #: reports every resolved candidate straight through.
+        self.limit = limit
+        self._topk: Optional[TopKBuffer] = (
+            TopKBuffer(limit, threshold=threshold) if limit is not None else None
+        )
+        #: Per-site cap on the local skyline probability of anything
+        #: the site has *not yet delivered*: its queue pops in
+        #: descending order, so the next candidate is bounded by the
+        #: last one fetched (1.0 before the first fetch, 0.0 once
+        #: exhausted).  :meth:`_down_sites_cap` reads this for DOWN
+        #: sites so a top-k early stop cannot cut off a recovery that
+        #: might still surface a better tuple.
+        self._site_tail_cap: Dict[int, float] = {
+            s.site_id: 1.0 for s in self.sites
+        }
 
     # ------------------------------------------------------------------
     # the fault-tolerant RPC funnel
@@ -244,8 +412,12 @@ class Coordinator:
         if not ok:
             return None
         if quaternion is None:
+            self._site_tail_cap[site.site_id] = 0.0
             self._account(MessageKind.EXHAUSTED, self._name(site), _SERVER)
             return None
+        # The queue pops in descending order: whatever the site still
+        # holds is bounded by what it just delivered.
+        self._site_tail_cap[site.site_id] = quaternion.local_probability
         self._account(MessageKind.REPRESENTATIVE, self._name(site), _SERVER)
         return quaternion
 
@@ -414,13 +586,83 @@ class Coordinator:
         return out
 
     def report(self, t: UncertainTuple, global_probability: float) -> bool:
-        """Progressively emit a resolved candidate; True if it qualified."""
+        """Progressively emit a resolved candidate; True if it qualified.
+
+        Run loops must not call this directly — route emission through
+        :meth:`emit` (skylint SKY102), which composes the ``limit=``
+        buffer with the coverage books.  ``report`` is the terminal
+        client-facing step the buffer drains into.
+        """
         if global_probability < self.threshold:
             return False
+        self.coverage.watch(t.key)
         self.results.append(SkylineMember(t, global_probability))
         self.progress.report(t.key, global_probability, self.stats)
         self._account(MessageKind.RESULT, _SERVER, "client")
         return True
+
+    # ------------------------------------------------------------------
+    # the coverage-aware emission funnel
+    # ------------------------------------------------------------------
+
+    def emit(self, t: UncertainTuple, global_probability: float) -> None:
+        """Route one resolved candidate through the emission funnel.
+
+        Unlimited queries report straight through.  Under ``limit=``
+        the qualified tuple is buffered together with its **live**
+        :class:`~repro.fault.coverage.TupleCoverage`, so a probability
+        that is only a Corollary-1 upper bound (a site was DOWN during
+        the broadcast) is re-scored in place when the recovered site is
+        re-probed — never emitted frozen at offer time.
+        """
+        if self._topk is None:
+            self.report(t, global_probability)
+            return
+        if global_probability < self.threshold:
+            return
+        coverage = self.coverage.get(t.key)
+        if coverage is not None:
+            self.coverage.watch(t.key)
+        self._topk.offer(t, global_probability, coverage=coverage)
+
+    def drain_topk(self, remaining_cap: float) -> bool:
+        """Release provably next-best buffered results; True at k emitted.
+
+        ``remaining_cap`` is the caller's bound on everything still
+        unresolved *on reachable sites*; the buffer additionally sees
+        the cap on anything a DOWN site might yet surface, so the
+        emitted-count early stop cannot terminate the query while a
+        recovery could still promote a cheaper tuple above a buffered
+        one.  No-op (False) without a ``limit=``.
+        """
+        if self._topk is None:
+            return False
+        cap = max(remaining_cap, self._down_sites_cap())
+        return self._topk.drain(cap, self.report)
+
+    def finish_topk(self) -> None:
+        """Flush the top-k buffer at natural termination.
+
+        Entries still inexact at this point belong to sites that never
+        recovered; they emit at their Corollary-1 bound and are
+        disclosed via ``CoverageReport.degraded`` by :meth:`run`.
+        """
+        if self._topk is not None:
+            self._topk.flush(self.report)
+
+    def _down_sites_cap(self) -> float:
+        """Bound on the global probability of anything a DOWN site holds.
+
+        A site's undelivered candidates are capped by its last
+        delivered local probability (descending queue order); before
+        any delivery the cap is 1.0.  Healthy clusters pay a single
+        flag check.
+        """
+        if not self.health.any_down:
+            return 0.0
+        return max(
+            self._site_tail_cap[site_id] for site_id in self.health.down_sites()
+        )
 
     # ------------------------------------------------------------------
     # recovery and reintegration
@@ -482,8 +724,10 @@ class Coordinator:
             if not ok:
                 return False
             self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
-            bound = self.coverage.contribute(cov.key, site_id, reply.factor)
-            self._tighten_result(cov.key, bound)
+            # contribute() notifies the tighten hooks for watched keys:
+            # reported results re-score (possibly retract) and buffered
+            # top-k entries re-score through their shared TupleCoverage.
+            self.coverage.contribute(cov.key, site_id, reply.factor)
         if owed:
             self.stats.record_round(tuples_in_round=len(owed))
         return True
@@ -491,9 +735,14 @@ class Coordinator:
     def _tighten_result(self, key: int, bound: float) -> None:
         """Apply a re-probed, tighter bound to an already-reported tuple.
 
-        Bounds only ever decrease, so tightening can demote a degraded
-        result below ``q`` — in which case it is retracted: the
-        degraded answer was a superset, and this is the shrink.
+        Registered as a :class:`CoverageTracker` tighten hook, so every
+        re-probe of a watched key lands here.  Bounds only ever
+        decrease, so tightening can demote a degraded result below
+        ``q`` — in which case it is retracted: the degraded answer was
+        a superset, and this is the shrink.  Buffered (never reported)
+        top-k entries are not in ``results``; they re-score through the
+        shared ``TupleCoverage`` and the buffer retracts them lazily on
+        its next drain.
         """
         for i, member in enumerate(self.results):
             if member.tuple.key != key:
@@ -530,6 +779,11 @@ class Coordinator:
                 f"site-{t.site_id}: {t.old.value} -> {t.new.value} ({t.reason})"
                 for t in self.health.transitions()
             ],
+            buffered_keys=(
+                [e.tuple.key for e in self._topk.inexact_entries()]
+                if self._topk is not None
+                else ()
+            ),
         )
         return RunResult(
             algorithm=self.algorithm,

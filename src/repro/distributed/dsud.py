@@ -31,7 +31,7 @@ from ..core.dominance import Preference
 from ..fault.retry import RetryPolicy
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
-from .coordinator import Coordinator, TopKBuffer
+from .coordinator import Coordinator
 
 __all__ = ["DSUD"]
 
@@ -57,8 +57,8 @@ class DSUD(Coordinator):
             parallel_broadcast=parallel_broadcast,
             retry_policy=retry_policy,
             batch_size=batch_size,
+            limit=limit,
         )
-        self.limit = limit
 
     def _execute(self) -> None:
         self.prepare_sites()
@@ -70,7 +70,6 @@ class DSUD(Coordinator):
             )
         exhausted = set()
         site_by_id = {site.site_id: site for site in self.sites}
-        buffer = TopKBuffer(self.limit) if self.limit is not None else None
 
         def reintegrate() -> None:
             # Reintegrate any crashed site that has come back: its
@@ -113,10 +112,9 @@ class DSUD(Coordinator):
                 break
             global_probabilities = self.broadcast_batch(batch)
             for head, global_probability in zip(batch, global_probabilities):
-                if buffer is None:
-                    self.report(head.tuple, global_probability)
-                elif global_probability >= self.threshold:
-                    buffer.offer(head.tuple, global_probability)
+                # The coverage-aware funnel: reports directly without a
+                # limit, otherwise buffers with the live TupleCoverage.
+                self.emit(head.tuple, global_probability)
             for head in batch:
                 if head.site not in exhausted:
                     refill = self.fetch_representative(site_by_id[head.site])
@@ -127,9 +125,8 @@ class DSUD(Coordinator):
                             heap, (-refill.local_probability, next(counter), refill)
                         )
                         self.stats.record_round(tuples_in_round=1)
-            if buffer is not None:
+            if self.limit is not None:
                 remaining_cap = -heap[0][0] if heap else 0.0
-                if buffer.drain(remaining_cap, self.report):
+                if self.drain_topk(remaining_cap):
                     return
-        if buffer is not None:
-            buffer.flush(self.report)
+        self.finish_topk()

@@ -110,9 +110,9 @@ class EDSUD(Coordinator):
             parallel_broadcast=parallel_broadcast,
             retry_policy=retry_policy,
             batch_size=batch_size,
+            limit=limit,
         )
         self.config = config or EDSUDConfig()
-        self.limit = limit
         self.expunged_total = 0
         self._seen: List[_SeenTuple] = []
         self._residents: Dict[int, _Resident] = {}
@@ -160,8 +160,6 @@ class EDSUD(Coordinator):
     # ------------------------------------------------------------------
 
     def _execute(self) -> None:
-        from .coordinator import TopKBuffer
-
         self.prepare_sites()
         site_by_id = {site.site_id: site for site in self.sites}
         for quaternion in self.initial_fill():
@@ -169,14 +167,18 @@ class EDSUD(Coordinator):
         for site in self.sites:
             if site.site_id not in self._residents:
                 self._exhausted.add(site.site_id)
-        buffer = TopKBuffer(self.limit) if self.limit is not None else None
 
         while True:
             # Reintegrate recovered sites: their missed factors were
-            # re-probed inside poll_recoveries; resume their queues.
+            # re-probed inside poll_recoveries; resume their queues.  A
+            # site that died *after* delivering its representative still
+            # has a live resident at the server — fetching another here
+            # would overwrite (and silently lose) it, so only sites
+            # whose resident was consumed are refilled.
             for site in self.poll_recoveries():
                 self._exhausted.discard(site.site_id)
-                self._refill(site_by_id, site.site_id)
+                if site.site_id not in self._residents:
+                    self._refill(site_by_id, site.site_id)
             if self.config.server_expunge:
                 self._expunge_dead(site_by_id)
             heads = self._top_residents()
@@ -195,17 +197,17 @@ class EDSUD(Coordinator):
             for quaternion, global_probability in zip(
                 quaternions, global_probabilities
             ):
-                if buffer is None:
-                    self.report(quaternion.tuple, global_probability)
-                elif global_probability >= self.threshold:
-                    buffer.offer(quaternion.tuple, global_probability)
+                # The coverage-aware funnel: reports directly without a
+                # limit, otherwise buffers with the live TupleCoverage.
+                self.emit(quaternion.tuple, global_probability)
             for quaternion in quaternions:
                 self._refill(site_by_id, quaternion.site)
-            if buffer is not None:
+            if self.limit is not None:
                 # Everything unresolved — residents and their sites'
                 # unfetched tails alike — is capped by the residents'
                 # local skyline probabilities (Corollary 1 plus the
-                # per-site descending queue order).
+                # per-site descending queue order); drain_topk adds the
+                # cap on whatever a DOWN site might still surface.
                 remaining_cap = max(
                     (
                         r.quaternion.local_probability
@@ -213,10 +215,9 @@ class EDSUD(Coordinator):
                     ),
                     default=0.0,
                 )
-                if buffer.drain(remaining_cap, self.report):
+                if self.drain_topk(remaining_cap):
                     return
-        if buffer is not None:
-            buffer.flush(self.report)
+        self.finish_topk()
 
     def _broadcast_tracking_factors(self, quaternion: Quaternion) -> float:
         """Broadcast like the base class, but remember exact factors."""

@@ -52,4 +52,4 @@ class NaiveLocalSkylines(Coordinator):
         for quaternion in gathered:
             self.iterations += 1
             global_probability = self.broadcast(quaternion)
-            self.report(quaternion.tuple, global_probability)
+            self.emit(quaternion.tuple, global_probability)

@@ -80,7 +80,13 @@ def distributed_skyline(
         qualified tuples are resolved, emitted in descending
         probability order.  Supported by the progressive algorithms
         (``dsud``/``edsud``) only — the point is stopping early, which
-        the bulk strawmen cannot do.
+        the bulk strawmen cannot do.  Composes with
+        ``fault_schedule``: a tuple whose probability is only a
+        Corollary-1 bound is never emitted early, so if every failed
+        site recovers before termination the answer (and emission
+        order) equals the fault-free run; with sites permanently DOWN
+        the held-back candidates are disclosed via
+        ``RunResult.coverage.buffered`` / ``coverage.degraded``.
     fault_schedule:
         Optional chaos plan: every site is wrapped in a
         :class:`~repro.fault.injection.FaultyEndpoint` replaying it.

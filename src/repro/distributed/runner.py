@@ -32,7 +32,10 @@ class RunResult:
     #: build results by hand; coordinators always fill it in.  When
     #: ``coverage.complete`` the answer is exact; otherwise each
     #: affected tuple's probability is a Corollary-1 upper bound over
-    #: the contributing sites listed in ``coverage.degraded``.
+    #: the contributing sites listed in ``coverage.degraded``.  Under
+    #: ``limit=`` the keys in ``coverage.buffered`` were qualified but
+    #: held back unemitted — their rank could not be proven without the
+    #: DOWN sites — and carry their bounds in ``coverage.degraded``.
     coverage: Optional[CoverageReport] = None
 
     @property

@@ -20,12 +20,17 @@ sites are re-probed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # typing only — fault must not import core at runtime
     from ..core.tuples import UncertainTuple
 
-__all__ = ["TupleCoverage", "CoverageReport", "CoverageTracker"]
+__all__ = ["TupleCoverage", "CoverageReport", "CoverageTracker", "TightenHook"]
+
+#: Callback fired when a re-probe tightens a *watched* candidate's
+#: bound: ``hook(key, new_upper_bound)``.  The coordinator uses it to
+#: re-score already-reported results and buffered top-k entries.
+TightenHook = Callable[[int, float], None]
 
 
 @dataclass
@@ -54,6 +59,13 @@ class CoverageReport:
     maps each affected tuple key to its ``(upper_bound,
     contributing_sites)`` annotation and ``down_sites`` lists the
     unreachable participants at termination.
+
+    ``buffered`` lists the keys of top-k entries that were still held
+    *inexact* in a :class:`~repro.distributed.coordinator.TopKBuffer`
+    when the query ended: qualified under their Corollary-1 bound but
+    never provably orderable, so never emitted.  Each such key also
+    appears in ``degraded`` with its ``(upper_bound,
+    contributing_sites)`` annotation.
     """
 
     complete: bool
@@ -61,14 +73,21 @@ class CoverageReport:
     candidates: int
     degraded: Dict[int, Tuple[float, Tuple[int, ...]]]
     transitions: Tuple[str, ...] = ()
+    buffered: Tuple[int, ...] = ()
 
     def describe(self) -> str:
         if self.complete:
             return "coverage: complete (exact answer)"
-        return (
+        line = (
             f"coverage: DEGRADED — sites down {list(self.down_sites)}, "
             f"{len(self.degraded)} tuple(s) reported as Corollary-1 upper bounds"
         )
+        if self.buffered:
+            line += (
+                f"; {len(self.buffered)} top-k candidate(s) held back "
+                "unemitted (order unprovable without the down sites)"
+            )
+        return line
 
 
 class CoverageTracker:
@@ -77,6 +96,13 @@ class CoverageTracker:
     def __init__(self, site_ids: Iterable[int]) -> None:
         self.site_ids = frozenset(site_ids)
         self._entries: Dict[int, TupleCoverage] = {}
+        #: Keys whose bound is *live* downstream (reported results and
+        #: buffered top-k entries): a re-probe that tightens one of
+        #: these must notify the hooks so the owner can re-score or
+        #: retract.  Unwatched candidates tighten silently — their
+        #: bound has no consumer yet.
+        self._watched: Set[int] = set()
+        self._tighten_hooks: List[TightenHook] = []
 
     # ------------------------------------------------------------------
     # writes, driven by the coordinator's broadcast path
@@ -103,13 +129,36 @@ class CoverageTracker:
         return cov
 
     def contribute(self, key: int, site_id: int, factor: float) -> float:
-        """Fold one site's exact factor into the bound; returns the new bound."""
+        """Fold one site's exact factor into the bound; returns the new bound.
+
+        When the key is watched (see :meth:`watch`) every registered
+        tighten hook is invoked with the new bound — this is the
+        per-candidate re-probe path reintegration rides to re-score
+        reported results and buffered top-k entries.
+        """
         cov = self._entries[key]
         if site_id in cov.missing:
             cov.missing.discard(site_id)
             cov.contributing.add(site_id)
             cov.upper_bound *= factor
+            if key in self._watched:
+                for hook in self._tighten_hooks:
+                    hook(key, cov.upper_bound)
         return cov.upper_bound
+
+    def watch(self, key: int) -> None:
+        """Mark a candidate as consumed downstream (reported/buffered).
+
+        From now on a factor that arrives for ``key`` — in practice
+        only via a recovered site's re-probe, since every reachable
+        site already answered before the candidate was consumed —
+        triggers the tighten hooks.
+        """
+        self._watched.add(key)
+
+    def add_tighten_hook(self, hook: TightenHook) -> None:
+        """Register a callback for re-probed bounds of watched keys."""
+        self._tighten_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # reads
@@ -133,14 +182,19 @@ class CoverageTracker:
         down_sites: Iterable[int],
         result_keys: Optional[Iterable[int]] = None,
         transitions: Iterable[str] = (),
+        buffered_keys: Iterable[int] = (),
     ) -> CoverageReport:
         """Build the query-level summary.
 
         With ``result_keys`` the per-tuple annotations are restricted
         to tuples actually in the answer (dropped candidates keep no
-        obligation: their bound already proved them unqualified).
+        obligation: their bound already proved them unqualified) plus
+        ``buffered_keys`` — top-k entries the coordinator held back
+        unemitted at termination, which must still be disclosed with
+        their Corollary-1 bounds.
         """
-        keys = None if result_keys is None else set(result_keys)
+        buffered = set(buffered_keys)
+        keys = None if result_keys is None else set(result_keys) | buffered
         degraded = {
             key: (cov.upper_bound, tuple(sorted(cov.contributing)))
             for key, cov in self._entries.items()
@@ -153,4 +207,5 @@ class CoverageTracker:
             candidates=len(self._entries),
             degraded=degraded,
             transitions=tuple(transitions),
+            buffered=tuple(sorted(buffered)),
         )

@@ -16,7 +16,10 @@ from repro.analysis.rules.probability import (
     FloatEqualityRule,
     RawNonOccurrenceProductRule,
 )
-from repro.analysis.rules.protocol import ProtocolAccountingRule
+from repro.analysis.rules.protocol import (
+    EmissionDisciplineRule,
+    ProtocolAccountingRule,
+)
 from repro.analysis.rules.rpc import RpcDisciplineRule
 
 
@@ -69,6 +72,79 @@ def test_sky101_exempts_the_site_module_itself():
 
 def test_sky101_ignores_non_distributed_modules():
     assert _run(SKY101_BAD, ProtocolAccountingRule(), "repro/core/fake.py") == []
+
+
+# ----------------------------------------------------------------------
+# SKY102 — emission-discipline
+
+
+SKY102_BAD = """\
+class Fast(Coordinator):
+    def _execute(self):
+        for head in self._heap:
+            self.report(head.tuple, head.probability)
+            buffer.offer(head.tuple, head.probability)
+"""
+
+SKY102_GOOD = """\
+class Fast(Coordinator):
+    def _execute(self):
+        for head in self._heap:
+            self.emit(head.tuple, head.probability)
+            if self.drain_topk(remaining_cap):
+                return
+        self.finish_topk()
+
+    def emit(self, t, global_probability):
+        self._topk.offer(t, global_probability)
+"""
+
+
+def test_sky102_flags_emission_bypassing_the_funnel():
+    findings = _run(SKY102_BAD, EmissionDisciplineRule(), "repro/distributed/fake.py")
+    assert [f.rule for f in findings] == ["SKY102", "SKY102"]
+    assert "self.report(...)" in findings[0].message
+    assert "offer" in findings[1].message
+
+
+def test_sky102_accepts_the_emit_funnel():
+    assert _run(SKY102_GOOD, EmissionDisciplineRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky102_transitive_coordinator_subclasses_are_covered():
+    source = """\
+class Base(Coordinator):
+    pass
+
+class Leaf(Base):
+    def _execute(self):
+        self.report(t, p)
+"""
+    findings = _run(source, EmissionDisciplineRule(), "repro/distributed/fake.py")
+    assert [f.rule for f in findings] == ["SKY102"]
+
+
+def test_sky102_exempts_bookkeeping_and_callbacks():
+    # `self.coverage.report(...)` is accounting, not emission, and
+    # passing `self.report` as the drain callback is the sanctioned
+    # hand-off — neither may trip the rule.
+    source = """\
+class Fast(Coordinator):
+    def run(self):
+        self.coverage.report(result_keys=keys)
+        self._topk.drain(cap, self.report)
+"""
+    assert _run(source, EmissionDisciplineRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky102_ignores_non_coordinator_classes():
+    source = """\
+class Helper:
+    def push(self):
+        self.report(t, p)
+        queue.offer(t, p)
+"""
+    assert _run(source, EmissionDisciplineRule(), "repro/distributed/fake.py") == []
 
 
 # ----------------------------------------------------------------------

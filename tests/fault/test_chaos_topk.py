@@ -1,0 +1,191 @@
+"""Chaos × ``limit=`` composition: top-k queries stay sound under faults.
+
+The contracts, straight from the degraded-top-k design (docs/protocol.md,
+*Degraded top-k*):
+
+* **No retraction, ever** — a tuple emitted by a ``limit=`` query is
+  never invalidated by a later reintegration: the buffer only releases
+  entries whose probability is exact and provably next-best, so the
+  progressive-reporting guarantee survives site churn.
+* **Recovery ⇒ fault-free order** — if every failed site recovers
+  before termination, the k emitted tuples and their emission *order*
+  match the fault-free run exactly.
+* **Permanent loss ⇒ disclosed bounds** — with sites DOWN at
+  termination, every emitted-or-buffered inexact tuple appears in
+  ``CoverageReport.degraded`` with its ``(upper_bound,
+  contributing_sites)`` annotation; held-back entries are listed in
+  ``CoverageReport.buffered``.
+* **Batching is transparent** — ``batch_size > 1`` + ``limit`` + chaos
+  answers the same query as ``batch_size = 1``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.query import distributed_skyline
+from repro.fault.retry import RetryPolicy
+from repro.fault.schedule import FaultSchedule
+
+from ..conftest import make_random_database
+
+Q = 0.25
+SITES = 4
+VICTIM = 1
+
+
+def make_partitions(n=400, d=3, seed=4, grid=12):
+    db = make_random_database(n, d, seed=seed, grid=grid)
+    return db, [db[i::SITES] for i in range(SITES)]
+
+
+def fast_retries(attempts=2):
+    """Real backoff sleeps, kept microscopic so chaos tests stay fast."""
+    return RetryPolicy(max_attempts=attempts, base_backoff=1e-4, max_backoff=1e-3)
+
+
+def recover_schedule(seed=4):
+    """The victim refuses calls 6–8, then answers the liveness probe."""
+    return FaultSchedule(seed=seed).crash(VICTIM, at_call=6, until_call=9)
+
+
+def crash_schedule(seed=4):
+    """The victim dies a few RPCs in and never comes back."""
+    return FaultSchedule(seed=seed).crash(VICTIM, at_call=6)
+
+
+@pytest.mark.parametrize("algorithm", ["dsud", "edsud"])
+class TestChaosLimitComposition:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_recovery_restores_the_fault_free_topk_and_its_order(
+        self, algorithm, k
+    ):
+        _db, partitions = make_partitions()
+        exact = distributed_skyline(partitions, Q, algorithm=algorithm, limit=k)
+        recovered = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=k,
+            fault_schedule=recover_schedule(), retry_policy=fast_retries(),
+        )
+        assert recovered.coverage.complete
+        # same k tuples, same probabilities...
+        assert recovered.answer.agrees_with(exact.answer, tol=1e-9)
+        # ...and the same emission order (the progressive timeline)
+        assert [e.key for e in recovered.progress.events] == [
+            e.key for e in exact.progress.events
+        ]
+
+    @pytest.mark.parametrize("schedule_factory", [recover_schedule, crash_schedule])
+    def test_no_emitted_tuple_is_ever_retracted(self, algorithm, schedule_factory):
+        _db, partitions = make_partitions()
+        result = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=5,
+            fault_schedule=schedule_factory(), retry_policy=fast_retries(),
+        )
+        emitted = [e.key for e in result.progress.events]
+        # every emission survived to the final answer, none re-emitted
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == set(result.answer.keys())
+        # and nothing was emitted at a probability later proven below q
+        for probability in result.answer.probabilities().values():
+            assert probability >= Q
+
+    def test_permanent_crash_surfaces_inexact_entries_in_coverage(self, algorithm):
+        _db, partitions = make_partitions()
+        exact_probs = distributed_skyline(
+            partitions, Q, algorithm=algorithm
+        ).answer.probabilities()
+        result = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=3,
+            fault_schedule=crash_schedule(), retry_policy=fast_retries(),
+        )
+        coverage = result.coverage
+        assert not coverage.complete
+        assert coverage.down_sites == (VICTIM,)
+        # Every emitted-or-buffered inexact tuple carries its
+        # Corollary-1 bound and the contributing sites (never the
+        # victim); buffered keys are a subset of the degraded map.
+        assert coverage.degraded, "the crash must leave inexact results"
+        for key, (bound, contributing) in coverage.degraded.items():
+            assert VICTIM not in contributing
+            if key in exact_probs:
+                assert bound >= exact_probs[key] - 1e-9
+        for key in coverage.buffered:
+            assert key in coverage.degraded
+            assert key not in result.answer  # held back, not emitted
+
+    def test_emitted_prefix_is_sound_under_permanent_loss(self, algorithm):
+        # Degraded superset semantics per position: each emitted
+        # probability is an upper bound on the exact value of that
+        # tuple, and the emission order is descending.
+        _db, partitions = make_partitions()
+        exact_probs = distributed_skyline(
+            partitions, Q, algorithm=algorithm
+        ).answer.probabilities()
+        result = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=4,
+            fault_schedule=crash_schedule(), retry_policy=fast_retries(),
+        )
+        series = [e.global_probability for e in result.progress.events]
+        assert series == sorted(series, reverse=True)
+        for event in result.progress.events:
+            if event.key in exact_probs:
+                assert event.global_probability >= exact_probs[event.key] - 1e-9
+
+    @pytest.mark.parametrize("batch_size", [2, 4])
+    def test_batched_chaos_limit_agrees_with_unbatched(self, algorithm, batch_size):
+        _db, partitions = make_partitions()
+        unbatched = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=5,
+            fault_schedule=recover_schedule(), retry_policy=fast_retries(),
+        )
+        batched = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=5, batch_size=batch_size,
+            fault_schedule=recover_schedule(), retry_policy=fast_retries(),
+        )
+        assert batched.answer.keys() == unbatched.answer.keys()
+        for key, p in batched.answer.probabilities().items():
+            assert p == pytest.approx(unbatched.answer.probabilities()[key])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=5),
+        batch_size=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_chaos_limit_property(self, algorithm, seed, k, batch_size):
+        # Whenever the victim recovers before termination, chaos +
+        # limit + batching answers the fault-free top-k exactly.
+        db = make_random_database(120, 2, seed=seed, grid=8)
+        partitions = [db[i::3] for i in range(3)]
+        exact = distributed_skyline(partitions, Q, algorithm=algorithm, limit=k)
+        schedule = FaultSchedule(seed=seed).crash(1, at_call=5, until_call=8)
+        result = distributed_skyline(
+            partitions, Q, algorithm=algorithm, limit=k, batch_size=batch_size,
+            fault_schedule=schedule, retry_policy=fast_retries(),
+        )
+        if result.coverage.complete:
+            assert result.answer.keys() == exact.answer.keys()
+        else:
+            # the victim stayed down: emitted keys are never retracted
+            emitted = [e.key for e in result.progress.events]
+            assert set(emitted) == set(result.answer.keys())
+
+
+class TestDownSiteBlocksEarlyStop:
+    def test_early_stop_waits_for_a_possible_recovery(self):
+        # While the victim is DOWN its undelivered candidates cap the
+        # drain: the coordinator must not declare the top-k final on
+        # reachable data alone.  With the victim recovering, the run
+        # must find the victim-owned tuple the early stop would skip.
+        _db, partitions = make_partitions(seed=4)
+        exact = distributed_skyline(partitions, Q, algorithm="dsud", limit=5)
+        victim_keys = {t.key for t in partitions[VICTIM]}
+        assert victim_keys & set(exact.answer.keys()), (
+            "workload must place a top-k tuple on the victim for this "
+            "test to exercise the early-stop guard"
+        )
+        recovered = distributed_skyline(
+            partitions, Q, algorithm="dsud", limit=5,
+            fault_schedule=recover_schedule(), retry_policy=fast_retries(),
+        )
+        assert recovered.answer.keys() == exact.answer.keys()
