@@ -62,6 +62,7 @@ from .distributed import (
 )
 from .index import PRTree, bbs_prob_skyline
 from .net import LatencyModel
+from .replica import ReplicaManager, assign_buddies
 
 __version__ = "1.0.0"
 
@@ -109,4 +110,7 @@ __all__ = [
     "save_tuples",
     # net
     "LatencyModel",
+    # replica
+    "ReplicaManager",
+    "assign_buddies",
 ]

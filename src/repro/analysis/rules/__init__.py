@@ -13,6 +13,7 @@ from .concurrency import ThreadSharedStateRule
 from .determinism import UnseededRandomRule, WallClockRule
 from .probability import FloatEqualityRule, RawNonOccurrenceProductRule
 from .protocol import EmissionDisciplineRule, ProtocolAccountingRule
+from .replica import ReplicaAccountingRule
 from .rpc import RpcDisciplineRule
 
 __all__ = ["ALL_RULES", "rules_by_id"]
@@ -20,6 +21,7 @@ __all__ = ["ALL_RULES", "rules_by_id"]
 ALL_RULES: List[Rule] = [
     ProtocolAccountingRule(),
     EmissionDisciplineRule(),
+    ReplicaAccountingRule(),
     UnseededRandomRule(),
     WallClockRule(),
     FloatEqualityRule(),

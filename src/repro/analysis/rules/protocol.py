@@ -57,6 +57,8 @@ RPC_METHODS = frozenset(
         "probe_and_prune",
         "probe_and_prune_batch",
         "queue_size",
+        "fast_forward",
+        "partition_digest",
         "ship_all",
         "ship_local_skyline",
         "probe",

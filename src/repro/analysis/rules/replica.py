@@ -1,0 +1,108 @@
+"""SKY103 — replica-accounting: every replica-path RPC is billed.
+
+The replication subsystem moves the same §3.2 currency the query
+protocol does — provisioning ships whole partitions, write-forwarding
+ships one tuple per forwarded insert, anti-entropy crosses digests and
+ships repair diffs.  If any of those touches a replica endpoint without
+a :class:`~repro.net.stats.NetworkStats` entry in the same function,
+the rf≥2 bandwidth comparison (the whole point of the replica bench)
+silently under-counts, exactly the failure mode SKY101 closes for the
+coordinator.
+
+The rule is SKY101's twin for ``replica/`` modules: any function that
+invokes a site-endpoint method — the query surface *plus* the
+maintenance surface replicas add (``insert_tuple`` / ``delete_tuple`` /
+``fast_forward`` / ``partition_digest``) — on a non-``self`` receiver
+must also contain an accounting call (``stats.record`` or one of the
+billing helpers).  Nested defs and lambdas count toward their
+outermost enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..framework import Finding, ModuleContext, Project, Rule, Severity, dotted_name
+from .protocol import ACCOUNTING_MARKERS, RPC_METHODS
+
+__all__ = ["ReplicaAccountingRule", "REPLICA_RPC_METHODS"]
+
+#: The replica path speaks the full endpoint surface plus the
+#: maintenance calls the coordinator never issues directly.
+REPLICA_RPC_METHODS = RPC_METHODS | frozenset(
+    {
+        "insert_tuple",
+        "delete_tuple",
+        "fast_forward",
+        "partition_digest",
+    }
+)
+
+
+def _is_replica_rpc_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in REPLICA_RPC_METHODS:
+        return None
+    receiver = dotted_name(func.value)
+    if receiver == "self" or receiver.startswith("self."):
+        return None
+    return func.attr
+
+
+def _is_accounting_call(node: ast.Call) -> bool:
+    tail = dotted_name(node.func).split(".")[-1]
+    return tail in ACCOUNTING_MARKERS
+
+
+class ReplicaAccountingRule(Rule):
+    id = "SKY103"
+    name = "replica-accounting"
+    severity = Severity.ERROR
+    description = (
+        "Replica-path RPC without NetworkStats accounting in the same "
+        "function: provisioning, write-forwarding, digests, and repairs "
+        "are real wide-area traffic, or the rf>=2 bandwidth comparison "
+        "under-counts."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return "replica/" in module.relpath
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        buckets: Dict[ast.AST, Tuple[List[Tuple[ast.Call, str]], List[ast.Call]]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            scope = self._outermost_function(module, node)
+            if scope is None:
+                continue
+            rpcs, bills = buckets.setdefault(scope, ([], []))
+            method = _is_replica_rpc_call(node)
+            if method is not None:
+                rpcs.append((node, method))
+            elif _is_accounting_call(node):
+                bills.append(node)
+        for scope, (rpcs, bills) in buckets.items():
+            if not rpcs or bills:
+                continue
+            for call, method in rpcs:
+                yield module.finding(
+                    self,
+                    call,
+                    f"replica-path RPC `{dotted_name(call.func)}(...)` "
+                    f"({method}) has no NetworkStats accounting anywhere "
+                    f"in `{scope.name}`; bill it "  # type: ignore[attr-defined]
+                    "(stats.record / _account) or the rf>=2 bandwidth "
+                    "books lie",
+                )
+
+    @staticmethod
+    def _outermost_function(
+        module: ModuleContext, node: ast.AST
+    ) -> Optional[ast.AST]:
+        outermost = None
+        for anc in module.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                outermost = anc
+        return outermost

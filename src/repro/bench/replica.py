@@ -1,0 +1,177 @@
+"""Replication benchmark: what exact failover costs versus degrading.
+
+Under an identical seeded single-site crash, runs the progressive
+algorithms three ways —
+
+* **fault-free** — the reference answer and its §3.2 bandwidth,
+* **rf=1 degraded** — the pre-replication behaviour: the query
+  finishes on Corollary-1 upper bounds and reports which tuples are
+  inexact,
+* **rf=2 failover** — a buddy replica is promoted mid-query and the
+  answer stays exact —
+
+and writes the comparison to ``BENCH_replica.json`` at the repository
+root (override with ``--out``).  The interesting read is the *price of
+exactness*: the failover run's extra query tuples (feedback replay)
+plus the standing provisioning cost (one partition copy per replica,
+amortised across every query the replica ever serves).  All bandwidth
+numbers are deterministic message-ledger reads, not timings, so the
+artifact diffs cleanly across commits; CI uploads it non-blocking.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.replica            # full
+    PYTHONPATH=src python -m repro.bench.replica --quick    # small scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+from typing import Dict, List, Optional
+
+from ..core.tuples import UncertainTuple
+from ..distributed.query import build_sites, distributed_skyline
+from ..fault.retry import RetryPolicy
+from ..fault.schedule import FaultSchedule
+from ..replica.manager import ReplicaManager
+
+__all__ = ["run_replica_bench", "main"]
+
+Q = 0.3
+VICTIM = 1
+CRASH_AT = 5
+SCALES = (
+    {"name": "small", "n": 400, "d": 3, "sites": 4},
+    {"name": "large", "n": 2_000, "d": 3, "sites": 8},
+)
+
+
+def _make_database(n: int, d: int, seed: int) -> List[UncertainTuple]:
+    rng = random.Random(seed)
+    return [
+        UncertainTuple(
+            i, tuple(rng.random() for _ in range(d)), rng.random() * 0.99 + 0.01
+        )
+        for i in range(n)
+    ]
+
+
+def _schedule() -> FaultSchedule:
+    return FaultSchedule(seed=0).crash(VICTIM, at_call=CRASH_AT)
+
+
+def _retries() -> RetryPolicy:
+    return RetryPolicy(max_attempts=2, base_backoff=1e-4, max_backoff=1e-3)
+
+
+def _row(scale: Dict, algorithm: str, mode: str, result, extra: Optional[Dict] = None) -> Dict:
+    coverage = result.coverage
+    row = {
+        "benchmark": "replica_failover",
+        "scale": scale["name"],
+        "algorithm": algorithm,
+        "mode": mode,
+        "n": scale["n"],
+        "sites": scale["sites"],
+        "threshold": Q,
+        "results": result.result_count,
+        "tuples_transmitted": result.stats.tuples_transmitted,
+        "messages": result.stats.messages,
+        "rounds": result.stats.rounds,
+        "failovers": result.stats.failovers,
+        "degraded_tuples": len(coverage.degraded) if coverage else 0,
+        "exact": bool(coverage.complete) if coverage else True,
+    }
+    if extra:
+        row.update(extra)
+    return row
+
+
+def run_replica_bench(quick: bool = False) -> Dict:
+    """Run the rf=1 vs rf=2 chaos comparison; returns the JSON document."""
+    results = []
+    for scale in SCALES[:1] if quick else SCALES:
+        db = _make_database(scale["n"], scale["d"], seed=909)
+        partitions = [db[i :: scale["sites"]] for i in range(scale["sites"])]
+        for algorithm in ("dsud", "edsud"):
+            clean = distributed_skyline(partitions, Q, algorithm=algorithm)
+            results.append(_row(scale, algorithm, "fault-free", clean))
+
+            degraded = distributed_skyline(
+                partitions, Q, algorithm=algorithm,
+                fault_schedule=_schedule(), retry_policy=_retries(),
+            )
+            results.append(_row(scale, algorithm, "rf1-degraded", degraded))
+
+            # Pre-build the manager so the standing provisioning cost
+            # is reported next to the query cost it amortises over.
+            manager = ReplicaManager(build_sites(partitions), 2)
+            manager.ensure_provisioned()
+            provisioning = manager.stats.tuples_transmitted
+            replicated = distributed_skyline(
+                partitions, Q, algorithm=algorithm,
+                fault_schedule=_schedule(), retry_policy=_retries(),
+                replication_factor=2,
+            )
+            clean_keys = [(m.key, m.probability) for m in clean.answer]
+            got_keys = [(m.key, m.probability) for m in replicated.answer]
+            results.append(
+                _row(
+                    scale, algorithm, "rf2-failover", replicated,
+                    extra={
+                        "provisioning_tuples": provisioning,
+                        "matches_fault_free": got_keys == clean_keys,
+                        "failover_overhead_tuples": (
+                            replicated.stats.tuples_transmitted
+                            - clean.stats.tuples_transmitted
+                        ),
+                    },
+                )
+            )
+    return {
+        "artifact": "BENCH_replica",
+        "generated_by": "python -m repro.bench.replica",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "threshold": Q,
+        "crash": {"site": VICTIM, "at_call": CRASH_AT},
+        "quick": quick,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.replica",
+        description="Compare rf=1 degraded queries against rf=2 exact failover.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_replica.json",
+        help="output path (default: BENCH_replica.json in the cwd)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small scale only (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    doc = run_replica_bench(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    for row in doc["results"]:
+        exact = "exact" if row["exact"] else f"degraded({row['degraded_tuples']})"
+        print(
+            f"{row['algorithm']:6s} {row['scale']:6s} {row['mode']:13s} "
+            f"tuples {row['tuples_transmitted']:6d}  msgs {row['messages']:6d}  "
+            f"results {row['results']:4d}  {exact}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,6 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=0,
         help="seed for flaky-p draws and retry jitter",
     )
+    query.add_argument(
+        "--replication-factor", type=int, default=1, metavar="F",
+        help="copies of every partition (default 1 = unreplicated); with "
+        "F>=2 a failed primary fails over to a buddy replica and the "
+        "answer stays exact instead of degrading to Corollary-1 bounds",
+    )
 
     info = sub.add_parser("info", help="describe a relation file")
     info.add_argument("data", help="relation file (.csv or .jsonl)")
@@ -207,6 +213,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 2
         schedule, policy = _build_chaos(args)
         chaos_kwargs = {"fault_schedule": schedule, "retry_policy": policy}
+    if args.replication_factor > 1:
+        if args.algorithm not in ("dsud", "edsud"):
+            print(
+                "--replication-factor requires a progressive algorithm "
+                "(dsud/edsud)"
+            )
+            return 2
+        if args.trace:
+            print("--replication-factor does not compose with --trace")
+            return 2
     if args.trace:
         from .distributed.query import ALGORITHMS, build_sites
         from .net.trace import ProtocolTracer, summarize_trace
@@ -234,6 +250,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             preference=preference,
             limit=args.limit,
+            replication_factor=args.replication_factor,
             **chaos_kwargs,
         )
     print(result.summary())
@@ -247,6 +264,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"chaos: failures={stats.rpc_failures} retries={stats.rpc_retries} "
             f"sites lost={stats.sites_lost} recovered={stats.sites_recovered}"
         )
+        if args.replication_factor > 1:
+            sync = result.stats.by_kind.get("replica_sync", 0)
+            digests = result.stats.by_kind.get("digest", 0)
+            print(
+                f"replication: factor={args.replication_factor} "
+                f"failovers={stats.failovers} failbacks={stats.failbacks} "
+                f"sync msgs={sync} digests={digests}"
+            )
         coverage = result.coverage
         if coverage is not None and coverage.degraded:
             buffered = set(coverage.buffered)

@@ -36,7 +36,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
@@ -49,6 +49,10 @@ from ..net.message import Message, MessageKind, Quaternion
 from ..net.stats import LatencyModel, NetworkStats, ProgressLog
 from ..net.transport import SiteEndpoint
 from .runner import RunResult
+from .site import ProbeReply
+
+if TYPE_CHECKING:  # imported lazily — replica builds on distributed.site
+    from ..replica.manager import ReplicaManager
 
 __all__ = ["Coordinator", "TopKBuffer", "BufferedResult"]
 
@@ -255,6 +259,7 @@ class Coordinator:
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
         limit: Optional[int] = None,
+        replica_manager: Optional["ReplicaManager"] = None,
     ) -> None:
         if not sites:
             raise ValueError("a distributed query needs at least one site")
@@ -316,6 +321,27 @@ class Coordinator:
         self._site_tail_cap: Dict[int, float] = {
             s.site_id: 1.0 for s in self.sites
         }
+        #: Optional replication subsystem: with buddy replicas a
+        #: primary that goes DOWN is *failed over* (a replica is
+        #: promoted as the logical site's endpoint, the in-flight round
+        #: replayed) instead of degrading the query to Corollary-1
+        #: bounds.  Provisioning happens before the query books are
+        #: bound, so a healthy replicated run bills exactly like an
+        #: unreplicated one.
+        self.replica_manager = replica_manager
+        if replica_manager is not None:
+            replica_manager.ensure_provisioned()
+            replica_manager.bind_stats(self.stats)
+        #: Representative keys each logical site already surrendered —
+        #: the catch-up list a promoted replacement fast-forwards over
+        #: so it never re-serves a delivered candidate.
+        self._delivered_keys: Dict[int, List[int]] = {
+            s.site_id: [] for s in self.sites
+        }
+        #: Logical sites currently served by a promoted replica, mapped
+        #: to their original primary endpoint (the failback probe
+        #: target).
+        self._failed_over: Dict[int, SiteEndpoint] = {}
 
     # ------------------------------------------------------------------
     # the fault-tolerant RPC funnel
@@ -384,10 +410,16 @@ class Coordinator:
                 site, "prepare", lambda site=site: site.prepare(self.threshold)
             )
             if not ok:
-                continue
-            self._prepared.add(site.site_id)
+                # A buddy replica (if any) can take over from the very
+                # first round — its prepare is billed inside _promote.
+                promoted = self._failover(site.site_id)
+                if promoted is None:
+                    continue
+                _endpoint, size, _factors = promoted
+            else:
+                self._prepared.add(site.site_id)
+                self._account(MessageKind.PREPARE_REPLY, self._name(site), _SERVER)
             sizes.append(size)
-            self._account(MessageKind.PREPARE_REPLY, self._name(site), _SERVER)
         self.stats.record_round()
         return sizes
 
@@ -402,15 +434,33 @@ class Coordinator:
         unreachable one — in the latter case the FSM records the loss
         and :meth:`poll_recoveries` can undo it later.
         """
+        # Re-resolve through the live endpoint table: run loops hold
+        # references from query start, which go stale after a failover
+        # or failback swaps the logical site's serving endpoint.
+        site = self._site_by_id.get(site.site_id, site)
         if self.health.is_down(site.site_id):
-            return None
+            promoted = self._failover(site.site_id)
+            if promoted is None:
+                return None
+            site = promoted[0]
         if request:
             self._account(MessageKind.NEXT_REQUEST, _SERVER, self._name(site))
         ok, quaternion = self._rpc(
             site, "pop_representative", site.pop_representative
         )
         if not ok:
-            return None
+            # Died on the pop: promote a replica (which fast-forwards
+            # past everything already delivered) and re-issue the pop
+            # against it — the To-Server phase continues exactly.
+            promoted = self._failover(site.site_id)
+            if promoted is None:
+                return None
+            site = promoted[0]
+            ok, quaternion = self._rpc(
+                site, "pop_representative", site.pop_representative
+            )
+            if not ok:
+                return None
         if quaternion is None:
             self._site_tail_cap[site.site_id] = 0.0
             self._account(MessageKind.EXHAUSTED, self._name(site), _SERVER)
@@ -419,6 +469,7 @@ class Coordinator:
         # holds is bounded by what it just delivered.
         self._site_tail_cap[site.site_id] = quaternion.local_probability
         self._account(MessageKind.REPRESENTATIVE, self._name(site), _SERVER)
+        self._delivered_keys[site.site_id].append(quaternion.key)
         return quaternion
 
     def initial_fill(self) -> List[Quaternion]:
@@ -481,7 +532,17 @@ class Coordinator:
         out = []
         for site, (ok, reply) in zip(targets, attempts):
             if not ok:
-                continue  # factor stays missing in the coverage books
+                # Mid-broadcast casualty: promote a replica and recover
+                # this round's factor from the replay (billed as
+                # FAILOVER_PROBE/PROBE_REPLY inside _promote, and
+                # already contributed to the coverage books there).
+                factor = self._failover_factor(site.site_id, t.key)
+                if factor is None:
+                    continue  # factor stays missing in the coverage books
+                out.append(
+                    (site.site_id, ProbeReply(factor=factor, pruned=0, queue_remaining=0))
+                )
+                continue
             self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
             self.coverage.contribute(t.key, site.site_id, reply.factor)
             out.append((site.site_id, reply))
@@ -575,7 +636,17 @@ class Coordinator:
         out = []
         for (site, indices), factors in zip(plan, attempts):
             if not factors:
-                continue  # factors stay missing in the coverage books
+                # Mid-round casualty: a promoted replica supplies the
+                # whole batch's factors through the replay inside
+                # _promote (billed and contributed there).
+                replayed = self._failover_factors(site.site_id)
+                if replayed is None:
+                    continue  # factors stay missing in the coverage books
+                for index in indices:
+                    factor = replayed.get(quaternions[index].tuple.key)
+                    if factor is not None:
+                        out.append((site.site_id, index, factor))
+                continue
             self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
             for index, factor in zip(indices, factors):
                 self.coverage.contribute(
@@ -669,16 +740,22 @@ class Coordinator:
     # ------------------------------------------------------------------
 
     def poll_recoveries(self) -> List[SiteEndpoint]:
-        """Give every DOWN site one chance to come back.
+        """Give every DOWN site one chance to come back; drive failback.
 
         Free while the cluster is healthy (a single flag check).  Each
         DOWN site gets one unretried liveness probe (a CONTROL
         message); if it answers, the site is re-probed for every Eq.-9
         factor it owes — tightening, and possibly retracting, degraded
         results — and returned so the iteration policy can resume
-        fetching its candidates.
+        fetching its candidates.  A site that stays dead *and* has a
+        buddy replica is failed over instead: the replica is promoted
+        as the logical site's endpoint and likewise returned.  (Most
+        failovers happen earlier, inline at the faulting RPC; this path
+        catches sites whose reintegration attempt failed.)  Finally,
+        each failed-over primary gets its own liveness probe — on an
+        answer it is re-synced and promoted back (failback).
         """
-        if not self.health.any_down:
+        if not self.health.any_down and not self._failed_over:
             return []
         recovered: List[SiteEndpoint] = []
         for site_id in self.health.down_sites():
@@ -687,6 +764,9 @@ class Coordinator:
             try:
                 site.queue_size()
             except RETRYABLE_FAULTS:
+                promoted = self._failover(site_id)
+                if promoted is not None:
+                    recovered.append(promoted[0])
                 continue
             self.health.mark_recovering(site_id, "liveness probe answered")
             if self._reintegrate(site):
@@ -695,6 +775,7 @@ class Coordinator:
                 recovered.append(site)
             else:
                 self.health.mark_down(site_id, "reintegration failed")
+        self._poll_failbacks()
         return recovered
 
     def _reintegrate(self, site: SiteEndpoint) -> bool:
@@ -731,6 +812,161 @@ class Coordinator:
         if owed:
             self.stats.record_round(tuples_in_round=len(owed))
         return True
+
+    # ------------------------------------------------------------------
+    # replica failover and failback
+    # ------------------------------------------------------------------
+
+    def _failover(
+        self, site_id: int
+    ) -> Optional[Tuple[SiteEndpoint, int, Dict[int, float]]]:
+        """Re-target a DOWN logical site at its buddy replica.
+
+        Returns ``(endpoint, |SKY(D_i)|, replayed factors by key)`` on
+        success — the logical site is UP again, served by the replica,
+        and every Eq.-9 factor the dead primary owed has been recovered
+        (so ``coverage`` is exact again and the top-k drain stops
+        holding tuples back).  ``None`` when no replication is
+        configured, the site already failed over once (the replica
+        itself died — with one buddy there is no second failover), or
+        promotion failed.
+        """
+        if self.replica_manager is None or site_id in self._failed_over:
+            return None
+        if not self.health.is_down(site_id):
+            return None
+        replica = self.replica_manager.replica_for(site_id)
+        if replica is None:
+            return None
+        primary = self._site_by_id[site_id]
+        self.health.mark_recovering(site_id, "failover: promoting buddy replica")
+        promoted = self._promote(site_id, replica)
+        if promoted is None:
+            # _promote's failing _rpc already journalled the fault and
+            # marked the site DOWN again; the query stays degraded.
+            return None
+        size, factors = promoted
+        self._failed_over[site_id] = primary
+        self.stats.failovers += 1
+        return replica, size, factors
+
+    def _failover_factor(self, site_id: int, key: int) -> Optional[float]:
+        """One broadcast tuple's Eq.-9 factor, recovered via failover."""
+        factors = self._failover_factors(site_id)
+        if factors is None:
+            return None
+        return factors.get(key)
+
+    def _failover_factors(self, site_id: int) -> Optional[Dict[int, float]]:
+        """Fail over and return every factor the promotion replayed."""
+        promoted = self._failover(site_id)
+        if promoted is None:
+            return None
+        return promoted[2]
+
+    def _promote(
+        self, site_id: int, endpoint: SiteEndpoint
+    ) -> Optional[Tuple[int, Dict[int, float]]]:
+        """Converge a replacement endpoint onto the serving state and swap it in.
+
+        Shared by failover (a replica replaces its dead primary) and
+        failback (the re-synced primary replaces the replica).  Three
+        steps, each billed:
+
+        1. ``prepare(q)`` rebuilds the candidate queue from the
+           replacement's (identical) partition copy — deterministic, so
+           the queue matches the twin's initial queue exactly.
+        2. Every broadcast the query ever sent to this logical site is
+           replayed, in broadcast order, as a tuple-bearing
+           ``FAILOVER_PROBE``: the ``probe_and_prune`` replies rebuild
+           the Local-Pruning state bit-for-bit (same factors, same
+           multiplication order as a never-failed twin) and — via
+           ``coverage.contribute`` — recover any Eq.-9 factor still
+           owed, firing the tighten hooks that re-score reported
+           results and buffered top-k entries back to exactness.
+        3. ``fast_forward`` over the representatives already
+           surrendered (keys only: one zero-tuple CONTROL message, the
+           §3.2 metric counts tuples) so the replacement never
+           re-serves a delivered candidate.
+
+        Returns ``(|SKY(D_i)|, replayed factors by key)``; ``None`` if
+        the replacement itself faulted (the site is then DOWN again).
+        """
+        name = self._name(endpoint)
+        self._account(MessageKind.PREPARE, _SERVER, name)
+        ok, size = self._rpc(
+            endpoint, "prepare", lambda: endpoint.prepare(self.threshold)
+        )
+        if not ok:
+            return None
+        self._prepared.add(site_id)
+        self._account(MessageKind.PREPARE_REPLY, name, _SERVER)
+        factors: Dict[int, float] = {}
+        replayed = [cov for cov in self.coverage.entries() if cov.origin != site_id]
+        for cov in replayed:
+            self._account(MessageKind.FAILOVER_PROBE, _SERVER, name)
+            ok, reply = self._rpc(
+                endpoint,
+                "probe_and_prune",
+                lambda cov=cov: endpoint.probe_and_prune(cov.tuple),
+            )
+            if not ok:
+                return None
+            self._account(MessageKind.PROBE_REPLY, name, _SERVER)
+            factors[cov.key] = reply.factor
+            # contribute() is a no-op for factors the dead twin already
+            # supplied, and restores exactness for the owed ones.
+            self.coverage.contribute(cov.key, site_id, reply.factor)
+        delivered = self._delivered_keys[site_id]
+        if delivered:
+            self._account(MessageKind.CONTROL, _SERVER, name)
+            ok, _skipped = self._rpc(
+                endpoint, "fast_forward", lambda: endpoint.fast_forward(delivered)
+            )
+            if not ok:
+                return None
+        self._site_by_id[site_id] = endpoint
+        for i, s in enumerate(self.sites):
+            if s.site_id == site_id:
+                self.sites[i] = endpoint
+                break
+        if replayed:
+            self.stats.record_round(tuples_in_round=len(replayed))
+        return int(size), factors
+
+    def _poll_failbacks(self) -> None:
+        """Probe each failed-over primary; re-sync and re-target on answer.
+
+        The replica keeps serving until its primary both answers a
+        liveness probe (one CONTROL message per iteration, mirroring
+        the DOWN-site cadence) and survives a full promotion: an
+        anti-entropy re-sync of its partition (digest exchange — writes
+        may have been forwarded while it was away) followed by the same
+        prepare/replay/fast-forward convergence a failover runs.
+        Failback is invisible to the run loops — the logical site was
+        never out of rotation — so nothing is returned.
+        """
+        if not self._failed_over or self.replica_manager is None:
+            return
+        for site_id in sorted(self._failed_over):
+            primary = self._failed_over[site_id]
+            self._account(MessageKind.CONTROL, _SERVER, self._name(primary))
+            try:
+                primary.queue_size()
+            except RETRYABLE_FAULTS:
+                continue
+            self.replica_manager.resync_primary(site_id)
+            if self._promote(site_id, primary) is None:
+                # The primary died again mid-promotion: _rpc marked the
+                # logical site DOWN, but the replica is still serving —
+                # restore UP through the legal RECOVERING hop.
+                if self.health.is_down(site_id):
+                    self.health.mark_recovering(site_id, "failback aborted")
+                    self.health.mark_up(site_id, "buddy replica still serving")
+                continue
+            del self._failed_over[site_id]
+            self.stats.failbacks += 1
+            self.stats.sites_recovered += 1
 
     def _tighten_result(self, key: int, bound: float) -> None:
         """Apply a re-probed, tighter bound to an already-reported tuple.

@@ -25,13 +25,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..core.dominance import Preference
 from ..fault.retry import RetryPolicy
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
 from .coordinator import Coordinator
+
+if TYPE_CHECKING:
+    from ..replica.manager import ReplicaManager
 
 __all__ = ["DSUD"]
 
@@ -51,6 +54,7 @@ class DSUD(Coordinator):
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
+        replica_manager: Optional["ReplicaManager"] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
@@ -58,6 +62,7 @@ class DSUD(Coordinator):
             retry_policy=retry_policy,
             batch_size=batch_size,
             limit=limit,
+            replica_manager=replica_manager,
         )
 
     def _execute(self) -> None:

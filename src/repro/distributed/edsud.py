@@ -31,7 +31,7 @@ It defaults off to stay faithful; the ablation benchmark measures it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
 from ..core.probability import observation2_bound
@@ -40,6 +40,9 @@ from ..net.message import Quaternion
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
 from .coordinator import Coordinator
+
+if TYPE_CHECKING:
+    from ..replica.manager import ReplicaManager
 
 __all__ = ["EDSUDConfig", "EDSUD"]
 
@@ -104,6 +107,7 @@ class EDSUD(Coordinator):
         parallel_broadcast: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
+        replica_manager: Optional["ReplicaManager"] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
@@ -111,6 +115,7 @@ class EDSUD(Coordinator):
             retry_policy=retry_policy,
             batch_size=batch_size,
             limit=limit,
+            replica_manager=replica_manager,
         )
         self.config = config or EDSUDConfig()
         self.expunged_total = 0

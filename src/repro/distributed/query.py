@@ -16,6 +16,7 @@ from ..fault.injection import FaultyEndpoint
 from ..fault.retry import RetryPolicy
 from ..fault.schedule import FaultSchedule
 from ..net.stats import LatencyModel
+from ..replica.manager import ReplicaManager
 from .baseline import ShipAllBaseline
 from .coordinator import Coordinator
 from .dsud import DSUD
@@ -58,6 +59,8 @@ def distributed_skyline(
     fault_schedule: Optional[FaultSchedule] = None,
     retry_policy: Optional[RetryPolicy] = None,
     batch_size: int = 1,
+    replication_factor: int = 1,
+    replica_manager: Optional[ReplicaManager] = None,
 ) -> RunResult:
     """Answer a distributed probabilistic skyline query.
 
@@ -99,6 +102,21 @@ def distributed_skyline(
         algorithms only).  The default 1 reproduces the paper's
         per-candidate protocol bit-for-bit; larger batches cut
         coordination rounds (see docs/performance.md).
+    replication_factor:
+        Copies kept of every partition (progressive algorithms only).
+        The default 1 is the unreplicated protocol, bit-identical to
+        earlier behaviour.  With ``f >= 2`` each partition gets
+        ``f - 1`` buddy replicas (seed-deterministic ring placement)
+        and a primary that dies mid-query is *failed over*: a replica
+        is promoted, the in-flight round replayed, and the answer
+        stays exact — equal to the fault-free run — instead of
+        degrading to Corollary-1 bounds (see docs/failure-model.md).
+    replica_manager:
+        Optionally supply a pre-built (already provisioned, possibly
+        update-forwarded) :class:`~repro.replica.manager.ReplicaManager`
+        instead of ``replication_factor``; its replica traffic is
+        billed to this query's books from the moment the coordinator
+        binds it.
 
     Returns the :class:`RunResult` with the answer, exact bandwidth
     accounting, the progressiveness timeline, and the coverage report.
@@ -107,24 +125,49 @@ def distributed_skyline(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
         )
+    if replication_factor < 1:
+        raise ValueError(
+            f"replication_factor must be >= 1, got {replication_factor!r}"
+        )
     sites: Sequence = build_sites(
         partitions, preference=preference, site_config=site_config
     )
     if fault_schedule is not None:
         sites = [FaultyEndpoint(site, fault_schedule) for site in sites]
     cls = ALGORITHMS[algorithm]
+    if replica_manager is None and replication_factor > 1:
+        if cls not in (DSUD, EDSUD):
+            raise ValueError(
+                f"replication_factor= requires a progressive algorithm "
+                f"(dsud/edsud); {algorithm!r} has no failover protocol"
+            )
+        # Replicas are provisioned from the (possibly fault-wrapped)
+        # primaries via ship_all — a maintenance path the fault
+        # schedule does not gate — onto plain LocalSite copies; the
+        # provisioning cost lands on the manager's standing books.
+        replica_manager = ReplicaManager(
+            sites, replication_factor,
+            preference=preference, site_config=site_config,
+        )
+        replica_manager.ensure_provisioned()
     if cls is EDSUD:
         coordinator: Coordinator = EDSUD(
             sites, threshold, preference, latency_model,
             config=edsud_config, limit=limit, retry_policy=retry_policy,
-            batch_size=batch_size,
+            batch_size=batch_size, replica_manager=replica_manager,
         )
     elif cls is DSUD:
         coordinator = DSUD(
             sites, threshold, preference, latency_model, limit=limit,
             retry_policy=retry_policy, batch_size=batch_size,
+            replica_manager=replica_manager,
         )
     else:
+        if replica_manager is not None:
+            raise ValueError(
+                f"replication requires a progressive algorithm "
+                f"(dsud/edsud); {algorithm!r} has no failover protocol"
+            )
         if limit is not None:
             raise ValueError(
                 f"limit= requires a progressive algorithm (dsud/edsud); "

@@ -38,6 +38,7 @@ coordinator, exactly as in the paper.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -272,9 +273,41 @@ class LocalSite:
     def queue_size(self) -> int:
         return int(self._q_alive.sum())
 
+    def fast_forward(self, keys: Sequence[int]) -> int:
+        """Mark candidates as already delivered (failover catch-up).
+
+        After a failover the promoted replica re-runs ``prepare`` and
+        holds a fresh, deterministic copy of the failed twin's queue;
+        the coordinator then replays *which* representatives were
+        already surrendered so the replacement never re-serves them.
+        Marked candidates count as consumed, not pruned.  Returns the
+        number skipped.
+        """
+        self._require_prepared()
+        wanted = set(keys)
+        skipped = 0
+        for idx in range(self._q_head, len(self._cands)):
+            if self._q_alive[idx] and self._cands[idx].tuple.key in wanted:
+                self._q_alive[idx] = False
+                self._popped_keys.add(self._cands[idx].tuple.key)
+                skipped += 1
+        return skipped
+
     def ship_all(self) -> List[UncertainTuple]:
         """Surrender the whole partition (the §3.2 ship-all baseline)."""
         return list(self.database.values())
+
+    def partition_digest(self) -> str:
+        """A deterministic fingerprint of ``D_i`` for anti-entropy checks.
+
+        Computed site-side; only the hex digest travels the wire, so a
+        digest exchange costs zero tuples under the §3.2 metric.
+        """
+        h = hashlib.sha256()
+        for key in sorted(self.database):
+            t = self.database[key]
+            h.update(repr((t.key, t.values, t.probability)).encode("utf-8"))
+        return h.hexdigest()
 
     def ship_local_skyline(self, threshold: float) -> List[Quaternion]:
         """Surrender the entire qualified local skyline in one burst.

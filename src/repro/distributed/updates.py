@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference, dominates
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
@@ -39,6 +39,9 @@ from ..net.message import Message, MessageKind
 from ..net.stats import LatencyModel, NetworkStats
 from .edsud import EDSUD
 from .site import LocalSite
+
+if TYPE_CHECKING:
+    from ..replica.manager import ReplicaManager
 
 __all__ = ["MaintenanceReport", "IncrementalMaintainer", "NaiveMaintainer"]
 
@@ -65,14 +68,36 @@ class _MaintainerBase:
         threshold: float,
         preference: Optional[Preference] = None,
         latency_model: Optional[LatencyModel] = None,
+        replica_manager: Optional["ReplicaManager"] = None,
     ) -> None:
         self.sites = list(sites)
         self.threshold = threshold
         self.preference = preference
         self.latency_model = latency_model or LatencyModel()
         self.stats = NetworkStats(latency_model=self.latency_model)
+        self.replica_manager = replica_manager
         self.sky: Dict[int, Tuple[UncertainTuple, float]] = {}
         self._bootstrap()
+
+    def _apply_insert(self, site_id: int, t: UncertainTuple) -> None:
+        """Insert at the primary AND every buddy replica.
+
+        Updates that only touch the primary are the resurrection bug a
+        replicated cluster cannot afford: a failover after a
+        primary-only delete would bring the tuple back from the dead,
+        and a primary-only insert would silently vanish.  All §5.4
+        writes therefore route through here.
+        """
+        self._site(site_id).insert_tuple(t)
+        if self.replica_manager is not None:
+            self.replica_manager.forward_insert(site_id, t)
+
+    def _apply_delete(self, site_id: int, key: int) -> UncertainTuple:
+        """Delete at the primary AND every buddy replica (see _apply_insert)."""
+        t = self._site(site_id).delete_tuple(key)
+        if self.replica_manager is not None:
+            self.replica_manager.forward_delete(site_id, key)
+        return t
 
     def _bootstrap(self) -> None:
         result = EDSUD(
@@ -110,8 +135,7 @@ class IncrementalMaintainer(_MaintainerBase):
     def insert(self, site_id: int, t: UncertainTuple) -> MaintenanceReport:
         start = time.perf_counter()
         before = self.stats.tuples_transmitted
-        site = self._site(site_id)
-        site.insert_tuple(t)
+        self._apply_insert(site_id, t)
         report = MaintenanceReport("insert", t.key, 0.0, 0)
 
         # 1. Reweight existing results the new tuple dominates — pure
@@ -149,7 +173,7 @@ class IncrementalMaintainer(_MaintainerBase):
         start = time.perf_counter()
         before = self.stats.tuples_transmitted
         site = self._site(site_id)
-        t = site.delete_tuple(key)
+        t = self._apply_delete(site_id, key)
         report = MaintenanceReport("delete", key, 0.0, 0)
 
         # 1. The tuple itself leaves the answer if it was in it.
@@ -253,7 +277,7 @@ class NaiveMaintainer(_MaintainerBase):
 
     def insert(self, site_id: int, t: UncertainTuple) -> MaintenanceReport:
         start = time.perf_counter()
-        self._site(site_id).insert_tuple(t)
+        self._apply_insert(site_id, t)
         tuples = self._recompute()
         return MaintenanceReport(
             "insert", t.key, time.perf_counter() - start, tuples
@@ -261,7 +285,7 @@ class NaiveMaintainer(_MaintainerBase):
 
     def delete(self, site_id: int, key: int) -> MaintenanceReport:
         start = time.perf_counter()
-        self._site(site_id).delete_tuple(key)
+        self._apply_delete(site_id, key)
         tuples = self._recompute()
         return MaintenanceReport(
             "delete", key, time.perf_counter() - start, tuples

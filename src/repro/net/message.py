@@ -44,6 +44,9 @@ class MessageKind(enum.Enum):
     UPDATE = "update"                    # S_i ↔ H : §5.4 maintenance traffic
     DATA = "data"                        # S_i → H : raw tuple shipment (baselines)
     CONTROL = "control"                  # anything else bookkeeping-ish
+    REPLICA_SYNC = "replica_sync"        # S_i → R_i : tuple shipment to a replica
+    DIGEST = "digest"                    # H ↔ R_i : anti-entropy partition digest
+    FAILOVER_PROBE = "failover_probe"    # H → R_i : replayed broadcast after failover
 
 
 #: Message kinds whose payload is a tuple and therefore costs bandwidth.
@@ -52,6 +55,8 @@ _TUPLE_BEARING = {
     MessageKind.FEEDBACK,
     MessageKind.UPDATE,
     MessageKind.DATA,
+    MessageKind.REPLICA_SYNC,
+    MessageKind.FAILOVER_PROBE,
 }
 
 

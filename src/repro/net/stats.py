@@ -64,6 +64,10 @@ class NetworkStats:
     sites_recovered: int = 0
     rpc_calls: int = 0
     rpc_seconds: float = 0.0
+    #: Replication books: queries re-targeted from a dead primary to a
+    #: live replica, and primaries resumed as target after re-sync.
+    failovers: int = 0
+    failbacks: int = 0
 
     def record(self, message: Message) -> None:
         """Account one message (direction inferred from the receiver)."""
@@ -109,6 +113,8 @@ class NetworkStats:
             "backoff_seconds": self.backoff_seconds,
             "sites_lost": self.sites_lost,
             "sites_recovered": self.sites_recovered,
+            "failovers": self.failovers,
+            "failbacks": self.failbacks,
         }
 
 

@@ -1,0 +1,54 @@
+"""Seed-deterministic buddy placement for partition replicas.
+
+Placement answers one question: *which hosts keep a copy of partition
+``D_i``?*  The answer must be computable by anyone — coordinator,
+bench, test — from public inputs alone, with no coordination round and
+no stored assignment table, so it is a pure function of the sorted
+site ids, the replication factor, and a seed.
+
+The scheme is the classic successor ring: the sorted ids form a ring,
+and site ``i``'s ``replication_factor - 1`` replicas land on ring
+successors starting at a seed-rotated offset.  Offsets are always in
+``1 … m-1``, so a replica can never land on its own primary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = ["assign_buddies"]
+
+
+def assign_buddies(
+    site_ids: Iterable[int], replication_factor: int, seed: int = 0
+) -> Dict[int, List[int]]:
+    """Map each site id to the buddy hosts keeping its replicas.
+
+    Deterministic in ``(site_ids, replication_factor, seed)``; the seed
+    only rotates which successor the buddy chain starts at, so reseeding
+    re-balances placement without changing its shape.  Raises when the
+    factor asks for more copies than there are distinct hosts — a
+    replica is never colocated with its primary.
+    """
+    ids = sorted(set(site_ids))
+    m = len(ids)
+    if replication_factor < 1:
+        raise ValueError(
+            f"replication_factor must be >= 1, got {replication_factor!r}"
+        )
+    if replication_factor > m:
+        raise ValueError(
+            f"replication_factor={replication_factor} needs at least "
+            f"{replication_factor} sites (got {m}): a replica never "
+            "colocates with its primary"
+        )
+    if replication_factor == 1:
+        return {sid: [] for sid in ids}
+    rotation = seed % (m - 1)
+    out: Dict[int, List[int]] = {}
+    for idx, sid in enumerate(ids):
+        offsets = [
+            ((rotation + k) % (m - 1)) + 1 for k in range(replication_factor - 1)
+        ]
+        out[sid] = [ids[(idx + off) % m] for off in offsets]
+    return out

@@ -20,6 +20,7 @@ from repro.analysis.rules.protocol import (
     EmissionDisciplineRule,
     ProtocolAccountingRule,
 )
+from repro.analysis.rules.replica import ReplicaAccountingRule
 from repro.analysis.rules.rpc import RpcDisciplineRule
 
 
@@ -479,3 +480,57 @@ class Coordinator:
             self.stats.rounds += 1
 """
     assert _run(source, ThreadSharedStateRule()) == []
+
+
+# ----------------------------------------------------------------------
+# SKY103 — replica-accounting
+
+
+SKY103_BAD = """\
+class Manager:
+    def forward(self, replica, t):
+        replica.insert_tuple(t)
+"""
+
+SKY103_GOOD = """\
+class Manager:
+    def forward(self, replica, t):
+        self._account("REPLICA_SYNC", "site-0", "replica-0", tuples=1)
+        replica.insert_tuple(t)
+"""
+
+
+def test_sky103_flags_unbilled_replica_rpc():
+    findings = _run(SKY103_BAD, ReplicaAccountingRule(), "repro/replica/fake.py")
+    assert [f.rule for f in findings] == ["SKY103"]
+    assert "insert_tuple" in findings[0].message
+
+
+def test_sky103_accepts_billed_replica_rpc():
+    assert _run(SKY103_GOOD, ReplicaAccountingRule(), "repro/replica/fake.py") == []
+
+
+def test_sky103_covers_the_maintenance_surface_sky101_skips():
+    source = """\
+class Manager:
+    def digest(self, replica):
+        return replica.partition_digest()
+"""
+    findings = _run(source, ReplicaAccountingRule(), "repro/replica/fake.py")
+    assert [f.rule for f in findings] == ["SKY103"]
+    # SKY101 owns distributed/, not replica/ — same defect, zero overlap.
+    assert _run(source, ProtocolAccountingRule(), "repro/replica/fake.py") == []
+
+
+def test_sky103_ignores_modules_outside_replica():
+    assert _run(SKY103_BAD, ReplicaAccountingRule(), "repro/distributed/fake.py") == []
+
+
+def test_sky103_nested_thunk_bills_against_outermost_function():
+    source = """\
+class Manager:
+    def sweep(self, replicas):
+        return [r.partition_digest() for r in replicas]
+"""
+    findings = _run(source, ReplicaAccountingRule(), "repro/replica/fake.py")
+    assert [f.rule for f in findings] == ["SKY103"]

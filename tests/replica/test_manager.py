@@ -1,0 +1,117 @@
+"""ReplicaManager contracts: provisioning, forwarding, digests, repair."""
+
+from repro.core.tuples import UncertainTuple
+from repro.distributed.query import build_sites
+from repro.net.stats import NetworkStats
+from repro.replica.manager import ReplicaManager
+
+from ..conftest import make_random_database
+
+
+def make_cluster(m=4, n=80, factor=2, seed=5):
+    db = make_random_database(n, 2, seed=seed, grid=10)
+    sites = build_sites([db[i::m] for i in range(m)])
+    return sites, ReplicaManager(sites, factor)
+
+
+class TestProvisioning:
+    def test_replicas_hold_byte_identical_partitions(self):
+        sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        for site in sites:
+            replica = mgr.replica_for(site.site_id)
+            assert replica is not None
+            assert replica.site_id == site.site_id
+            assert replica.partition_digest() == site.partition_digest()
+
+    def test_provisioning_is_idempotent(self):
+        _sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        book = mgr.stats.snapshot()
+        mgr.ensure_provisioned()
+        assert mgr.stats.snapshot() == book
+
+    def test_provisioning_bills_one_partition_per_copy(self):
+        sites, mgr = make_cluster(factor=3)
+        mgr.ensure_provisioned()
+        expected = sum(2 * len(site.database) for site in sites)
+        assert mgr.stats.tuples_transmitted == expected
+
+    def test_factor_one_provisions_nothing(self):
+        _sites, mgr = make_cluster(factor=1)
+        mgr.ensure_provisioned()
+        assert not mgr.has_replicas
+        assert mgr.replica_for(0) is None
+        assert mgr.stats.messages == 0
+
+    def test_bind_stats_redirects_billing(self):
+        _sites, mgr = make_cluster()
+        query_book = NetworkStats()
+        mgr.bind_stats(query_book)
+        mgr.ensure_provisioned()
+        assert query_book.messages > 0
+
+
+class TestWriteForwarding:
+    def test_forwarded_insert_keeps_digests_equal(self):
+        sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        t = UncertainTuple(9001, (3.0, 4.0), 0.8)
+        sites[1].insert_tuple(t)
+        mgr.forward_insert(1, t)
+        assert mgr.replica_for(1).partition_digest() == sites[1].partition_digest()
+        assert mgr.anti_entropy_round() == 0
+
+    def test_forwarded_delete_cannot_resurrect(self):
+        sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        victim_key = sorted(sites[2].database)[0]
+        sites[2].delete_tuple(victim_key)
+        mgr.forward_delete(2, victim_key)
+        replica = mgr.replica_for(2)
+        assert victim_key not in replica.database
+        assert replica.partition_digest() == sites[2].partition_digest()
+
+    def test_forwarded_delete_is_key_only_traffic(self):
+        _sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        before = mgr.stats.tuples_transmitted
+        msgs = mgr.stats.messages
+        mgr.forward_delete(0, 0)
+        assert mgr.stats.tuples_transmitted == before  # keys cost 0 (§3.2)
+        assert mgr.stats.messages == msgs + 1  # but the message is real
+
+
+class TestAntiEntropy:
+    def test_converged_cluster_repairs_nothing(self):
+        _sites, mgr = make_cluster()
+        assert mgr.anti_entropy_round() == 0
+
+    def test_unforwarded_write_is_detected_and_repaired(self):
+        sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        sites[0].insert_tuple(UncertainTuple(9002, (1.0, 1.0), 0.5))
+        assert mgr.anti_entropy_round() == 1
+        assert mgr.anti_entropy_round() == 0
+        assert mgr.replica_for(0).partition_digest() == sites[0].partition_digest()
+
+    def test_digest_exchange_is_zero_tuple_traffic(self):
+        _sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        before = mgr.stats.tuples_transmitted
+        mgr.anti_entropy_round()
+        assert mgr.stats.tuples_transmitted == before
+        assert mgr.stats.by_kind.get("digest", 0) > 0
+
+    def test_resync_primary_converges_a_stale_primary(self):
+        sites, mgr = make_cluster()
+        mgr.ensure_provisioned()
+        # The primary misses a write its replica saw (forwarded while
+        # the primary was DOWN) AND holds a write the replica never got.
+        mgr.forward_insert(1, UncertainTuple(9003, (2.0, 2.0), 0.6))
+        stale_key = sorted(sites[1].database)[0]
+        sites[1].delete_tuple(stale_key)
+        assert mgr.resync_primary(1)
+        assert sites[1].partition_digest() == mgr.replica_for(1).partition_digest()
+        assert 9003 in sites[1].database
+        assert stale_key in sites[1].database  # replica still had it

@@ -1,0 +1,51 @@
+"""Buddy-placement contracts: determinism, no colocation, validation."""
+
+import pytest
+
+from repro.replica.placement import assign_buddies
+
+
+def test_placement_is_deterministic_in_its_inputs():
+    a = assign_buddies(range(5), 3, seed=42)
+    b = assign_buddies(range(5), 3, seed=42)
+    assert a == b
+
+
+def test_seed_rotates_but_preserves_shape():
+    base = assign_buddies(range(6), 2, seed=0)
+    rotated = assign_buddies(range(6), 2, seed=3)
+    assert set(base) == set(rotated)
+    assert all(len(v) == 1 for v in base.values())
+    assert all(len(v) == 1 for v in rotated.values())
+    assert base != rotated
+
+
+def test_replica_never_colocates_with_primary():
+    for m in (2, 3, 5, 8):
+        for factor in range(1, m + 1):
+            for seed in (0, 1, 7, 123):
+                placement = assign_buddies(range(m), factor, seed=seed)
+                for sid, buddies in placement.items():
+                    assert sid not in buddies
+                    assert len(buddies) == factor - 1
+                    assert len(set(buddies)) == len(buddies)
+
+
+def test_factor_one_means_no_replicas():
+    assert assign_buddies([3, 1, 2], 1) == {1: [], 2: [], 3: []}
+
+
+def test_unsorted_and_duplicate_ids_normalise():
+    assert assign_buddies([2, 0, 1, 2], 2, seed=0) == assign_buddies(
+        [0, 1, 2], 2, seed=0
+    )
+
+
+def test_factor_below_one_rejected():
+    with pytest.raises(ValueError):
+        assign_buddies(range(3), 0)
+
+
+def test_factor_beyond_cluster_size_rejected():
+    with pytest.raises(ValueError, match="colocates"):
+        assign_buddies(range(3), 4)
