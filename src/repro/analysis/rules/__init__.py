@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..framework import Rule
+from .asyncio_discipline import AsyncioDisciplineRule
 from .concurrency import ThreadSharedStateRule
 from .determinism import UnseededRandomRule, WallClockRule
 from .probability import FloatEqualityRule, RawNonOccurrenceProductRule
@@ -28,6 +29,7 @@ ALL_RULES: List[Rule] = [
     RawNonOccurrenceProductRule(),
     RpcDisciplineRule(),
     ThreadSharedStateRule(),
+    AsyncioDisciplineRule(),
 ]
 
 

@@ -1,0 +1,108 @@
+"""SKY503 — asyncio-discipline: the serving layer never blocks its loop.
+
+The serving layer (PR 6) multiplexes every concurrent query session —
+and every async transport exchange — over **one** event loop.  That
+design has two failure modes generic linters miss:
+
+* a *blocking* call inside an ``async def`` (``time.sleep``, a raw
+  ``socket`` dial, a bare ``select``) stalls the whole service: every
+  in-flight session's latency inherits the stall, and the load-test
+  percentiles silently measure the bug instead of the protocol;
+* a *fire-and-forget* task — ``asyncio.create_task(...)`` /
+  ``ensure_future(...)`` as a bare expression statement — drops the
+  only strong reference to the task, so the event loop may garbage-
+  collect it mid-flight and its exceptions vanish instead of failing
+  the query that spawned it.
+
+The rule is scoped to the async modules (``repro/serve/`` and
+``repro/net/aio.py``): blocking calls elsewhere are legal (the
+threaded transport in ``net/sockets.py`` *should* block), and the
+repo-wide clock rule (SKY202) already polices ``time.time``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Finding, ModuleContext, Project, Rule, Severity, dotted_name
+
+__all__ = ["AsyncioDisciplineRule"]
+
+#: Dotted call forms that block the thread — and therefore the loop.
+_BLOCKING = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "socket.socketpair",
+        "select.select",
+    }
+)
+
+#: Task-spawning calls whose return value must be kept.
+_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+class AsyncioDisciplineRule(Rule):
+    id = "SKY503"
+    name = "asyncio-discipline"
+    severity = Severity.ERROR
+    description = (
+        "Event-loop discipline in the serving layer: no blocking "
+        "sleep/socket calls inside `async def` (one stall freezes every "
+        "in-flight session), and no fire-and-forget create_task (a "
+        "dropped reference loses the task and swallows its exceptions)."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return (
+            "repro/serve/" in module.relpath
+            or module.relpath.endswith("net/aio.py")
+        )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _BLOCKING and self._in_async_def(module, node):
+                yield module.finding(
+                    self,
+                    node,
+                    f"`{name}(...)` blocks the event loop; every other "
+                    "in-flight session stalls with it — use the asyncio "
+                    "equivalent (`await asyncio.sleep`, "
+                    "`asyncio.open_connection`, …)",
+                )
+            elif name.split(".")[-1] in _SPAWNERS and self._is_dropped(module, node):
+                yield module.finding(
+                    self,
+                    node,
+                    f"fire-and-forget `{name}(...)`: nothing holds the "
+                    "task, so the loop may garbage-collect it mid-flight "
+                    "and its exceptions vanish — store the handle and "
+                    "await (or cancel) it on close",
+                )
+
+    @staticmethod
+    def _in_async_def(module: ModuleContext, node: ast.AST) -> bool:
+        """True when the nearest enclosing function is ``async def``.
+
+        A blocking call inside a *sync* helper nested in an async scope
+        is out of reach here (resolving who calls it needs flow
+        analysis); the pattern that bites is the direct one.
+        """
+        return isinstance(module.enclosing_function(node), ast.AsyncFunctionDef)
+
+    @staticmethod
+    def _is_dropped(module: ModuleContext, node: ast.Call) -> bool:
+        """True when the spawned task's handle is discarded.
+
+        Only a *bare expression statement* drops the reference —
+        assignments, ``append(...)`` arguments, comprehension elements,
+        returns, and awaits all keep (or consume) the handle.
+        """
+        parent = module.parent(node)
+        return isinstance(parent, ast.Expr)

@@ -1,0 +1,274 @@
+"""Serving-layer load test: latency percentiles under arrival pressure.
+
+Drives a :class:`~repro.serve.SkylineService` with a seed-deterministic
+stochastic query mix (:func:`repro.data.workload.sample_query_mix` —
+thresholds, algorithms, top-k limits, subspace preferences, plus a
+chaos slice with private fault schedules) under two arrival shapes:
+
+* **open loop** — Poisson arrivals at fixed offered rates; the
+  backpressure path is exercised when the service cannot keep up,
+* **closed loop** — ``k`` synchronous clients, each submitting its
+  next query the moment the previous one completes (the CI smoke
+  gate's shape: finite, fast, and failure-revealing).
+
+Each point reports p50/p95/p99 completion latency, p50 time-to-first-
+result (the progressiveness promise under load), and achieved
+throughput, to ``BENCH_service.json`` at the repository root (override
+with ``--out``).  Latencies are wall-clock — this artifact is a
+trajectory, not a cross-machine diff; CI uploads it non-blocking.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.service            # full
+    PYTHONPATH=src python -m repro.bench.service --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import random
+import sys
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..core.dominance import Preference
+from ..core.tuples import UncertainTuple
+from ..data.workload import QueryDraw, sample_query_mix
+from ..fault.retry import RetryPolicy
+from ..fault.schedule import FaultSchedule
+from ..serve import AdmissionPolicy, QuerySession, QuerySpec, SkylineService
+from ..serve.session import SessionState
+
+__all__ = ["run_service_bench", "main"]
+
+SEED = 707
+OPEN_LOOP_RATES = (25.0, 100.0)  # offered queries per second
+CLOSED_LOOP_CLIENTS = (2, 8)
+CHAOS_FRACTION = 0.15
+FULL = {"n": 1_200, "d": 3, "sites": 6, "queries": 60}
+QUICK = {"n": 300, "d": 3, "sites": 4, "queries": 16}
+
+
+def _make_database(n: int, d: int, seed: int) -> List[UncertainTuple]:
+    rng = random.Random(seed)
+    return [
+        UncertainTuple(
+            i, tuple(rng.random() for _ in range(d)), rng.random() * 0.99 + 0.01
+        )
+        for i in range(n)
+    ]
+
+
+def _specs_for_mix(
+    draws: Sequence[QueryDraw], sites: int, seed: int
+) -> List[QuerySpec]:
+    """Deterministically lift sampled draws into service specs.
+
+    The chaos slice rides here (not in the data-layer sampler): a
+    ``CHAOS_FRACTION`` of queries get a private seeded crash-and-return
+    schedule plus a fast retry policy, so the bench also measures
+    serving latency while some sessions run recovery machinery.
+    """
+    chaos_rng = random.Random(seed + 1)
+    specs: List[QuerySpec] = []
+    for draw in draws:
+        preference = (
+            Preference(subspace=draw.subspace) if draw.subspace else None
+        )
+        fault_schedule: Optional[FaultSchedule] = None
+        retry_policy: Optional[RetryPolicy] = None
+        if chaos_rng.random() < CHAOS_FRACTION:
+            victim = chaos_rng.randrange(sites)
+            fault_schedule = FaultSchedule(seed=chaos_rng.randrange(1 << 20)).crash(
+                victim, at_call=8, until_call=24
+            )
+            retry_policy = RetryPolicy(
+                max_attempts=2, base_backoff=1e-4, max_backoff=1e-3
+            )
+        specs.append(
+            QuerySpec(
+                threshold=draw.threshold,
+                algorithm=draw.algorithm,
+                preference=preference,
+                limit=draw.limit,
+                batch_size=draw.batch_size,
+                fault_schedule=fault_schedule,
+                retry_policy=retry_policy,
+                tenant=draw.tenant,
+            )
+        )
+    return specs
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty series."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _open_loop(
+    service: SkylineService, specs: Sequence[QuerySpec], rate: float, seed: int
+) -> List[QuerySession]:
+    rng = random.Random(seed)
+    sessions: List[QuerySession] = []
+    for spec in specs:
+        await asyncio.sleep(rng.expovariate(rate))
+        sessions.append(await service.submit(spec, wait=True))
+    await service.drain()
+    return sessions
+
+
+async def _closed_loop(
+    service: SkylineService, specs: Sequence[QuerySpec], clients: int
+) -> List[QuerySession]:
+    work: Deque[QuerySpec] = deque(specs)
+    sessions: List[QuerySession] = []
+
+    async def client() -> None:
+        while work:
+            spec = work.popleft()
+            session = await service.submit(spec, wait=True)
+            sessions.append(session)
+            while not session.done:
+                await asyncio.sleep(0)
+
+    workers = [asyncio.ensure_future(client()) for _ in range(clients)]
+    await asyncio.gather(*workers)
+    await service.drain()
+    return sessions
+
+
+def _measure(
+    label: str,
+    mode: str,
+    sessions: Sequence[QuerySession],
+    elapsed: float,
+    point: Dict[str, object],
+) -> Dict[str, object]:
+    finished = [s for s in sessions if s.state is SessionState.FINISHED]
+    failed = [s for s in sessions if s.state is SessionState.FAILED]
+    latencies = [s.latency for s in finished if s.latency is not None]
+    first = [
+        s.first_result_latency
+        for s in finished
+        if s.first_result_latency is not None
+    ]
+    row: Dict[str, object] = {
+        "benchmark": "service_load",
+        "label": label,
+        "mode": mode,
+        "queries": len(sessions),
+        "finished": len(finished),
+        "failed": len(failed),
+        "aborted": sum(1 for s in sessions if s.state is SessionState.ABORTED),
+        "elapsed_seconds": round(elapsed, 6),
+        "throughput_qps": round(len(finished) / elapsed, 3) if elapsed else 0.0,
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "first_result_p50_ms": round(_percentile(first, 0.50) * 1e3, 3),
+        "tuples_transmitted": sum(s.transmitted_tuples for s in sessions),
+    }
+    row.update(point)
+    return row
+
+
+def run_service_bench(quick: bool = False) -> Dict[str, object]:
+    """Run the open- and closed-loop sweeps; returns the JSON document."""
+    scale = QUICK if quick else FULL
+    db = _make_database(scale["n"], scale["d"], seed=SEED)
+    partitions = [db[i :: scale["sites"]] for i in range(scale["sites"])]
+    draws = sample_query_mix(
+        scale["queries"],
+        scale["d"],
+        seed=SEED,
+        tenants=("alpha", "beta"),
+    )
+    specs = _specs_for_mix(draws, scale["sites"], seed=SEED)
+    policy = AdmissionPolicy(max_inflight=8, max_queued=scale["queries"])
+    results: List[Dict[str, object]] = []
+
+    async def one_point(mode: str, point_value: float) -> Dict[str, object]:
+        async with SkylineService(partitions, policy=policy) as service:
+            start = time.perf_counter()
+            if mode == "open-loop":
+                sessions = await _open_loop(
+                    service, specs, rate=point_value, seed=SEED + 2
+                )
+                point: Dict[str, object] = {"offered_rate_qps": point_value}
+            else:
+                sessions = await _closed_loop(
+                    service, specs, clients=int(point_value)
+                )
+                point = {"clients": int(point_value)}
+            elapsed = time.perf_counter() - start
+        return _measure(scale_label, mode, sessions, elapsed, point)
+
+    scale_label = "quick" if quick else "full"
+    for rate in OPEN_LOOP_RATES:
+        results.append(asyncio.run(one_point("open-loop", rate)))
+    for clients in CLOSED_LOOP_CLIENTS:
+        results.append(asyncio.run(one_point("closed-loop", float(clients))))
+    return {
+        "artifact": "BENCH_service",
+        "generated_by": "python -m repro.bench.service",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": SEED,
+        "chaos_fraction": CHAOS_FRACTION,
+        "scale": scale,
+        "quick": quick,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.service",
+        description="Load-test the multi-query serving layer.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_service.json",
+        help="output path (default: BENCH_service.json in the cwd)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small scale only (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    doc = run_service_bench(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    failures = 0
+    for row in doc["results"]:
+        point = (
+            f"rate {row['offered_rate_qps']:6.1f}/s"
+            if "offered_rate_qps" in row
+            else f"clients {row['clients']:2d}"
+        )
+        print(
+            f"{row['mode']:11s} {point}  qps {row['throughput_qps']:8.2f}  "
+            f"p50 {row['latency_p50_ms']:8.2f}ms  p95 {row['latency_p95_ms']:8.2f}ms  "
+            f"p99 {row['latency_p99_ms']:8.2f}ms  "
+            f"finished {row['finished']}/{row['queries']}"
+        )
+        failures += int(row["failed"])
+        if row["finished"] != row["queries"]:
+            failures += 1
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"FAILED: {failures} sessions did not finish cleanly")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

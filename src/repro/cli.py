@@ -15,6 +15,16 @@ Three commands make the library usable without writing Python:
     Describe a relation file: cardinality, dimensionality, probability
     stats, conventional skyline size, and the H(d, N) estimate.
 
+``serve``
+    Load a relation and drive a closed-loop multi-query workload
+    through the async serving layer (:mod:`repro.serve`): ``k``
+    clients submit a seed-deterministic stochastic query mix, and the
+    summary reports latency percentiles, throughput, and per-tenant
+    bandwidth spend.
+
+``advise``
+    Recommend an algorithm from the Eqs. 6-8 cost model.
+
 Figure regeneration lives in its own entry point,
 ``python -m repro.bench`` (see README).
 """
@@ -136,6 +146,40 @@ def _build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a relation file")
     info.add_argument("data", help="relation file (.csv or .jsonl)")
 
+    serve = sub.add_parser(
+        "serve", help="drive a multi-query workload through the serving layer"
+    )
+    serve.add_argument("data", help="relation file (.csv or .jsonl)")
+    serve.add_argument("-m", "--sites", type=int, default=4)
+    serve.add_argument(
+        "--partition", choices=sorted(_PARTITIONERS), default="uniform"
+    )
+    serve.add_argument(
+        "--queries", type=int, default=16,
+        help="size of the sampled query mix (default 16)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="closed-loop clients submitting concurrently (default 4)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="sessions stepped concurrently by the scheduler (default 8)",
+    )
+    serve.add_argument(
+        "--tenants", default="default", metavar="A,B",
+        help="comma-separated tenant names the mix draws from",
+    )
+    serve.add_argument(
+        "--budget", type=float, default=None, metavar="TUPLES",
+        help="per-tenant bandwidth budget in transmitted tuples "
+        "(default: unmetered)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for partitioning and the query mix",
+    )
+
     advise = sub.add_parser(
         "advise", help="recommend an algorithm from the Eqs. 6-8 cost model"
     )
@@ -238,7 +282,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 FaultyEndpoint(s, chaos_kwargs["fault_schedule"]) for s in sites
             ]
             kwargs["retry_policy"] = chaos_kwargs["retry_policy"]
-        result = coordinator_cls(sites, args.threshold, preference, **kwargs).run()
+        with coordinator_cls(sites, args.threshold, preference, **kwargs) as coord:
+            result = coord.run()
         tracer.save(args.trace)
         summary = summarize_trace(tracer.records)
         print(f"trace: {len(tracer)} RPCs -> {args.trace} "
@@ -338,6 +383,122 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+    from collections import deque
+
+    from .bench.service import _percentile
+    from .data.workload import sample_query_mix
+    from .serve import (
+        AdmissionPolicy,
+        AdmissionRejected,
+        QuerySession,
+        QuerySpec,
+        SessionState,
+        SkylineService,
+    )
+
+    tuples = load_tuples(args.data)
+    if not tuples:
+        print("relation is empty; nothing to serve")
+        return 0
+    d = validate_database(tuples)
+    tenants = tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+    if not tenants:
+        tenants = ("default",)
+    partitions = _PARTITIONERS[args.partition](tuples, args.sites, args.seed)
+    draws = sample_query_mix(args.queries, d, seed=args.seed, tenants=tenants)
+    specs = [
+        QuerySpec(
+            threshold=draw.threshold,
+            algorithm=draw.algorithm,
+            preference=(
+                Preference(subspace=draw.subspace) if draw.subspace else None
+            ),
+            limit=draw.limit,
+            batch_size=draw.batch_size,
+            tenant=draw.tenant,
+        )
+        for draw in draws
+    ]
+    budgets = (
+        {tenant: args.budget for tenant in tenants}
+        if args.budget is not None
+        else None
+    )
+    policy = AdmissionPolicy(
+        max_inflight=args.max_inflight, max_queued=max(1, args.queries)
+    )
+    sessions: List[QuerySession] = []
+    rejected = 0
+
+    async def _drive() -> tuple:
+        nonlocal rejected
+        work = deque(specs)
+        async with SkylineService(
+            partitions, policy=policy, tenant_budgets=budgets
+        ) as service:
+            start = time.perf_counter()
+
+            async def client() -> None:
+                nonlocal rejected
+                while work:
+                    spec = work.popleft()
+                    try:
+                        session = await service.submit(spec, wait=True)
+                    except AdmissionRejected:
+                        rejected += 1
+                        continue
+                    sessions.append(session)
+                    while not session.done:
+                        await asyncio.sleep(0)
+
+            workers = [
+                asyncio.ensure_future(client())
+                for _ in range(max(1, args.clients))
+            ]
+            await asyncio.gather(*workers)
+            await service.drain()
+            elapsed = time.perf_counter() - start
+            spent = dict(service.ledger.spent)
+        return elapsed, spent
+
+    elapsed, spent = asyncio.run(_drive())
+    finished = [s for s in sessions if s.state is SessionState.FINISHED]
+    failed = sum(1 for s in sessions if s.state is SessionState.FAILED)
+    aborted = sum(1 for s in sessions if s.state is SessionState.ABORTED)
+    latencies = [s.latency for s in finished if s.latency is not None]
+    first = [
+        s.first_result_latency
+        for s in finished
+        if s.first_result_latency is not None
+    ]
+    print(
+        f"served {len(sessions)} queries over {args.sites} sites "
+        f"(clients={max(1, args.clients)} max-inflight={args.max_inflight} "
+        f"seed={args.seed})"
+    )
+    print(
+        f"finished={len(finished)} failed={failed} aborted={aborted} "
+        f"rejected={rejected}"
+    )
+    if elapsed > 0:
+        print(f"throughput: {len(finished) / elapsed:.1f} queries/s")
+    print(
+        f"latency: p50={_percentile(latencies, 0.50) * 1e3:.2f}ms "
+        f"p95={_percentile(latencies, 0.95) * 1e3:.2f}ms "
+        f"p99={_percentile(latencies, 0.99) * 1e3:.2f}ms "
+        f"first-result p50={_percentile(first, 0.50) * 1e3:.2f}ms"
+    )
+    total = sum(s.transmitted_tuples for s in sessions)
+    print(f"bandwidth: {total} tuples transmitted")
+    for tenant in sorted(spent):
+        cap = f"/{args.budget:g}" if args.budget is not None else ""
+        print(f"  tenant {tenant}: {spent[tenant]:g}{cap} tuples")
+    return 1 if failed else 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .distributed.advisor import recommend_algorithm
 
@@ -365,6 +526,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "query": _cmd_query,
         "info": _cmd_info,
+        "serve": _cmd_serve,
         "advise": _cmd_advise,
     }
     return handlers[args.command](args)

@@ -23,7 +23,13 @@ from .probabilities import (
     uniform_probabilities,
 )
 from .synthetic import DISTRIBUTIONS, anticorrelated, correlated, generate_values, independent
-from .workload import Workload, make_nyse_workload, make_synthetic_workload
+from .workload import (
+    QueryDraw,
+    Workload,
+    make_nyse_workload,
+    make_synthetic_workload,
+    sample_query_mix,
+)
 
 __all__ = [
     "independent",
@@ -51,4 +57,6 @@ __all__ = [
     "Workload",
     "make_synthetic_workload",
     "make_nyse_workload",
+    "QueryDraw",
+    "sample_query_mix",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,13 @@ from .partition import partition_uniform
 from .probabilities import generate_probabilities
 from .synthetic import generate_values
 
-__all__ = ["Workload", "make_synthetic_workload", "make_nyse_workload"]
+__all__ = [
+    "Workload",
+    "make_synthetic_workload",
+    "make_nyse_workload",
+    "QueryDraw",
+    "sample_query_mix",
+]
 
 
 @dataclass
@@ -138,6 +144,83 @@ def make_synthetic_workload(
         preference=None,
         seed=seed,
     )
+
+
+@dataclass(frozen=True)
+class QueryDraw:
+    """One sampled query: the knobs a multi-query workload varies.
+
+    Transport-agnostic on purpose — the serving bench turns a draw
+    into a :class:`repro.serve.QuerySpec`, a future load test could
+    turn the same draw into CLI invocations — so the *mix* is pinned
+    by seed independently of who consumes it.  ``subspace`` is a
+    sorted dimension tuple for a §4 subspace preference, or ``None``
+    for the full space.
+    """
+
+    threshold: float
+    algorithm: str = "dsud"
+    limit: Optional[int] = None
+    subspace: Optional[Tuple[int, ...]] = None
+    batch_size: int = 1
+    tenant: str = "default"
+
+
+def sample_query_mix(
+    n: int,
+    d: int,
+    seed: Optional[int] = None,
+    thresholds: Sequence[float] = (0.3, 0.4, 0.5, 0.6),
+    algorithms: Sequence[str] = ("dsud", "edsud"),
+    limit_fraction: float = 0.3,
+    limits: Sequence[int] = (3, 5, 10),
+    subspace_fraction: float = 0.25,
+    batch_sizes: Sequence[int] = (1, 1, 4),
+    tenants: Sequence[str] = ("default",),
+) -> List[QueryDraw]:
+    """Draw a seed-deterministic stochastic mix of ``n`` queries.
+
+    The shared vocabulary of the service bench and future load tests:
+    one seed, one mix — byte-identical on every machine (the draws use
+    :class:`random.Random`, whose algorithm is pinned by the language).
+    Each query independently draws a threshold, an algorithm, and a
+    batch size uniformly from the given pools; becomes a top-k query
+    with probability ``limit_fraction``; and with probability
+    ``subspace_fraction`` evaluates dominance on a random ``≥ 2``-dim
+    subspace of the ``d`` dimensions (skipped when ``d < 3`` — a
+    1-dim subspace degenerates).  ``seed=None`` means seed 0, matching
+    the workload builders above.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n!r}")
+    if d < 1:
+        raise ValueError(f"d must be positive, got {d!r}")
+    seed = 0 if seed is None else seed
+    rng = random.Random(seed)
+    draws: List[QueryDraw] = []
+    for _ in range(n):
+        threshold = rng.choice(list(thresholds))
+        algorithm = rng.choice(list(algorithms))
+        batch_size = rng.choice(list(batch_sizes))
+        limit = (
+            rng.choice(list(limits)) if rng.random() < limit_fraction else None
+        )
+        subspace: Optional[Tuple[int, ...]] = None
+        if d >= 3 and rng.random() < subspace_fraction:
+            k = rng.randrange(2, d)
+            subspace = tuple(sorted(rng.sample(range(d), k)))
+        tenant = rng.choice(list(tenants))
+        draws.append(
+            QueryDraw(
+                threshold=threshold,
+                algorithm=algorithm,
+                limit=limit,
+                subspace=subspace,
+                batch_size=batch_size,
+                tenant=tenant,
+            )
+        )
+    return draws
 
 
 def make_nyse_workload(

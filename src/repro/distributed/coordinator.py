@@ -36,7 +36,16 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
@@ -44,6 +53,7 @@ from ..core.tuples import UncertainTuple
 from ..fault.coverage import CoverageTracker, TupleCoverage
 from ..fault.errors import RETRYABLE_FAULTS
 from ..fault.fsm import ClusterHealth
+from ..fault.liveness import LivenessBook
 from ..fault.retry import RetryPolicy, call_with_retry
 from ..net.message import Message, MessageKind, Quaternion
 from ..net.stats import LatencyModel, NetworkStats, ProgressLog
@@ -260,6 +270,7 @@ class Coordinator:
         batch_size: int = 1,
         limit: Optional[int] = None,
         replica_manager: Optional["ReplicaManager"] = None,
+        liveness_book: Optional[LivenessBook] = None,
     ) -> None:
         if not sites:
             raise ValueError("a distributed query needs at least one site")
@@ -342,6 +353,11 @@ class Coordinator:
         #: to their original primary endpoint (the failback probe
         #: target).
         self._failed_over: Dict[int, SiteEndpoint] = {}
+        #: Optional shared liveness snapshot (the serving layer hands
+        #: the same book to every in-flight query so a dead shared site
+        #: is probed once per epoch, not once per query).  ``None`` —
+        #: the solo default — probes in-band exactly as before.
+        self.liveness_book = liveness_book
 
     # ------------------------------------------------------------------
     # the fault-tolerant RPC funnel
@@ -760,10 +776,7 @@ class Coordinator:
         recovered: List[SiteEndpoint] = []
         for site_id in self.health.down_sites():
             site = self._site_by_id[site_id]
-            self._account(MessageKind.CONTROL, _SERVER, self._name(site))
-            try:
-                site.queue_size()
-            except RETRYABLE_FAULTS:
+            if not self._probe_liveness(site):
                 promoted = self._failover(site_id)
                 if promoted is not None:
                     recovered.append(promoted[0])
@@ -777,6 +790,34 @@ class Coordinator:
                 self.health.mark_down(site_id, "reintegration failed")
         self._poll_failbacks()
         return recovered
+
+    def _probe_liveness(self, endpoint: SiteEndpoint, kind: str = "site") -> bool:
+        """One unretried liveness probe, shared through the book if any.
+
+        Solo (``liveness_book is None``) this is exactly the historical
+        in-band probe: one CONTROL message answered by ``queue_size()``.
+        With a book, a verdict already recorded this epoch is reused —
+        no message is accounted — so many concurrent queries sharing a
+        site collapse their probes into one per epoch.  ``kind`` keeps
+        the probe of a failed-over *primary* from shadowing the probe
+        of the logical site's serving endpoint.
+        """
+        book = self.liveness_book
+        key = (kind, endpoint.site_id)
+        if book is not None:
+            cached = book.lookup(key)
+            if cached is not None:
+                return cached
+        self._account(MessageKind.CONTROL, _SERVER, self._name(endpoint))
+        try:
+            endpoint.queue_size()
+        except RETRYABLE_FAULTS:
+            alive = False
+        else:
+            alive = True
+        if book is not None:
+            book.record(key, alive)
+        return alive
 
     def _reintegrate(self, site: SiteEndpoint) -> bool:
         """Bring one RECOVERING site back into the query.
@@ -950,10 +991,7 @@ class Coordinator:
             return
         for site_id in sorted(self._failed_over):
             primary = self._failed_over[site_id]
-            self._account(MessageKind.CONTROL, _SERVER, self._name(primary))
-            try:
-                primary.queue_size()
-            except RETRYABLE_FAULTS:
+            if not self._probe_liveness(primary, kind="primary"):
                 continue
             self.replica_manager.resync_primary(site_id)
             if self._promote(site_id, primary) is None:
@@ -994,12 +1032,30 @@ class Coordinator:
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute the query; subclasses implement :meth:`_execute`."""
+        """Execute the query; subclasses implement :meth:`_steps`."""
+        for _ in self.steps():
+            pass
+        return self.finish()
+
+    def steps(self) -> Iterator[None]:
+        """Drive the query one scheduling point at a time.
+
+        Progressive coordinators yield once per iteration of their run
+        loop; the serving layer interleaves many queries by drawing one
+        step from each session per scheduler turn.  The generator owns
+        the whole query lifecycle — clock restart on first draw, pool
+        shutdown on exhaustion *or* early ``close()`` of the generator
+        — so abandoning a session cannot leak threads.  Exhaust the
+        generator, then read :meth:`finish` for the RunResult.
+        """
         self.progress.restart_clock()
         try:
-            self._execute()
+            yield from self._steps()
         finally:
             self.close()
+
+    def finish(self) -> RunResult:
+        """Assemble the RunResult once :meth:`steps` is exhausted."""
         extra = self._extra()
         pruned = [
             getattr(site, "pruned_total", None) for site in self.sites
@@ -1031,11 +1087,28 @@ class Coordinator:
             coverage=coverage,
         )
 
+    def _steps(self) -> Iterator[None]:
+        """Subclass hook: the iteration policy as a generator.
+
+        Progressive algorithms yield once per run-loop iteration (their
+        scheduling points); one-shot algorithms may simply compute and
+        never yield.  The default adapts a legacy :meth:`_execute`
+        override, which runs to completion in a single step.
+        """
+        self._execute()
+        yield from ()
+
     def _execute(self) -> None:
         raise NotImplementedError
 
     def _extra(self) -> dict:
         return {}
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def close(self) -> None:
         """Release coordinator-owned resources (the broadcast pool).

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from ..core.dominance import Preference
+from ..fault.liveness import LivenessBook
 from ..fault.retry import RetryPolicy
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
@@ -55,6 +56,7 @@ class DSUD(Coordinator):
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
         replica_manager: Optional["ReplicaManager"] = None,
+        liveness_book: Optional[LivenessBook] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
@@ -63,9 +65,10 @@ class DSUD(Coordinator):
             batch_size=batch_size,
             limit=limit,
             replica_manager=replica_manager,
+            liveness_book=liveness_book,
         )
 
-    def _execute(self) -> None:
+    def _steps(self) -> Iterator[None]:
         self.prepare_sites()
         counter = itertools.count()
         heap: List = []
@@ -134,4 +137,7 @@ class DSUD(Coordinator):
                 remaining_cap = -heap[0][0] if heap else 0.0
                 if self.drain_topk(remaining_cap):
                     return
+            # One iteration done — a scheduling point for the serving
+            # layer to interleave other sessions.
+            yield
         self.finish_topk()

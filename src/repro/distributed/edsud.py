@@ -31,10 +31,11 @@ It defaults off to stay faithful; the ablation benchmark measures it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
 from ..core.probability import observation2_bound
+from ..fault.liveness import LivenessBook
 from ..fault.retry import RetryPolicy
 from ..net.message import Quaternion
 from ..net.stats import LatencyModel
@@ -108,6 +109,7 @@ class EDSUD(Coordinator):
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: int = 1,
         replica_manager: Optional["ReplicaManager"] = None,
+        liveness_book: Optional[LivenessBook] = None,
     ) -> None:
         super().__init__(
             sites, threshold, preference, latency_model,
@@ -116,6 +118,7 @@ class EDSUD(Coordinator):
             batch_size=batch_size,
             limit=limit,
             replica_manager=replica_manager,
+            liveness_book=liveness_book,
         )
         self.config = config or EDSUDConfig()
         self.expunged_total = 0
@@ -164,7 +167,7 @@ class EDSUD(Coordinator):
     # the iteration policy
     # ------------------------------------------------------------------
 
-    def _execute(self) -> None:
+    def _steps(self) -> Iterator[None]:
         self.prepare_sites()
         site_by_id = {site.site_id: site for site in self.sites}
         for quaternion in self.initial_fill():
@@ -222,6 +225,9 @@ class EDSUD(Coordinator):
                 )
                 if self.drain_topk(remaining_cap):
                     return
+            # One iteration done — a scheduling point for the serving
+            # layer to interleave other sessions.
+            yield
         self.finish_topk()
 
     def _broadcast_tracking_factors(self, quaternion: Quaternion) -> float:

@@ -179,4 +179,5 @@ def distributed_skyline(
                 f"{algorithm!r} has no broadcast rounds to batch"
             )
         coordinator = cls(sites, threshold, preference, latency_model)
-    return coordinator.run()
+    with coordinator:
+        return coordinator.run()

@@ -175,6 +175,15 @@ class LocalSite:
         #: every participant is what lets most updates resolve without
         #: touching the network.
         self.sky_h_replica: Dict[int, "tuple[UncertainTuple, float]"] = {}
+        #: Optional shared ``threshold → ProbabilisticSkyline`` cache.
+        #: ``None`` (the solo default) recomputes on every ``prepare``
+        #: — bit-identical to the historical behaviour.  The serving
+        #: layer installs one dict on a template site and every
+        #: :meth:`fork` shares it, so repeated ``prepare(q)`` across
+        #: sessions costs one local-skyline computation per distinct
+        #: threshold.  §5.4 updates clear it (in place, so every fork
+        #: sees the invalidation).
+        self._skyline_cache: Optional[Dict[float, ProbabilisticSkyline]] = None
 
     # ------------------------------------------------------------------
     # local computing phase
@@ -214,13 +223,67 @@ class LocalSite:
         return k
 
     def _local_skyline(self, threshold: float) -> ProbabilisticSkyline:
+        cache = self._skyline_cache
+        if cache is not None:
+            hit = cache.get(threshold)
+            if hit is not None:
+                return hit
         if isinstance(self.tree, PRTree):
-            return bbs_prob_skyline(self.tree, threshold)
-        if self.config.vectorized:
-            return columnar_prob_skyline_sfs(
+            answer = bbs_prob_skyline(self.tree, threshold)
+        elif self.config.vectorized:
+            answer = columnar_prob_skyline_sfs(
                 list(self.database.values()), threshold, self.preference
             )
-        return prob_skyline_sfs(list(self.database.values()), threshold, self.preference)
+        else:
+            answer = prob_skyline_sfs(
+                list(self.database.values()), threshold, self.preference
+            )
+        if cache is not None:
+            cache[threshold] = answer
+        return answer
+
+    def enable_skyline_cache(self) -> None:
+        """Memoize ``prepare``'s local skyline per threshold.
+
+        Meant for standing sites serving many queries; forks created
+        afterwards share the cache, so one computation serves every
+        session at the same threshold.
+        """
+        if self._skyline_cache is None:
+            self._skyline_cache = {}
+
+    def fork(self) -> "LocalSite":
+        """A per-session view over this site's partition.
+
+        The fork shares everything a query only *reads* — the database
+        dict, the PR-tree/grid index, the columnar partition view, and
+        the skyline cache — and owns everything a query *mutates*: the
+        candidate queue (cursor, alive mask, bounds, values), feedback
+        history, and pop/prune accounting.  Two forks therefore run
+        concurrent queries over one stored partition without observing
+        each other, and each is bit-identical to a fresh
+        :class:`LocalSite` over the same data.  Forks are for serving
+        reads: §5.4 updates must go to the template site, never a fork.
+        """
+        clone = object.__new__(LocalSite)
+        clone.site_id = self.site_id
+        clone.preference = self.preference
+        clone.config = self.config
+        clone.database = self.database
+        clone.tree = self.tree
+        clone.threshold = None
+        clone._popped_keys = set()
+        clone.pruned_total = 0
+        clone._cands = []
+        clone._q_head = 0
+        clone._q_alive = np.zeros(0, dtype=bool)
+        clone._q_bounds = np.zeros(0, dtype=np.float64)
+        clone._q_values = None
+        clone._columns = self._columns
+        clone._feedback = []
+        clone.sky_h_replica = {}
+        clone._skyline_cache = self._skyline_cache
+        return clone
 
     # ------------------------------------------------------------------
     # to-server phase
@@ -457,6 +520,8 @@ class LocalSite:
             raise ValueError(f"tuple {t.key} already stored at site {self.site_id}")
         self.database[t.key] = t
         self._columns = None
+        if self._skyline_cache is not None:
+            self._skyline_cache.clear()
         if self.tree is not None:
             self.tree.add(t)
 
@@ -466,6 +531,8 @@ class LocalSite:
         if t is None:
             raise KeyError(f"tuple {key} not stored at site {self.site_id}")
         self._columns = None
+        if self._skyline_cache is not None:
+            self._skyline_cache.clear()
         if self.tree is not None:
             self.tree.remove(t)
         for idx in range(self._q_head, len(self._cands)):

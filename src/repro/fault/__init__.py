@@ -16,16 +16,21 @@ correctness argument:
 * :mod:`~repro.fault.coverage` — which sites contributed Eq.-9 factors
   to each candidate; the bookkeeping behind degraded-mode answers
   (Corollary-1 upper bounds) and re-probe-on-recovery.
+* :mod:`~repro.fault.liveness` — an epoch-scoped snapshot of liveness
+  verdicts so concurrent queries sharing sites (the serving layer)
+  collapse their per-iteration pings into one probe per epoch.
 """
 
 from .coverage import CoverageReport, CoverageTracker, TupleCoverage
 from .errors import RETRYABLE_FAULTS, SiteCrashed, SiteFault, SiteTimeout
 from .fsm import ClusterHealth, SiteLifecycle, SiteState, Transition
 from .injection import FaultyEndpoint
+from .liveness import LivenessBook
 from .retry import RetryPolicy, call_with_retry
 from .schedule import FaultAction, FaultKind, FaultSchedule
 
 __all__ = [
+    "LivenessBook",
     "CoverageReport",
     "CoverageTracker",
     "TupleCoverage",

@@ -1,0 +1,66 @@
+"""A shared liveness snapshot: at most one ping per endpoint per epoch.
+
+The coordinator gives every DOWN site (and every failed-over primary)
+one in-band liveness probe per iteration — a CONTROL message answered
+by ``queue_size()``.  Solo that is already the minimum; but the serving
+layer (:mod:`repro.serve`) multiplexes many concurrent queries over the
+*same* shared sites, and without coordination a dead site would be
+pinged once per in-flight query per iteration.
+
+A :class:`LivenessBook` is the coordination point: the owner (one
+query, or a service scheduling pass) calls :meth:`advance` to open a
+new epoch, and every coordinator holding the book reuses any verdict
+already recorded this epoch instead of re-probing.  The first query to
+ask pays the one CONTROL message; the rest read the snapshot for free.
+
+Verdicts are keyed by an arbitrary hashable — the coordinator uses
+``(kind, site_id)`` so the probe of a failed-over *primary* never
+shadows the probe of the logical site's serving endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+__all__ = ["LivenessBook"]
+
+
+class LivenessBook:
+    """Epoch-scoped cache of site liveness verdicts.
+
+    Not thread-safe by design: the serving layer drives every session
+    on one asyncio event loop, and a solo coordinator is single-
+    threaded outside its broadcast pool (which never probes liveness).
+    """
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._verdicts: Dict[Hashable, bool] = {}
+        #: Probes answered from the snapshot instead of the network —
+        #: the messages the sharing saved (observability, not billing).
+        self.hits = 0
+        self.probes = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def advance(self) -> None:
+        """Open a new epoch: every cached verdict becomes stale."""
+        self._epoch += 1
+        self._verdicts.clear()
+
+    def lookup(self, key: Hashable) -> Optional[bool]:
+        """The verdict recorded this epoch, or ``None`` if unprobed."""
+        verdict = self._verdicts.get(key)
+        if verdict is not None:
+            self.hits += 1
+        return verdict
+
+    def record(self, key: Hashable, alive: bool) -> None:
+        """Journal one real probe's outcome for the rest of the epoch."""
+        self.probes += 1
+        self._verdicts[key] = alive
+
+    def __len__(self) -> int:
+        return len(self._verdicts)

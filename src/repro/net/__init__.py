@@ -1,12 +1,17 @@
 """Network substrate: protocol messages, bandwidth/latency accounting,
-the coordinator↔site endpoint contract, and a real TCP transport."""
+the coordinator↔site endpoint contract, and real TCP transports
+(threaded sockets and asyncio streams over one wire format)."""
 
+from .aio import AsyncLocalEndpoint, AsyncRemoteSiteProxy, AsyncSiteEndpoint
 from .message import Message, MessageKind, Quaternion, decode_tuple, encode_tuple
 from .stats import LatencyModel, NetworkStats, ProgressEvent, ProgressLog
 from .trace import ProtocolTracer, TraceRecord, load_trace, summarize_trace
 from .transport import CallRecord, RecordingEndpoint, SiteEndpoint
 
 __all__ = [
+    "AsyncLocalEndpoint",
+    "AsyncRemoteSiteProxy",
+    "AsyncSiteEndpoint",
     "Message",
     "MessageKind",
     "Quaternion",

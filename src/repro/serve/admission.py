@@ -1,0 +1,90 @@
+"""Admission control and per-tenant bandwidth budgets.
+
+The service protects its standing sites with two gates:
+
+* **Concurrency** — at most :attr:`AdmissionPolicy.max_inflight`
+  sessions run at once; up to :attr:`AdmissionPolicy.max_queued` more
+  wait in FIFO order.  Beyond that, ``submit`` either blocks (the
+  closed-loop client shape) or raises :class:`AdmissionRejected` (the
+  open-loop / load-shedding shape).
+* **Bandwidth** — every session bills the tuples its query transmits
+  (the paper's §3.2 cost metric, read off the session's
+  :class:`~repro.net.stats.NetworkStats`) against its tenant's account
+  in a :class:`TenantLedger`.  A tenant over budget has its running
+  sessions aborted at the next step boundary and its new submissions
+  rejected until the budget is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = ["AdmissionPolicy", "AdmissionRejected", "TenantLedger"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The service declined to enqueue a query."""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Concurrency limits for one service instance."""
+
+    max_inflight: int = 8
+    max_queued: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {self.max_inflight!r}"
+            )
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be non-negative, got {self.max_queued!r}"
+            )
+
+
+class TenantLedger:
+    """Per-tenant accounts of transmitted tuples against budgets.
+
+    A tenant absent from ``budgets`` is unmetered (infinite budget);
+    the ``default`` tenant is unmetered unless listed explicitly.
+    """
+
+    def __init__(self, budgets: Optional[Mapping[str, float]] = None) -> None:
+        self._budgets: Dict[str, float] = dict(budgets or {})
+        self.spent: Dict[str, float] = {}
+
+    def budget(self, tenant: str) -> Optional[float]:
+        return self._budgets.get(tenant)
+
+    def charge(self, tenant: str, tuples: float) -> bool:
+        """Bill ``tuples`` to ``tenant``; False once the account is over.
+
+        The charge always lands (traffic already happened — the ledger
+        records reality, it does not gate it); the return value tells
+        the service whether the tenant may keep going.
+        """
+        if tuples:
+            self.spent[tenant] = self.spent.get(tenant, 0.0) + tuples
+        return self.within_budget(tenant)
+
+    def within_budget(self, tenant: str) -> bool:
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return True
+        return self.spent.get(tenant, 0.0) < budget
+
+    def remaining(self, tenant: str) -> Optional[float]:
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return None
+        return max(0.0, budget - self.spent.get(tenant, 0.0))
+
+    def set_budget(self, tenant: str, budget: Optional[float]) -> None:
+        """Raise, lower, or lift (None) one tenant's budget."""
+        if budget is None:
+            self._budgets.pop(tenant, None)
+        else:
+            self._budgets[tenant] = budget

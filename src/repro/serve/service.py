@@ -1,0 +1,274 @@
+"""The :class:`SkylineService`: many progressive queries, one cluster.
+
+The service multiplexes concurrent :class:`~repro.serve.session.QuerySession`\\ s
+over shared :class:`~repro.serve.sites.SharedSiteHost` partitions on a
+single asyncio event loop.  Scheduling is cooperative and fair: every
+pass admits queued sessions up to the in-flight cap, steps each running
+session one coordinator iteration, then yields to the loop so
+submitters (and any async transport I/O) run between passes.
+
+Correctness under concurrency is by *isolation*, not locking: a
+session's coordinator, site forks, fault wrappers, and stats books are
+all private, so stepping order cannot change any query's answer,
+message accounting, or emission order — each session stays
+bit-identical to the same spec run solo (the exactness suite pins
+this).  The only shared query-path state is deliberately one-way:
+
+* the hosts' skyline memo (an answer cache — hit or miss, same bytes),
+* the :class:`~repro.fault.liveness.LivenessBook`, advanced once per
+  scheduling pass so all *fault-free* sessions share one liveness
+  probe per dead endpoint per pass.  Sessions running a private chaos
+  :class:`~repro.fault.schedule.FaultSchedule` get no book (their
+  verdicts are theirs alone), which keeps them exactly on the solo
+  probe cadence.
+
+Use as an async context manager::
+
+    async with SkylineService(partitions, policy=AdmissionPolicy(4)) as svc:
+        sessions = [await svc.submit(spec) for spec in specs]
+        await svc.drain()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Mapping, Optional, Sequence
+
+from ..core.tuples import UncertainTuple
+from ..distributed.coordinator import Coordinator
+from ..distributed.dsud import DSUD
+from ..distributed.edsud import EDSUD
+from ..distributed.site import SiteConfig
+from ..fault.injection import FaultyEndpoint
+from ..fault.liveness import LivenessBook
+from ..net.stats import LatencyModel
+from ..net.transport import SiteEndpoint
+from .admission import AdmissionPolicy, AdmissionRejected, TenantLedger
+from .session import QuerySession, QuerySpec
+from .sites import SharedSiteHost, StandingReplicaBook
+
+__all__ = ["SkylineService"]
+
+
+class SkylineService:
+    """An admission-controlled, budget-metered multi-query server."""
+
+    def __init__(
+        self,
+        partitions: Sequence[Sequence[UncertainTuple]],
+        site_config: Optional[SiteConfig] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        tenant_budgets: Optional[Mapping[str, float]] = None,
+        latency_model: Optional[LatencyModel] = None,
+        replica_seed: int = 0,
+    ) -> None:
+        if not partitions:
+            raise ValueError("a service needs at least one partition")
+        self.hosts = [
+            SharedSiteHost(i, partition, site_config=site_config)
+            for i, partition in enumerate(partitions)
+        ]
+        self.site_config = site_config
+        self.policy = policy or AdmissionPolicy()
+        self.ledger = TenantLedger(tenant_budgets)
+        self.latency_model = latency_model
+        self.replica_book = StandingReplicaBook(self.hosts, seed=replica_seed)
+        self.liveness_book = LivenessBook()
+        self._pending: Deque[QuerySession] = deque()
+        self._running: List[QuerySession] = []
+        self._finished: List[QuerySession] = []
+        self._ids = 0
+        self._passes = 0
+        #: Wakes the scheduler when work arrives; wakes submitters when
+        #: queue space frees up.
+        self._work = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._stopping = False
+        self._scheduler_task: Optional["asyncio.Task[None]"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "SkylineService":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def start(self) -> None:
+        """Launch the scheduler task (idempotent)."""
+        if self._scheduler_task is None:
+            self._stopping = False
+            loop = asyncio.get_running_loop()
+            self._scheduler_task = loop.create_task(self._scheduler())
+
+    async def close(self) -> None:
+        """Finish in-flight work, then stop the scheduler."""
+        if self._scheduler_task is None:
+            return
+        self._stopping = True
+        self._work.set()
+        task, self._scheduler_task = self._scheduler_task, None
+        await task
+
+    # ------------------------------------------------------------------
+    # the client surface
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._running)
+
+    @property
+    def finished(self) -> List[QuerySession]:
+        return list(self._finished)
+
+    @property
+    def passes(self) -> int:
+        """Scheduling passes completed (LivenessBook epochs opened)."""
+        return self._passes
+
+    async def submit(self, spec: QuerySpec, wait: bool = True) -> QuerySession:
+        """Enqueue one query; returns its session immediately.
+
+        With a full queue, ``wait=True`` blocks until the scheduler
+        frees a slot (closed-loop backpressure) and ``wait=False``
+        raises :class:`AdmissionRejected` (open-loop shedding).  A
+        tenant already over its bandwidth budget is rejected outright.
+        """
+        if self._scheduler_task is None:
+            raise RuntimeError("service not started; use 'async with' or start()")
+        if not self.ledger.within_budget(spec.tenant):
+            raise AdmissionRejected(
+                f"tenant {spec.tenant!r} is over its bandwidth budget"
+            )
+        while len(self._pending) >= self.policy.max_queued:
+            if not wait:
+                raise AdmissionRejected(
+                    f"queue full ({self.policy.max_queued} waiting)"
+                )
+            self._space.clear()
+            await self._space.wait()
+        self._ids += 1
+        session = QuerySession(self._ids, spec, self._build_coordinator(spec))
+        self._pending.append(session)
+        self._work.set()
+        return session
+
+    async def drain(self) -> List[QuerySession]:
+        """Wait until nothing is queued or running; returns all sessions."""
+        while self._pending or self._running:
+            await asyncio.sleep(0)
+        return self.finished
+
+    # ------------------------------------------------------------------
+    # session assembly
+    # ------------------------------------------------------------------
+
+    def _build_coordinator(self, spec: QuerySpec) -> Coordinator:
+        """Mirror :func:`~repro.distributed.query.distributed_skyline`,
+        with per-session forks standing in for fresh sites."""
+        sites: List[SiteEndpoint] = [
+            host.view(spec.preference) for host in self.hosts
+        ]
+        if spec.fault_schedule is not None:
+            sites = [FaultyEndpoint(site, spec.fault_schedule) for site in sites]
+        replica_manager = None
+        if spec.replication_factor > 1:
+            replica_manager = self.replica_book.manager_for(
+                sites, spec.replication_factor, preference=spec.preference
+            )
+        # A chaos session's failures are its own private fiction — its
+        # verdicts must not leak into (or read from) the shared book.
+        book = None if spec.fault_schedule is not None else self.liveness_book
+        if spec.algorithm == "edsud":
+            return EDSUD(
+                sites,
+                spec.threshold,
+                spec.preference,
+                self.latency_model,
+                config=spec.edsud_config,
+                limit=spec.limit,
+                retry_policy=spec.retry_policy,
+                batch_size=spec.batch_size,
+                replica_manager=replica_manager,
+                liveness_book=book,
+            )
+        if spec.algorithm == "dsud":
+            if spec.edsud_config is not None:
+                raise ValueError("edsud_config= requires algorithm='edsud'")
+            return DSUD(
+                sites,
+                spec.threshold,
+                spec.preference,
+                self.latency_model,
+                limit=spec.limit,
+                retry_policy=spec.retry_policy,
+                batch_size=spec.batch_size,
+                replica_manager=replica_manager,
+                liveness_book=book,
+            )
+        raise ValueError(
+            f"unknown algorithm {spec.algorithm!r}; the service runs "
+            f"progressive queries only (dsud/edsud)"
+        )
+
+    # ------------------------------------------------------------------
+    # the scheduler
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        while self._pending and len(self._running) < self.policy.max_inflight:
+            session = self._pending.popleft()
+            self._space.set()
+            if not self.ledger.within_budget(session.spec.tenant):
+                session.abort(
+                    f"tenant {session.spec.tenant!r} over budget before start"
+                )
+                self._finished.append(session)
+                continue
+            session.start()
+            self._running.append(session)
+
+    def _step_all(self) -> None:
+        # One LivenessBook epoch per pass: every fault-free session
+        # stepping below shares this pass's probe verdicts.
+        self._passes += 1
+        self.liveness_book.advance()
+        still_running: List[QuerySession] = []
+        for session in self._running:
+            done = session.step()
+            delta = session.transmitted_tuples - session.billed_tuples
+            session.billed_tuples = session.transmitted_tuples
+            within = self.ledger.charge(session.spec.tenant, delta)
+            if not within and not session.done:
+                session.abort(
+                    f"tenant {session.spec.tenant!r} bandwidth budget exhausted"
+                )
+                done = True
+            if done:
+                self._finished.append(session)
+            else:
+                still_running.append(session)
+        self._running = still_running
+
+    async def _scheduler(self) -> None:
+        while True:
+            if not self._pending and not self._running:
+                if self._stopping:
+                    return
+                self._work.clear()
+                # Woken by submit() or close(); never busy-waits idle.
+                await self._work.wait()
+                continue
+            self._admit()
+            self._step_all()
+            await asyncio.sleep(0)

@@ -1,0 +1,176 @@
+"""Per-query session state: one progressive query inside the service.
+
+A :class:`QuerySession` owns everything a single query mutates — its
+coordinator (heap / residents, :class:`~repro.fault.coverage.CoverageTracker`,
+:class:`~repro.distributed.coordinator.TopKBuffer`, per-query
+:class:`~repro.net.stats.NetworkStats`) plus its per-session site forks
+— and exposes the query as a sequence of :meth:`step` calls, one per
+coordinator iteration.  The service interleaves sessions by stepping
+them in turn; because no mutable state is shared between sessions, the
+interleaving order cannot change any session's answer, messages, or
+emission order (the exactness suite pins this).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..core.dominance import Preference
+from ..distributed.coordinator import Coordinator
+from ..distributed.edsud import EDSUDConfig
+from ..distributed.runner import RunResult
+from ..fault.retry import RetryPolicy
+from ..fault.schedule import FaultSchedule
+
+__all__ = ["QuerySpec", "SessionState", "QuerySession"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Everything that defines one query, independent of the cluster.
+
+    The knobs mirror :func:`~repro.distributed.query.distributed_skyline`
+    so a spec served concurrently is comparable, bit for bit, with the
+    same spec run solo.  ``tenant`` names the bandwidth-budget account
+    the session bills against.
+    """
+
+    threshold: float
+    algorithm: str = "dsud"
+    preference: Optional[Preference] = None
+    limit: Optional[int] = None
+    batch_size: int = 1
+    replication_factor: int = 1
+    fault_schedule: Optional[FaultSchedule] = None
+    retry_policy: Optional[RetryPolicy] = None
+    edsud_config: Optional[EDSUDConfig] = None
+    tenant: str = "default"
+
+
+class SessionState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    ABORTED = "aborted"
+
+
+class QuerySession:
+    """One in-flight query: a coordinator driven step by step."""
+
+    def __init__(
+        self, query_id: int, spec: QuerySpec, coordinator: Coordinator
+    ) -> None:
+        self.query_id = query_id
+        self.spec = spec
+        self.coordinator = coordinator
+        self.state = SessionState.QUEUED
+        self.result: Optional[RunResult] = None
+        self.error: Optional[BaseException] = None
+        self.abort_reason: Optional[str] = None
+        #: Wall-clock marks (``perf_counter`` seconds) for the latency
+        #: percentiles the bench reports.
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.first_result_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Tuples already charged to the tenant ledger (the service
+        #: bills the delta after every step).
+        self.billed_tuples = 0
+        self.steps_taken = 0
+        self._steps: Optional[Iterator[None]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in (
+            SessionState.FINISHED,
+            SessionState.FAILED,
+            SessionState.ABORTED,
+        )
+
+    @property
+    def transmitted_tuples(self) -> int:
+        return int(self.coordinator.stats.tuples_transmitted)
+
+    def start(self) -> None:
+        if self.state is not SessionState.QUEUED:
+            raise RuntimeError(f"session {self.query_id} already {self.state.value}")
+        self.state = SessionState.RUNNING
+        self.started_at = time.perf_counter()
+        self._steps = self.coordinator.steps()
+
+    def step(self) -> bool:
+        """Advance one coordinator iteration; True when the query ended.
+
+        A fault that escapes the coordinator (anything beyond the
+        transport faults it degrades through) fails the session rather
+        than the service.
+        """
+        if self.state is not SessionState.RUNNING or self._steps is None:
+            return True
+        self.steps_taken += 1
+        try:
+            next(self._steps)
+            finished = False
+        except StopIteration:
+            finished = True
+        except BaseException as exc:
+            self.error = exc
+            self.state = SessionState.FAILED
+            self.finished_at = time.perf_counter()
+            self._steps = None
+            return True
+        if self.first_result_at is None and self.coordinator.results:
+            self.first_result_at = time.perf_counter()
+        if finished:
+            self.result = self.coordinator.finish()
+            if self.first_result_at is None and self.coordinator.results:
+                self.first_result_at = time.perf_counter()
+            self.state = SessionState.FINISHED
+            self.finished_at = time.perf_counter()
+            self._steps = None
+        return finished
+
+    def abort(self, reason: str) -> None:
+        """Stop a session early (admission kill, budget exhaustion)."""
+        if self.done:
+            return
+        if self._steps is not None:
+            self._steps.close()  # runs the generator's finally: pool shutdown
+            self._steps = None
+        else:
+            self.coordinator.close()
+        self.abort_reason = reason
+        self.state = SessionState.ABORTED
+        self.finished_at = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # bench-facing latency marks
+    # ------------------------------------------------------------------
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission → completion, in seconds (None while in flight)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def first_result_latency(self) -> Optional[float]:
+        """Submission → first progressive result, in seconds."""
+        if self.first_result_at is None:
+            return None
+        return self.first_result_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession(id={self.query_id}, q={self.spec.threshold}, "
+            f"algorithm={self.spec.algorithm!r}, state={self.state.value})"
+        )

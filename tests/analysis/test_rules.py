@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.framework import Finding, ModuleContext, Rule, run_rules
+from repro.analysis.rules.asyncio_discipline import AsyncioDisciplineRule
 from repro.analysis.rules.concurrency import ThreadSharedStateRule
 from repro.analysis.rules.determinism import UnseededRandomRule, WallClockRule
 from repro.analysis.rules.probability import (
@@ -534,3 +535,107 @@ class Manager:
 """
     findings = _run(source, ReplicaAccountingRule(), "repro/replica/fake.py")
     assert [f.rule for f in findings] == ["SKY103"]
+
+
+# ----------------------------------------------------------------------
+# SKY503 — asyncio-discipline
+
+
+SKY503_BAD_BLOCKING = """\
+import socket
+import time
+
+
+class Service:
+    async def step(self):
+        time.sleep(0.1)
+        conn = socket.create_connection(("site-0", 9000))
+        return conn
+"""
+
+SKY503_GOOD_ASYNC = """\
+import asyncio
+
+
+class Service:
+    async def step(self):
+        await asyncio.sleep(0)
+        reader, writer = await asyncio.open_connection("site-0", 9000)
+        return reader, writer
+"""
+
+SKY503_BAD_FORGOTTEN_TASK = """\
+import asyncio
+
+
+class Service:
+    async def start(self):
+        asyncio.create_task(self._scheduler())
+"""
+
+SKY503_GOOD_KEPT_TASK = """\
+import asyncio
+
+
+class Service:
+    def start(self, loop):
+        self._scheduler_task = loop.create_task(self._scheduler())
+
+    async def run_clients(self, n):
+        workers = [asyncio.ensure_future(self._client()) for _ in range(n)]
+        await asyncio.gather(*workers)
+"""
+
+
+def test_sky503_flags_blocking_calls_in_async_def():
+    findings = _run(
+        SKY503_BAD_BLOCKING, AsyncioDisciplineRule(), "repro/serve/fake.py"
+    )
+    assert [f.rule for f in findings] == ["SKY503", "SKY503"]
+    assert "time.sleep" in findings[0].message
+    assert "socket.create_connection" in findings[1].message
+
+
+def test_sky503_accepts_the_asyncio_equivalents():
+    assert (
+        _run(SKY503_GOOD_ASYNC, AsyncioDisciplineRule(), "repro/serve/fake.py")
+        == []
+    )
+
+
+def test_sky503_allows_blocking_calls_in_sync_functions():
+    source = """\
+import time
+
+
+class Service:
+    def warmup(self):
+        time.sleep(0.1)
+"""
+    assert _run(source, AsyncioDisciplineRule(), "repro/serve/fake.py") == []
+
+
+def test_sky503_flags_fire_and_forget_create_task():
+    findings = _run(
+        SKY503_BAD_FORGOTTEN_TASK, AsyncioDisciplineRule(), "repro/serve/fake.py"
+    )
+    assert [f.rule for f in findings] == ["SKY503"]
+    assert "fire-and-forget" in findings[0].message
+
+
+def test_sky503_accepts_stored_and_gathered_tasks():
+    assert (
+        _run(SKY503_GOOD_KEPT_TASK, AsyncioDisciplineRule(), "repro/serve/fake.py")
+        == []
+    )
+
+
+def test_sky503_scoped_to_the_async_modules():
+    assert (
+        _run(SKY503_BAD_BLOCKING, AsyncioDisciplineRule(), "repro/net/sockets.py")
+        == []
+    )
+    findings = _run(
+        SKY503_BAD_BLOCKING, AsyncioDisciplineRule(), "repro/net/aio.py"
+    )
+    assert [f.rule for f in findings] == ["SKY503", "SKY503"]

@@ -1,0 +1,57 @@
+"""The serving-layer load-test harness (``python -m repro.bench.service``)."""
+
+import json
+
+from repro.bench.service import _percentile, main, run_service_bench
+
+
+class TestPercentile:
+    def test_empty_series(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 4.0
+        assert _percentile(values, 0.5) == 3.0  # round(0.5 * 3) = 2 -> 3.0
+
+
+class TestQuickRun:
+    def test_quick_bench_writes_the_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        assert main(["--quick", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["artifact"] == "BENCH_service"
+        assert doc["quick"] is True
+        # Two open-loop rate points + two closed-loop client points.
+        assert len(doc["results"]) == 4
+        modes = [row["mode"] for row in doc["results"]]
+        assert modes.count("open-loop") == 2
+        assert modes.count("closed-loop") == 2
+        for row in doc["results"]:
+            assert row["finished"] == row["queries"]
+            assert row["failed"] == 0
+            assert row["latency_p50_ms"] <= row["latency_p95_ms"]
+            assert row["latency_p95_ms"] <= row["latency_p99_ms"]
+            assert row["throughput_qps"] > 0
+            assert row["tuples_transmitted"] > 0
+        printed = capsys.readouterr().out
+        assert "open-loop" in printed and "closed-loop" in printed
+
+    def test_document_carries_the_reproducibility_keys(self, tmp_path):
+        out = tmp_path / "doc.json"
+        main(["--quick", "--out", str(out)])
+        doc = json.loads(out.read_text())
+        for key in ("generated_by", "python", "platform", "seed", "scale"):
+            assert key in doc
+
+
+class TestDeterministicMix:
+    def test_bandwidth_is_seed_deterministic_across_runs(self):
+        # Latency is wall-clock, but the query mix and every session's
+        # bandwidth bill are seeded: two runs move identical tuples.
+        first = run_service_bench(quick=True)
+        second = run_service_bench(quick=True)
+        a = [row["tuples_transmitted"] for row in first["results"]]
+        b = [row["tuples_transmitted"] for row in second["results"]]
+        assert a == b

@@ -1,8 +1,15 @@
-"""Workload assembly."""
+"""Workload assembly and the query-mix sampler."""
 
 
 from repro.core.tuples import validate_database
-from repro.data.workload import Workload, make_nyse_workload, make_synthetic_workload
+import pytest
+
+from repro.data.workload import (
+    Workload,
+    make_nyse_workload,
+    make_synthetic_workload,
+    sample_query_mix,
+)
 
 
 class TestSyntheticWorkload:
@@ -89,3 +96,67 @@ class TestNyseWorkload:
     def test_empty_workload_dimensionality(self):
         wl = Workload(name="empty", global_database=[], partitions=[[]])
         assert wl.dimensionality == 0
+
+
+class TestSampleQueryMix:
+    def test_same_seed_same_mix(self):
+        a = sample_query_mix(40, 3, seed=5)
+        b = sample_query_mix(40, 3, seed=5)
+        assert a == b  # frozen dataclasses: structural equality is exact
+
+    def test_different_seeds_differ(self):
+        assert sample_query_mix(40, 3, seed=5) != sample_query_mix(40, 3, seed=6)
+
+    def test_seed_none_means_seed_zero(self):
+        assert sample_query_mix(25, 3) == sample_query_mix(25, 3, seed=0)
+
+    def test_pinned_prefix_for_the_default_knobs(self):
+        # A golden pin: random.Random's algorithm is stable across
+        # Python versions by language guarantee, so this exact mix is
+        # what every machine derives from seed 0.  If it ever changes,
+        # every BENCH_service.json trajectory silently re-bases.
+        draws = sample_query_mix(3, 3, seed=0)
+        assert [d.threshold for d in draws] == [0.6, 0.6, 0.5]
+        assert [d.algorithm for d in draws] == ["edsud", "edsud", "dsud"]
+        assert [d.limit for d in draws] == [10, None, 3]
+        assert [d.subspace for d in draws] == [None, (0, 1), None]
+        assert [d.batch_size for d in draws] == [1, 4, 1]
+
+    def test_draws_respect_the_pools(self):
+        draws = sample_query_mix(
+            60,
+            4,
+            seed=9,
+            thresholds=(0.25, 0.75),
+            algorithms=("dsud",),
+            limits=(7,),
+            tenants=("a", "b"),
+        )
+        assert {d.threshold for d in draws} <= {0.25, 0.75}
+        assert {d.algorithm for d in draws} == {"dsud"}
+        assert {d.limit for d in draws} <= {None, 7}
+        assert {d.tenant for d in draws} <= {"a", "b"}
+        for d in draws:
+            if d.subspace is not None:
+                assert 2 <= len(d.subspace) < 4
+                assert d.subspace == tuple(sorted(d.subspace))
+                assert all(0 <= i < 4 for i in d.subspace)
+
+    def test_low_dimensions_never_draw_subspaces(self):
+        draws = sample_query_mix(50, 2, seed=3, subspace_fraction=1.0)
+        assert all(d.subspace is None for d in draws)
+
+    def test_fractions_at_the_extremes(self):
+        none = sample_query_mix(30, 3, seed=4, limit_fraction=0.0)
+        assert all(d.limit is None for d in none)
+        every = sample_query_mix(30, 3, seed=4, limit_fraction=1.0)
+        assert all(d.limit is not None for d in every)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            sample_query_mix(-1, 3)
+        with pytest.raises(ValueError):
+            sample_query_mix(10, 0)
+
+    def test_empty_mix(self):
+        assert sample_query_mix(0, 3, seed=1) == []

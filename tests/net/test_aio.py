@@ -1,0 +1,274 @@
+"""Asyncio transport: RPC semantics, overlap, and sync-adapter fidelity."""
+
+import asyncio
+
+import pytest
+
+from repro.distributed.site import LocalSite
+from repro.fault.errors import SiteTimeout
+from repro.net.aio import (
+    AsyncLocalEndpoint,
+    AsyncRemoteSiteProxy,
+    connect_async_sites,
+)
+from repro.net.sockets import host_sites
+
+from ..conftest import make_random_database
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def cluster():
+    db = make_random_database(240, 2, seed=1, grid=10)
+    partitions = [db[i::3] for i in range(3)]
+    with host_sites(partitions) as c:
+        yield c, db
+
+
+def _addresses(c):
+    return [(i, s.address) for i, s in enumerate(c.servers)]
+
+
+class TestAsyncRemoteProxy:
+    def test_rpc_surface_matches_local(self, cluster):
+        c, db = cluster
+
+        async def scenario():
+            proxies = await connect_async_sites(_addresses(c))
+            try:
+                local = LocalSite(0, db[0::3])
+                assert await proxies[0].ping()
+                assert await proxies[0].prepare(0.3) == local.prepare(0.3)
+                q = await proxies[0].pop_representative()
+                local_q = local.pop_representative()
+                assert q is not None and q.tuple.key == local_q.tuple.key
+                assert q.local_probability == pytest.approx(
+                    local_q.local_probability
+                )
+                foreign = db[1]
+                remote_reply = await proxies[0].probe_and_prune(foreign)
+                local_reply = local.probe_and_prune(foreign)
+                assert remote_reply.factor == pytest.approx(local_reply.factor)
+                assert remote_reply.pruned == local_reply.pruned
+                assert await proxies[0].queue_size() == local.queue_size()
+            finally:
+                for p in proxies:
+                    await p.close()
+
+        run(scenario())
+
+    def test_batch_probe_matches_sequential(self, cluster):
+        c, db = cluster
+
+        async def scenario():
+            proxies = await connect_async_sites(_addresses(c))
+            try:
+                await proxies[1].prepare(0.3)
+                probes = db[0:6:2]
+                reply = await proxies[1].probe_and_prune_batch(probes)
+                assert len(reply.factors) == len(probes)
+                local = LocalSite(1, db[1::3])
+                local.prepare(0.3)
+                expected = [local.probe_and_prune(t).factor for t in probes]
+                assert reply.factors == pytest.approx(expected)
+            finally:
+                for p in proxies:
+                    await p.close()
+
+        run(scenario())
+
+    def test_exhaustion_returns_none(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(2, c.servers[2].address)
+            try:
+                await proxy.prepare(0.99)
+                while await proxy.pop_representative() is not None:
+                    pass
+                assert await proxy.pop_representative() is None
+            finally:
+                await proxy.close()
+
+        run(scenario())
+
+    def test_application_error_is_authoritative(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(0, c.servers[0].address)
+            try:
+                with pytest.raises(RuntimeError, match="RPC failed"):
+                    await proxy._call("frobnicate")
+                # The connection survives an application error.
+                assert await proxy.ping()
+            finally:
+                await proxy.close()
+
+        run(scenario())
+
+    def test_timeout_escalates_to_site_timeout(self):
+        """A listener that accepts but never answers raises SiteTimeout."""
+
+        async def scenario():
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            host, port = server.sockets[0].getsockname()[:2]
+            proxy = await AsyncRemoteSiteProxy.connect(
+                0, (host, port), timeout=0.2
+            )
+            try:
+                with pytest.raises(SiteTimeout):
+                    await proxy.queue_size()
+                assert proxy.timeouts == 1
+                assert proxy._needs_redial
+            finally:
+                await proxy.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_retry_reconnects_after_connection_drop(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(
+                0, c.servers[0].address, retries=2
+            )
+            try:
+                assert await proxy.ping()
+                proxy._writer.close()  # transient fault
+                assert await proxy.prepare(0.3) >= 1  # idempotent -> retried
+                assert proxy.reconnects >= 1
+            finally:
+                await proxy.close()
+
+        run(scenario())
+
+    def test_pop_is_never_retried(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(
+                0, c.servers[0].address, retries=5
+            )
+            try:
+                await proxy.prepare(0.3)
+                proxy._writer.close()
+                with pytest.raises((ConnectionError, OSError)):
+                    await proxy.pop_representative()
+            finally:
+                await proxy.close()
+
+        run(scenario())
+
+    def test_connect_failure_closes_partial_fanout(self, cluster):
+        c, _ = cluster
+        dead = ("127.0.0.1", 1)  # nothing listens on port 1
+
+        async def scenario():
+            with pytest.raises((ConnectionError, OSError, SiteTimeout)):
+                await connect_async_sites(
+                    _addresses(c) + [(99, dead)], timeout=2.0
+                )
+
+        run(scenario())
+
+    def test_rpcs_to_distinct_sites_overlap(self, cluster):
+        """The whole point of the async transport: concurrent in-flight
+        RPCs to different sites overlap on one thread.  Server-side
+        call windows must intersect — a wall-clock-free assertion."""
+        c, _ = cluster
+        import time
+
+        windows = {}
+        originals = {}
+        for i, server in enumerate(c.servers):
+            site = server.site
+            originals[i] = site.prepare
+
+            def slow_prepare(q, _site_index=i, _inner=site.prepare):
+                start = time.perf_counter()
+                time.sleep(0.15)
+                out = _inner(q)
+                windows[_site_index] = (start, time.perf_counter())
+                return out
+
+            site.prepare = slow_prepare
+        try:
+
+            async def scenario():
+                proxies = await connect_async_sites(_addresses(c))
+                try:
+                    await asyncio.gather(*(p.prepare(0.3) for p in proxies))
+                finally:
+                    for p in proxies:
+                        await p.close()
+
+            run(scenario())
+        finally:
+            for i, server in enumerate(c.servers):
+                server.site.prepare = originals[i]
+        assert len(windows) == 3
+        starts = [w[0] for w in windows.values()]
+        ends = [w[1] for w in windows.values()]
+        # Every call began before the earliest call finished.
+        assert max(starts) < min(ends)
+
+
+class TestAsyncLocalEndpoint:
+    def test_adapter_is_transparent(self):
+        db = make_random_database(120, 2, seed=4, grid=10)
+        sync_site = LocalSite(0, db)
+        adapted = AsyncLocalEndpoint(LocalSite(0, db))
+
+        async def drive():
+            out = []
+            assert await adapted.prepare(0.3) == sync_site.prepare(0.3)
+            while True:
+                q = await adapted.pop_representative()
+                if q is None:
+                    break
+                out.append(q.tuple.key)
+            return out
+
+        async_keys = run(drive())
+        sync_keys = []
+        while True:
+            q = sync_site.pop_representative()
+            if q is None:
+                break
+            sync_keys.append(q.tuple.key)
+        assert async_keys == sync_keys
+
+    def test_adapter_yields_to_event_loop(self):
+        db = make_random_database(40, 2, seed=5)
+        adapted = AsyncLocalEndpoint(LocalSite(0, db))
+        ticks = []
+
+        async def ticker():
+            for i in range(3):
+                ticks.append(i)
+                await asyncio.sleep(0)
+
+        async def scenario():
+            task = asyncio.ensure_future(ticker())
+            await adapted.prepare(0.3)
+            await adapted.queue_size()
+            await adapted.queue_size()
+            await task
+
+        run(scenario())
+        assert ticks == [0, 1, 2]
+
+    def test_getattr_passthrough(self):
+        db = make_random_database(30, 2, seed=6)
+        inner = LocalSite(7, db)
+        adapted = AsyncLocalEndpoint(inner)
+        assert adapted.site_id == 7
+        assert adapted.ship_all() == inner.ship_all()

@@ -1,0 +1,173 @@
+"""Shared standing state: site hosts, replica books, the liveness book."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dominance import Preference
+from repro.distributed.dsud import DSUD
+from repro.distributed.query import build_sites
+from repro.fault.injection import FaultyEndpoint
+from repro.fault.liveness import LivenessBook
+from repro.fault.schedule import FaultSchedule
+from repro.replica.manager import ReplicaManager
+from repro.serve import SharedSiteHost, StandingReplicaBook
+
+from ..conftest import make_random_database
+
+DB = make_random_database(120, 3, seed=23)
+PARTITIONS = [DB[i::4] for i in range(4)]
+
+
+# ----------------------------------------------------------------------
+# SharedSiteHost
+
+
+def test_templates_are_cached_per_preference():
+    host = SharedSiteHost(0, PARTITIONS[0])
+    assert host.templates_built == 0
+    full = host.template()
+    assert host.template() is full
+    sub = host.template(Preference(subspace=(0, 1)))
+    assert sub is not full
+    assert host.templates_built == 2
+
+
+def test_views_share_the_standing_index_but_not_queue_state():
+    host = SharedSiteHost(0, PARTITIONS[0])
+    a = host.view()
+    b = host.view()
+    assert host.forks_served == 2
+    assert a is not b
+    assert a.database is b.database
+    assert a.tree is b.tree
+    a.prepare(0.3)
+    b.prepare(0.3)
+    first_from_a = a.pop_representative()
+    # a's pop did not consume b's queue: b still yields the same head.
+    assert b.pop_representative() == first_from_a
+    assert a.queue_size() == b.queue_size()
+
+
+def test_view_matches_a_fresh_solo_site_exactly():
+    host = SharedSiteHost(0, PARTITIONS[0])
+    view = host.view()
+    solo = build_sites([PARTITIONS[0]])[0]
+    assert view.prepare(0.4) == solo.prepare(0.4)
+    while True:
+        ours, theirs = view.pop_representative(), solo.pop_representative()
+        assert ours == theirs
+        if ours is None:
+            break
+
+
+def test_maintenance_applies_to_templates_and_future_views():
+    host = SharedSiteHost(0, PARTITIONS[0])
+    before = host.view().prepare(0.99)  # deep queue: almost nothing pruned
+    extra = make_random_database(1, 3, seed=99, start_key=10_000)[0]
+    host.apply_insert(extra)
+    assert len(host) == len(PARTITIONS[0]) + 1
+    assert extra.key in host.template().database
+    assert host.view().prepare(0.99) >= before
+    host.apply_delete(extra.key)
+    assert extra.key not in host.template().database
+
+
+# ----------------------------------------------------------------------
+# StandingReplicaBook
+
+
+def test_standing_book_reproduces_solo_placement():
+    sites = [SharedSiteHost(i, p) for i, p in enumerate(PARTITIONS)]
+    book = StandingReplicaBook(sites, seed=0)
+    session_sites = [host.view() for host in sites]
+    issued = book.manager_for(session_sites, replication_factor=2)
+    solo = ReplicaManager(build_sites(PARTITIONS), 2, seed=0)
+    assert issued.placement == solo.placement
+    assert book.managers_issued == 1
+
+
+def test_standing_book_injects_pre_provisioned_template_forks():
+    sites = [SharedSiteHost(i, p) for i, p in enumerate(PARTITIONS)]
+    book = StandingReplicaBook(sites, seed=0)
+    manager = book.manager_for(
+        [host.view() for host in sites], replication_factor=2
+    )
+    for sid, copies in manager._replicas.items():
+        template = sites[sid].template()
+        for _buddy, replica in copies:
+            # A fork of the standing template: same data, private queue.
+            assert replica is not template
+            assert replica.database is template.database
+    # Nothing left to ship: provisioning is marked done up front.
+    assert manager._provisioned
+
+
+# ----------------------------------------------------------------------
+# LivenessBook
+
+
+def test_liveness_book_epochs_and_counters():
+    book = LivenessBook()
+    assert book.epoch == 0 and len(book) == 0
+    assert book.lookup(("site", 3)) is None
+    book.record(("site", 3), False)
+    assert book.probes == 1
+    assert book.lookup(("site", 3)) is False
+    assert book.hits == 1
+    book.advance()
+    assert book.epoch == 1
+    assert book.lookup(("site", 3)) is None  # stale: a new epoch re-probes
+    assert len(book) == 0
+
+
+def test_shared_book_deduplicates_liveness_probes_across_queries():
+    always_down = FaultSchedule(seed=0).crash(0, at_call=0)
+    book = LivenessBook()
+    book.advance()
+
+    def coordinator() -> DSUD:
+        sites = build_sites(PARTITIONS)
+        wrapped = [FaultyEndpoint(sites[0], always_down)] + list(sites[1:])
+        return DSUD(wrapped, 0.3, liveness_book=book)
+
+    with coordinator() as first, coordinator() as second:
+        dead = first.sites[0]
+        assert first._probe_liveness(dead) is False
+        assert book.probes == 1
+        baseline = second.stats.messages
+        # The second query reads the epoch's verdict: no new CONTROL
+        # message, no new probe — the snapshot answered.
+        assert second._probe_liveness(second.sites[0]) is False
+        assert book.probes == 1 and book.hits == 1
+        assert second.stats.messages == baseline
+        # A new epoch makes every verdict stale again.
+        book.advance()
+        assert second._probe_liveness(second.sites[0]) is False
+        assert book.probes == 2
+
+
+def test_private_book_is_the_default():
+    sites = build_sites(PARTITIONS)
+    with DSUD(sites, 0.3) as coordinator:
+        assert coordinator.liveness_book is None
+
+
+def test_book_keys_separate_site_and_primary_probes():
+    book = LivenessBook()
+    book.record(("site", 0), False)
+    assert book.lookup(("primary", 0)) is None
+    book.record(("primary", 0), True)
+    assert book.lookup(("site", 0)) is False
+    assert book.lookup(("primary", 0)) is True
+
+
+@pytest.mark.parametrize("replication_factor", [1, 2])
+def test_hosts_survive_replicated_and_plain_sessions(replication_factor):
+    # Regression guard: issuing managers must not mutate host templates.
+    sites = [SharedSiteHost(i, p) for i, p in enumerate(PARTITIONS)]
+    book = StandingReplicaBook(sites, seed=0)
+    if replication_factor > 1:
+        book.manager_for([h.view() for h in sites], replication_factor)
+    counts = [len(h.template().database) for h in sites]
+    assert counts == [len(p) for p in PARTITIONS]

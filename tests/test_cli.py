@@ -136,3 +136,31 @@ class TestInfo:
         assert "probabilities:" in out
         assert "conventional skyline:" in out
         assert "H(d, N)" in out
+
+
+class TestServe:
+    def test_closed_loop_workload(self, relation, capsys):
+        assert main(
+            ["serve", str(relation), "-m", "3", "--queries", "6", "--clients", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 6 queries over 3 sites" in out
+        assert "finished=6 failed=0" in out
+        assert "latency: p50=" in out
+        assert "tuples transmitted" in out
+
+    def test_tenant_budgets_reported_and_enforced(self, relation, capsys):
+        assert main(
+            ["serve", str(relation), "-m", "3", "--queries", "8",
+             "--tenants", "alpha,beta", "--budget", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        # A one-tuple budget cuts every metered session off mid-flight.
+        assert "aborted=" in out and "aborted=0" not in out
+        assert "/1 tuples" in out
+
+    def test_empty_relation(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("key,p,v0\n")
+        assert main(["serve", str(path)]) == 0
+        assert "nothing to serve" in capsys.readouterr().out
