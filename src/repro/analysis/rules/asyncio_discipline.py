@@ -14,10 +14,17 @@ design has two failure modes generic linters miss:
   collect it mid-flight and its exceptions vanish instead of failing
   the query that spawned it.
 
-The rule is scoped to the async modules (``repro/serve/`` and
-``repro/net/aio.py``): blocking calls elsewhere are legal (the
-threaded transport in ``net/sockets.py`` *should* block), and the
+The rule is scoped to the async modules (``repro/serve/``,
+``repro/net/aio.py``, and the worker-pool module
+``repro/distributed/workers.py``): blocking calls elsewhere are legal
+(the threaded transport in ``net/sockets.py`` *should* block), and the
 repo-wide clock rule (SKY202) already polices ``time.time``.
+
+The worker-pool module adds a third failure mode: a *blocking pool
+join* — ``pool.shutdown(...)`` / ``pool.join(...)`` on an executor
+receiver inside an ``async def`` — parks the loop until every queued
+table build drains.  Teardown belongs in sync ``close()`` paths; async
+code awaits ``asyncio.wrap_future`` handles instead.
 """
 
 from __future__ import annotations
@@ -44,6 +51,9 @@ _BLOCKING = frozenset(
 #: Task-spawning calls whose return value must be kept.
 _SPAWNERS = frozenset({"create_task", "ensure_future"})
 
+#: Executor methods that block until queued work drains.
+_POOL_JOINS = frozenset({"shutdown", "join"})
+
 
 class AsyncioDisciplineRule(Rule):
     id = "SKY503"
@@ -52,14 +62,17 @@ class AsyncioDisciplineRule(Rule):
     description = (
         "Event-loop discipline in the serving layer: no blocking "
         "sleep/socket calls inside `async def` (one stall freezes every "
-        "in-flight session), and no fire-and-forget create_task (a "
-        "dropped reference loses the task and swallows its exceptions)."
+        "in-flight session), no blocking pool joins/shutdowns in "
+        "`async def` (teardown belongs in sync close paths), and no "
+        "fire-and-forget create_task (a dropped reference loses the "
+        "task and swallows its exceptions)."
     )
 
     def applies_to(self, module: ModuleContext) -> bool:
         return (
             "repro/serve/" in module.relpath
             or module.relpath.endswith("net/aio.py")
+            or module.relpath.endswith("distributed/workers.py")
         )
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
@@ -76,6 +89,20 @@ class AsyncioDisciplineRule(Rule):
                     "equivalent (`await asyncio.sleep`, "
                     "`asyncio.open_connection`, …)",
                 )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_JOINS
+                and self._is_pool_receiver(node.func)
+                and self._in_async_def(module, node)
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"`{name}(...)` blocks the loop until every queued "
+                    "worker job drains; tear pools down from a sync "
+                    "`close()` (or hand the wait to a thread) — async "
+                    "code should await `asyncio.wrap_future` handles",
+                )
             elif name.split(".")[-1] in _SPAWNERS and self._is_dropped(module, node):
                 yield module.finding(
                     self,
@@ -85,6 +112,12 @@ class AsyncioDisciplineRule(Rule):
                     "and its exceptions vanish — store the handle and "
                     "await (or cancel) it on close",
                 )
+
+    @staticmethod
+    def _is_pool_receiver(func: ast.Attribute) -> bool:
+        """True when the method's receiver looks like an executor."""
+        receiver = dotted_name(func.value).lower()
+        return "pool" in receiver or "executor" in receiver
 
     @staticmethod
     def _in_async_def(module: ModuleContext, node: ast.AST) -> bool:

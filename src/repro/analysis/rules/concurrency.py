@@ -23,6 +23,17 @@ The heuristic:
 It is deliberately a *heuristic* — cross-class flows (e.g. methods of
 ``NetworkStats`` called from workers) are out of reach; the rule's job
 is the pattern that actually bit this codebase.
+
+PR 7 added *process* pools (:mod:`repro.distributed.workers`), which
+sharpen the failure mode: a ``self`` attribute written inside a
+callable submitted to a ``ProcessPoolExecutor`` does not race — it
+mutates a **pickled copy** in the child and is silently discarded, and
+no lock helps, because locks do not cross process boundaries either.
+Dispatches whose receiver mentions ``process`` (or is a name bound to
+``ProcessPoolExecutor(...)``) therefore flag *every* reachable
+``self`` write, locked or not: state must cross a process boundary via
+explicit serialization — ship arrays in, return a payload out — never
+through shared mutation.
 """
 
 from __future__ import annotations
@@ -64,7 +75,9 @@ class ThreadSharedStateRule(Rule):
     description = (
         "self attribute written from executor-submitted callables without a "
         "lock: broadcast workers run concurrently, so unlocked += on shared "
-        "counters (NetworkStats, FSM state) loses updates."
+        "counters (NetworkStats, FSM state) loses updates.  In process-pool "
+        "callables any self write is flagged — it mutates a pickled copy, "
+        "and locks do not cross process boundaries."
     )
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
@@ -80,7 +93,28 @@ class ThreadSharedStateRule(Rule):
             for item in cls.body
             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
-        entry_points = self._executor_callables(module, cls, methods)
+        process_aliases = self._process_pool_aliases(module)
+        dispatches = self._executor_callables(module, cls, methods, process_aliases)
+        if not dispatches:
+            return
+        # Process-pool callables first: any reachable self write is a
+        # lost update by construction (it mutates the child's pickled
+        # copy), so locks are no defence and there is no warning tier.
+        process_entry = [fn for fn, is_process in dispatches if is_process]
+        process_writes: List[Tuple[ast.AST, str, bool]] = []
+        visited_p: Set[str] = set()
+        for fn in process_entry:
+            self._collect_writes(module, fn, methods, visited_p, process_writes)
+        for node, target, _augmented in process_writes:
+            yield module.finding(
+                self,
+                node,
+                f"`{target}` is written inside a process-pool callable: the "
+                "worker mutates a pickled copy and the write is silently "
+                "lost (locks do not cross processes) — pass state in as "
+                "arguments and return a serialized payload instead",
+            )
+        entry_points = [fn for fn, is_process in dispatches if not is_process]
         if not entry_points:
             return
         # Every self-attribute write reachable from a worker thread.
@@ -125,14 +159,41 @@ class ThreadSharedStateRule(Rule):
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _process_pool_aliases(module: ModuleContext) -> Set[str]:
+        """Names bound to ``ProcessPoolExecutor(...)`` in this module.
+
+        Covers ``pool = ProcessPoolExecutor()``, ``self._pool =
+        ProcessPoolExecutor()`` and ``with ProcessPoolExecutor() as p:``
+        — so a dispatch receiver that does not say "process" is still
+        classified by what it was constructed from.
+        """
+        aliases: Set[str] = set()
+
+        def _ctor(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Call) and dotted_name(expr.func).endswith(
+                "ProcessPoolExecutor"
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _ctor(node.value):
+                for target in node.targets:
+                    aliases.add(dotted_name(target).lower())
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if _ctor(item.context_expr) and item.optional_vars is not None:
+                        aliases.add(dotted_name(item.optional_vars).lower())
+        return aliases
+
     def _executor_callables(
         self,
         module: ModuleContext,
         cls: ast.ClassDef,
         methods: Dict[str, _FunctionNode],
-    ) -> List[_FunctionNode]:
-        """Callables handed to ``pool.map``/``pool.submit`` within ``cls``."""
-        out: List[_FunctionNode] = []
+        process_aliases: Set[str],
+    ) -> List[Tuple[_FunctionNode, bool]]:
+        """``(callable, is_process_pool)`` for ``pool.map``/``pool.submit``."""
+        out: List[Tuple[_FunctionNode, bool]] = []
         for node in ast.walk(cls):
             if not isinstance(node, ast.Call):
                 continue
@@ -146,7 +207,8 @@ class ThreadSharedStateRule(Rule):
                 continue
             resolved = self._resolve_callable(module, node.args[0], methods)
             if resolved is not None:
-                out.append(resolved)
+                is_process = "process" in receiver or receiver in process_aliases
+                out.append((resolved, is_process))
         return out
 
     def _resolve_callable(

@@ -1,24 +1,43 @@
 """Kernel benchmark: columnar vs scalar hot paths, with a JSON artifact.
 
-Times the three paths the columnar kernel layer accelerates —
+Times the paths the kernel layers accelerate —
 
 * ``prob_skyline_sfs`` — the Eq. 3 local skyline computed at
   ``prepare()`` time,
 * ``probe`` — the Eq. 9 foreign-factor window query on an un-indexed
-  site (one call per broadcast per site), and
-* a full DSUD run over un-indexed sites —
+  site (one call per broadcast per site),
+* a full DSUD run over un-indexed sites, and
+* ``all_probs_table`` — the output-sensitive full P_sky table
+  (:mod:`repro.core.partition_index`) against the flat vectorized
+  O(n²) fill, at scales up to n=10⁶ backed by the memory-mapped
+  column store (:mod:`repro.data.io`) —
 
-each measured with the vectorized kernels *and* the scalar reference in
-the same process, and writes the comparison to ``BENCH_kernels.json``
-at the repository root (override with ``--out``).  CI runs this
-non-blocking and uploads the JSON, so every PR leaves a comparable
-record; ``scripts``/reviewers diff the ``speedup`` fields across
-commits.
+and writes the comparison to ``BENCH_kernels.json`` at the repository
+root (override with ``--out``).  CI runs this non-blocking and uploads
+the JSON, so every PR leaves a comparable record; ``scripts``/reviewers
+diff the ``speedup`` fields across commits.
+
+Every known (benchmark, scale) row appears in **every** run: scales a
+flag combination does not execute are emitted as ``status: "skipped"``
+marker rows (with the flag that enables them), never silently omitted
+— so two artifacts always have the same row set and a diff can't
+accidentally compare across mismatched scale sets.
+
+The table rows report ``table_build_seconds`` (the one-off product
+pass) separately from ``query_seconds`` (the per-query table read:
+filter + sort) and ``probe_seconds`` — the build is standing-state
+cost, the reads are what a query pays.  The vectorized baseline at
+n≥100k is measured over a fixed probe sample and scaled linearly
+(``vectorized_extrapolated: true``); per-probe cost of the flat kernel
+is independent across probes, and the full fill at n=10⁶ would run for
+days.
 
 Run it::
 
-    PYTHONPATH=src python -m repro.bench.kernels            # full (n=20k)
-    PYTHONPATH=src python -m repro.bench.kernels --quick    # n=2k only
+    PYTHONPATH=src python -m repro.bench.kernels             # n≤20k
+    PYTHONPATH=src python -m repro.bench.kernels --quick     # n=2k only
+    PYTHONPATH=src python -m repro.bench.kernels --large     # + n=100k
+    PYTHONPATH=src python -m repro.bench.kernels --million   # + n=10⁶
 """
 
 from __future__ import annotations
@@ -28,24 +47,50 @@ import json
 import platform
 import random
 import sys
+import tempfile
 import time
-from typing import Callable, Dict, List
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.kernels import ColumnStore
 from ..core.kernels import prob_skyline_sfs as columnar_sfs
+from ..core.partition_index import PartitionIndex
 from ..core.prob_skyline import prob_skyline_sfs as scalar_sfs
 from ..core.tuples import UncertainTuple
+from ..data.io import open_columns, write_columns
 from ..distributed.dsud import DSUD
 from ..distributed.query import build_sites
 from ..distributed.site import SiteConfig
 
-__all__ = ["run_kernel_bench", "main"]
+__all__ = ["run_kernel_bench", "expected_rows", "main"]
 
 Q = 0.3
 PROBES = 64
 SCALE_SMALL = {"name": "small", "n": 2_000, "d": 4, "repeats": 3}
 SCALE_LARGE = {"name": "large", "n": 20_000, "d": 4, "repeats": 1}
 DSUD_SCALES = ({"name": "small", "n": 1_000, "sites": 4}, {"name": "large", "n": 4_000, "sites": 4})
+
+#: all_probs_table scales.  ``baseline_sample`` probes are measured on
+#: the flat vectorized kernel; when it is smaller than ``n`` the full
+#: fill time is extrapolated linearly (and marked so).  ``flag`` names
+#: the CLI flag that enables the scale (``None`` = always run).
+TABLE_SCALES = (
+    {"name": "small", "n": 2_000, "d": 4, "baseline_sample": 2_000, "flag": None},
+    {"name": "large", "n": 20_000, "d": 4, "baseline_sample": 4_096, "flag": None},
+    {"name": "xlarge", "n": 100_000, "d": 4, "baseline_sample": 2_048, "flag": "--large"},
+    {"name": "million", "n": 1_000_000, "d": 3, "baseline_sample": 0, "flag": "--million"},
+)
+
+#: Rows generated in chunks of this many tuples when writing the
+#: memory-mapped column store (bounds resident memory during
+#: construction, per the n=10⁶ requirement).
+CHUNK_ROWS = 65_536
+
+#: Scales at or above this row count run off a memory-mapped column
+#: directory instead of in-RAM arrays.
+MMAP_THRESHOLD = 100_000
 
 
 def _make_database(n: int, d: int, seed: int, start_key: int = 0) -> List[UncertainTuple]:
@@ -69,6 +114,17 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
     return best
 
 
+def _skip_row(benchmark: str, scale: Dict, reason: str) -> Dict:
+    return {
+        "benchmark": benchmark,
+        "scale": scale["name"],
+        "n": scale["n"],
+        "d": scale.get("d", 3),
+        "status": "skipped",
+        "reason": reason,
+    }
+
+
 def _bench_sfs(scale: Dict) -> Dict:
     db = _make_database(scale["n"], scale["d"], seed=101)
     vec = _best_of(lambda: columnar_sfs(db, Q), scale["repeats"])
@@ -78,6 +134,7 @@ def _bench_sfs(scale: Dict) -> Dict:
         "scale": scale["name"],
         "n": scale["n"],
         "d": scale["d"],
+        "status": "ok",
         "threshold": Q,
         "scalar_seconds": ref,
         "vectorized_seconds": vec,
@@ -107,6 +164,7 @@ def _bench_probe(scale: Dict) -> Dict:
         "scale": scale["name"],
         "n": scale["n"],
         "d": scale["d"],
+        "status": "ok",
         "probes": PROBES,
         "scalar_seconds": ref,
         "vectorized_seconds": vec,
@@ -140,6 +198,7 @@ def _bench_dsud(scale: Dict) -> Dict:
         "scale": scale["name"],
         "n": scale["n"],
         "d": d,
+        "status": "ok",
         "sites": scale["sites"],
         "threshold": Q,
         "results": len(vec_result.answer),
@@ -149,15 +208,166 @@ def _bench_dsud(scale: Dict) -> Dict:
     }
 
 
-def run_kernel_bench(quick: bool = False) -> Dict:
-    """Run every kernel benchmark; returns the JSON-ready document."""
-    scales = [SCALE_SMALL] if quick else [SCALE_SMALL, SCALE_LARGE]
+def _column_chunks(
+    n: int, d: int, seed: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]]:
+    """Deterministic synthetic columns, one bounded chunk at a time."""
+    rng = np.random.default_rng(seed)
+    produced = 0
+    while produced < n:
+        c = min(CHUNK_ROWS, n - produced)
+        yield rng.random((c, d)), rng.random(c) * 0.99 + 0.01, None
+        produced += c
+
+
+def _table_store(n: int, d: int, seed: int, workdir: Path) -> Tuple[ColumnStore, str]:
+    """The scale's column store: memmap-backed at large n, in-RAM below."""
+    if n >= MMAP_THRESHOLD:
+        rel = workdir / f"rel_{n}_{d}"
+        write_columns(rel, _column_chunks(n, d, seed), d)
+        return open_columns(rel), "memmap"
+    chunks = list(_column_chunks(n, d, seed))
+    values = np.concatenate([c[0] for c in chunks])
+    probs = np.concatenate([c[1] for c in chunks])
+    return ColumnStore.from_arrays(values, probs), "inline"
+
+
+def _bench_table(scale: Dict, workdir: Path) -> Dict:
+    n, d = scale["n"], scale["d"]
+    store, backing = _table_store(n, d, seed=505, workdir=workdir)
+
+    start = time.perf_counter()
+    index = PartitionIndex.build(store)
+    index.refresh()
+    build_seconds = time.perf_counter() - start
+
+    def query() -> np.ndarray:
+        psky = index.p_sky()
+        rows = np.nonzero(index.alive & (psky >= Q))[0]
+        return rows[np.argsort(-psky[rows], kind="stable")]
+
+    start = time.perf_counter()
+    qualified = query()
+    query_seconds = time.perf_counter() - start
+
+    probe_rng = np.random.default_rng(606)
+    probe_points = probe_rng.random((PROBES, d))
+    start = time.perf_counter()
+    for p in probe_points:
+        index.dominator_product(p)
+    probe_seconds = time.perf_counter() - start
+
+    row = {
+        "benchmark": "all_probs_table",
+        "scale": scale["name"],
+        "n": n,
+        "d": d,
+        "status": "ok",
+        "threshold": Q,
+        "store": backing,
+        "cells": index.cell_count,
+        "cells_per_dim": index.cells_per_dim,
+        "qualified": int(qualified.size),
+        "table_build_seconds": build_seconds,
+        "query_seconds": query_seconds,
+        "probe_seconds": probe_seconds,
+    }
+
+    sample = min(int(scale["baseline_sample"]), n)
+    if sample <= 0:
+        row["vectorized_fill_seconds"] = None
+        row["vectorized_skipped"] = "O(n^2) fill infeasible at this scale"
+        return row
+
+    # The flat baseline: fill the same table with the O(n²) vectorized
+    # kernel.  Per-probe cost is independent across probes (identical
+    # blocked broadcasts), so a sampled measurement scales linearly.
+    sample_points = np.asarray(store.values[:sample], dtype=np.float64)
+    sample_keys = store.keys[:sample]
+    start = time.perf_counter()
+    baseline = store.dominator_products(
+        sample_points, exclude_keys=[int(k) for k in sample_keys]
+    )
+    sample_seconds = time.perf_counter() - start
+    fill_seconds = sample_seconds * (n / sample)
+
+    table = index.all_probabilities()
+    max_diff = float(np.max(np.abs(table[:sample] - baseline))) if sample else 0.0
+    if max_diff > 1e-9:
+        raise AssertionError(
+            f"partitioned table diverged from the vectorized kernel "
+            f"(max abs diff {max_diff:.3e} at scale {scale['name']})"
+        )
+
+    row.update(
+        {
+            "vectorized_probes_sampled": sample,
+            "vectorized_sample_seconds": sample_seconds,
+            "vectorized_extrapolated": sample < n,
+            "vectorized_fill_seconds": fill_seconds,
+            "speedup_vs_vectorized": (
+                fill_seconds / build_seconds if build_seconds > 0 else float("inf")
+            ),
+            "max_abs_difference": max_diff,
+        }
+    )
+    return row
+
+
+def expected_rows() -> List[Tuple[str, str]]:
+    """Every (benchmark, scale) row a run emits, regardless of flags.
+
+    The schema contract ``benchmarks/test_kernels_regression.py`` pins:
+    scales outside a flag set appear as ``status: "skipped"`` markers,
+    so artifacts from different flag combinations stay diffable.
+    """
+    rows: List[Tuple[str, str]] = []
+    for scale in (SCALE_SMALL, SCALE_LARGE):
+        rows.append(("prob_skyline_sfs", scale["name"]))
+        rows.append(("probe", scale["name"]))
+    for dscale in DSUD_SCALES:
+        rows.append(("dsud_full_run", dscale["name"]))
+    for tscale in TABLE_SCALES:
+        rows.append(("all_probs_table", tscale["name"]))
+    return rows
+
+
+def run_kernel_bench(
+    quick: bool = False, large: bool = False, million: bool = False
+) -> Dict:
+    """Run every kernel benchmark; returns the JSON-ready document.
+
+    ``quick`` restricts to the small scales; ``large`` adds n=100k and
+    ``million`` additionally n=10⁶ to the table benchmark.  Scales not
+    run are emitted as ``status: "skipped"`` rows.
+    """
     results = []
-    for scale in scales:
+    for scale in (SCALE_SMALL, SCALE_LARGE):
+        if quick and scale is not SCALE_SMALL:
+            results.append(_skip_row("prob_skyline_sfs", scale, "skipped by --quick"))
+            results.append(_skip_row("probe", scale, "skipped by --quick"))
+            continue
         results.append(_bench_sfs(scale))
         results.append(_bench_probe(scale))
-    for scale in DSUD_SCALES[:1] if quick else DSUD_SCALES:
-        results.append(_bench_dsud(scale))
+    for dscale in DSUD_SCALES:
+        if quick and dscale is not DSUD_SCALES[0]:
+            results.append(_skip_row("dsud_full_run", dscale, "skipped by --quick"))
+            continue
+        results.append(_bench_dsud(dscale))
+    with tempfile.TemporaryDirectory(prefix="bench_columns_") as tmp:
+        workdir = Path(tmp)
+        for tscale in TABLE_SCALES:
+            flag = tscale["flag"]
+            if quick and tscale["name"] != "small":
+                results.append(_skip_row("all_probs_table", tscale, "skipped by --quick"))
+            elif flag == "--large" and not (large or million):
+                results.append(_skip_row("all_probs_table", tscale, "requires --large"))
+            elif flag == "--million" and not million:
+                results.append(_skip_row("all_probs_table", tscale, "requires --million"))
+            else:
+                results.append(_bench_table(tscale, workdir))
+    emitted = [(r["benchmark"], r["scale"]) for r in results]
+    assert emitted == expected_rows(), "benchmark row set drifted from expected_rows()"
     return {
         "artifact": "BENCH_kernels",
         "generated_by": "python -m repro.bench.kernels",
@@ -165,6 +375,8 @@ def run_kernel_bench(quick: bool = False) -> Dict:
         "platform": platform.platform(),
         "threshold": Q,
         "quick": quick,
+        "large": large or million,
+        "million": million,
         "results": results,
     }
 
@@ -182,20 +394,47 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small scale only (CI smoke; the full run uses n=20k)",
+        help="small scales only (CI smoke; skipped scales emit marker rows)",
+    )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help="add the n=100k all-probabilities table scale",
+    )
+    parser.add_argument(
+        "--million",
+        action="store_true",
+        help="add the n=100k and n=10^6 table scales (build takes minutes)",
     )
     args = parser.parse_args(argv)
-    doc = run_kernel_bench(quick=args.quick)
+    doc = run_kernel_bench(quick=args.quick, large=args.large, million=args.million)
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     for row in doc["results"]:
-        print(
-            f"{row['benchmark']:18s} {row['scale']:6s} n={row['n']:<6d} "
-            f"scalar {row['scalar_seconds']:8.3f}s  "
-            f"vectorized {row['vectorized_seconds']:8.3f}s  "
-            f"speedup {row['speedup']:6.1f}x"
-        )
+        if row.get("status") == "skipped":
+            print(f"{row['benchmark']:18s} {row['scale']:7s} skipped ({row['reason']})")
+        elif row["benchmark"] == "all_probs_table":
+            base = row.get("vectorized_fill_seconds")
+            base_txt = (
+                f"vectorized-fill {base:9.1f}s "
+                f"({'extrapolated' if row.get('vectorized_extrapolated') else 'measured'})  "
+                f"speedup {row['speedup_vs_vectorized']:7.1f}x"
+                if base is not None
+                else "vectorized-fill skipped"
+            )
+            print(
+                f"{row['benchmark']:18s} {row['scale']:7s} n={row['n']:<8d} "
+                f"build {row['table_build_seconds']:8.2f}s  "
+                f"query {row['query_seconds']:7.4f}s  {base_txt}"
+            )
+        else:
+            print(
+                f"{row['benchmark']:18s} {row['scale']:7s} n={row['n']:<8d} "
+                f"scalar {row['scalar_seconds']:8.3f}s  "
+                f"vectorized {row['vectorized_seconds']:8.3f}s  "
+                f"speedup {row['speedup']:6.1f}x"
+            )
     print(f"wrote {args.out}")
     return 0
 

@@ -38,6 +38,7 @@ from .probability import (
     observation2_bound,
     skyline_probability,
 )
+from .partition_index import PartitionIndex
 from .skycube import ProbabilisticSkycube, compute_skycube, enumerate_subspaces
 from .statistics import (
     ProbabilityProfile,
@@ -78,6 +79,7 @@ __all__ = [
     "divide_and_conquer",
     "SkylineMember",
     "ProbabilisticSkyline",
+    "PartitionIndex",
     "prob_skyline_brute_force",
     "prob_skyline_sfs",
     "all_skyline_probabilities",

@@ -40,14 +40,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.dominance import Preference, dominates
-from ..core.kernels import ColumnStore
+from ..core.kernels import ColumnStore, _project_matrix
 from ..core.kernels import prob_skyline_sfs as columnar_prob_skyline_sfs
-from ..core.prob_skyline import ProbabilisticSkyline, prob_skyline_sfs
+from ..core.partition_index import PartitionIndex
+from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember, prob_skyline_sfs
 from ..core.probability import (
     feedback_pruning_bound,
     foreign_skyline_probability,
@@ -57,6 +58,9 @@ from ..core.tuples import UncertainTuple, validate_database
 from ..index.bbs import bbs_prob_skyline
 from ..index.prtree import PRTree
 from ..net.message import Quaternion
+
+if TYPE_CHECKING:
+    from .workers import TableWorkerPool
 
 __all__ = ["SiteConfig", "ProbeReply", "BatchProbeReply", "LocalSite"]
 
@@ -81,6 +85,20 @@ class SiteConfig:
                            layer (:mod:`repro.core.kernels`).  False
                            selects the scalar reference path, which the
                            exactness suite diffs against the kernels.
+    ``all_probs_table``  — precompute the full P_sky table with the
+                           output-sensitive partition index
+                           (:mod:`repro.core.partition_index`).  Local
+                           skylines become a table filter, probes and
+                           §5.4 maintenance read/invalidate cells, and
+                           :meth:`LocalSite.fork` shares the table
+                           zero-copy.  Supersedes the PR-tree (no tree
+                           is built).  Off by default: the table's
+                           cell-aggregated products match the flat
+                           kernels to ~1e-12, not bit-for-bit, so the
+                           historical paths stay byte-stable unless a
+                           deployment opts in.
+    ``table_occupancy``  — target rows per grid cell for the table
+                           build (``None`` = kernel default).
     """
 
     use_index: bool = True
@@ -89,6 +107,8 @@ class SiteConfig:
     max_entries: int = 16
     store_products: bool = True
     vectorized: bool = True
+    all_probs_table: bool = False
+    table_occupancy: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -136,7 +156,13 @@ class LocalSite:
         validate_database(list(database))  # unique keys, consistent d
         self.database: Dict[int, UncertainTuple] = {t.key: t for t in database}
         self.tree = None
-        if self.config.use_index:
+        #: Shared box holding the all-probabilities partition index.
+        #: A dict (not a bare attribute) for the same reason as
+        #: ``_skyline_cache``: :meth:`fork` shares it by reference, so
+        #: a template's lazily-built table — and every §5.4 cell
+        #: invalidation applied to it — is observed by all forks.
+        self._table_box: Dict[str, PartitionIndex] = {}
+        if self.config.use_index and not self.config.all_probs_table:
             if self.config.index_kind == "prtree":
                 self.tree = PRTree.build(
                     database,
@@ -228,7 +254,9 @@ class LocalSite:
             hit = cache.get(threshold)
             if hit is not None:
                 return hit
-        if isinstance(self.tree, PRTree):
+        if self.config.all_probs_table:
+            answer = self._table_skyline(threshold)
+        elif isinstance(self.tree, PRTree):
             answer = bbs_prob_skyline(self.tree, threshold)
         elif self.config.vectorized:
             answer = columnar_prob_skyline_sfs(
@@ -241,6 +269,81 @@ class LocalSite:
         if cache is not None:
             cache[threshold] = answer
         return answer
+
+    # ------------------------------------------------------------------
+    # the all-probabilities table (output-sensitive kernel)
+    # ------------------------------------------------------------------
+
+    def _table_point(self, t: UncertainTuple) -> np.ndarray:
+        """One tuple's canonical min-space coordinates for table probes."""
+        return _project_matrix(
+            np.asarray(t.values, dtype=np.float64).reshape(1, -1), self.preference
+        )[0]
+
+    def _ensure_table(self) -> PartitionIndex:
+        """The shared partition index, building it inline if absent."""
+        index = self._table_box.get("index")
+        if index is None:
+            index = PartitionIndex.build(
+                self._partition_columns(), occupancy=self.config.table_occupancy
+            )
+            self._table_box["index"] = index
+        return index
+
+    def build_all_probs_table(self, pool: Optional["TableWorkerPool"] = None) -> PartitionIndex:
+        """Precompute the full P_sky table (idempotent; returns the index).
+
+        Without a pool the build runs inline.  With a
+        :class:`~repro.distributed.workers.TableWorkerPool` the
+        expensive product pass runs in a worker process and only the
+        result arrays come back — bit-identical to the inline build,
+        verified by the payload's grid-parameter check.
+        """
+        index = self._table_box.get("index")
+        if index is None:
+            store = self._partition_columns()
+            if pool is not None:
+                payload = pool.build_payload(
+                    store, occupancy=self.config.table_occupancy
+                )
+                index = PartitionIndex.from_payload(store, payload)
+            else:
+                index = PartitionIndex.build(
+                    store, occupancy=self.config.table_occupancy
+                )
+                index.refresh()
+            self._table_box["index"] = index
+        else:
+            index.refresh()
+        return index
+
+    async def build_all_probs_table_async(self, pool: "TableWorkerPool") -> PartitionIndex:
+        """Worker-process table build that never blocks the event loop.
+
+        The serving layer's prewarm path: the asyncio loop stays free
+        to multiplex other sessions while a real core burns on the
+        product pass.
+        """
+        index = self._table_box.get("index")
+        if index is None:
+            store = self._partition_columns()
+            payload = await pool.build_payload_async(
+                store, occupancy=self.config.table_occupancy
+            )
+            index = PartitionIndex.from_payload(store, payload)
+            self._table_box["index"] = index
+        return index
+
+    def _table_skyline(self, threshold: float) -> ProbabilisticSkyline:
+        """``SKY(D_i)`` as a table filter: one vector compare + gather."""
+        index = self._ensure_table()
+        psky = index.p_sky()
+        rows = np.nonzero(index.alive & (psky >= threshold))[0]
+        members = [
+            SkylineMember(self.database[int(index.keys[r])], float(psky[r]))
+            for r in rows
+        ]
+        return ProbabilisticSkyline(threshold, members)
 
     def enable_skyline_cache(self) -> None:
         """Memoize ``prepare``'s local skyline per threshold.
@@ -280,6 +383,7 @@ class LocalSite:
         clone._q_bounds = np.zeros(0, dtype=np.float64)
         clone._q_values = None
         clone._columns = self._columns
+        clone._table_box = self._table_box
         clone._feedback = []
         clone.sky_h_replica = {}
         clone._skyline_cache = self._skyline_cache
@@ -398,6 +502,12 @@ class LocalSite:
 
     def probe(self, t: UncertainTuple) -> float:
         """Eq. 9: the exact factor this site contributes for foreign ``t``."""
+        if self.config.all_probs_table:
+            return float(
+                self._ensure_table().dominator_product(
+                    self._table_point(t), exclude_key=t.key
+                )
+            )
         if self.tree is not None:
             return self.tree.dominators_product(t)
         if self.config.vectorized:
@@ -410,6 +520,13 @@ class LocalSite:
     def probe_batch(self, ts: Sequence[UncertainTuple]) -> List[float]:
         """Eq. 9 for many foreign tuples at once (one kernel dispatch)."""
         ts = list(ts)
+        if self.config.all_probs_table and ts:
+            index = self._ensure_table()
+            points = np.stack([self._table_point(t) for t in ts])
+            factors = index.dominator_products(
+                points, exclude_keys=[t.key for t in ts]
+            )
+            return [float(f) for f in factors]
         if self.tree is not None:
             batch = getattr(self.tree, "dominators_products", None)
             if batch is not None:
@@ -522,6 +639,14 @@ class LocalSite:
         self._columns = None
         if self._skyline_cache is not None:
             self._skyline_cache.clear()
+        index = self._table_box.get("index")
+        if index is not None:
+            if len(index) == 0 or index.dimensionality != len(t.values):
+                # Degenerate geometry (table built over an empty or
+                # mismatched partition): drop it and rebuild lazily.
+                self._table_box.pop("index", None)
+            else:
+                index.apply_insert(self._table_point(t), t.probability, t.key)
         if self.tree is not None:
             self.tree.add(t)
 
@@ -533,6 +658,9 @@ class LocalSite:
         self._columns = None
         if self._skyline_cache is not None:
             self._skyline_cache.clear()
+        index = self._table_box.get("index")
+        if index is not None:
+            index.apply_delete(key)
         if self.tree is not None:
             self.tree.remove(t)
         for idx in range(self._q_head, len(self._cands)):
@@ -550,6 +678,12 @@ class LocalSite:
         if t.probability <= 0.0:
             return 0.0
         inner_floor = floor / t.probability if floor > 0.0 else 0.0
+        if self.config.all_probs_table:
+            return t.probability * float(
+                self._ensure_table().dominator_product(
+                    self._table_point(t), exclude_key=t.key
+                )
+            )
         if self.tree is not None:
             return t.probability * self.tree.dominators_product(t, floor=inner_floor)
         if self.config.vectorized:

@@ -483,6 +483,73 @@ class Coordinator:
     assert _run(source, ThreadSharedStateRule()) == []
 
 
+SKY501_BAD_PROCESS_WRITE = """\
+class TablePool:
+    def build(self, stores):
+        def worker(store):
+            self.tables_built += 1
+            return store
+        return list(self._process_pool.map(worker, stores))
+"""
+
+SKY501_BAD_PROCESS_WRITE_UNDER_LOCK = """\
+class TablePool:
+    def build(self, stores):
+        def worker(store):
+            with self._lock:
+                self.latest = store
+            return store
+        return list(self._process_pool.map(worker, stores))
+"""
+
+SKY501_GOOD_PROCESS_PAYLOAD = """\
+class TablePool:
+    def build(self, store):
+        future = self._process_pool.submit(build_payload, store.values)
+        self.payloads += 1
+        return future.result()
+"""
+
+
+def test_sky501_flags_any_self_write_in_process_pool_callables():
+    findings = _run(SKY501_BAD_PROCESS_WRITE, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+    assert "pickled copy" in findings[0].message
+
+
+def test_sky501_process_writes_are_not_excused_by_locks():
+    """Locks don't cross process boundaries — still an error."""
+    findings = _run(SKY501_BAD_PROCESS_WRITE_UNDER_LOCK, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+    assert findings[0].severity == "error"
+
+
+def test_sky501_accepts_module_level_workers_returning_payloads():
+    """The sanctioned shape: ship arguments in, return a payload out.
+
+    The submitted callable is module-level (not resolvable to shared
+    state), and the parent-side bookkeeping write is outside it.
+    """
+    assert _run(SKY501_GOOD_PROCESS_PAYLOAD, ThreadSharedStateRule()) == []
+
+
+def test_sky501_recognises_process_pools_by_constructor_alias():
+    source = """\
+from concurrent.futures import ProcessPoolExecutor
+
+
+class TablePool:
+    def build(self, stores):
+        def worker(store):
+            self.tables_built += 1
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(worker, stores))
+"""
+    findings = _run(source, ThreadSharedStateRule())
+    assert [f.rule for f in findings] == ["SKY501"]
+    assert "pickled copy" in findings[0].message
+
+
 # ----------------------------------------------------------------------
 # SKY103 — replica-accounting
 
@@ -637,5 +704,66 @@ def test_sky503_scoped_to_the_async_modules():
     )
     findings = _run(
         SKY503_BAD_BLOCKING, AsyncioDisciplineRule(), "repro/net/aio.py"
+    )
+    assert [f.rule for f in findings] == ["SKY503", "SKY503"]
+
+
+SKY503_BAD_POOL_JOIN = """\
+class TablePool:
+    async def aclose(self):
+        self._executor.shutdown(wait=True)
+
+    async def drain(self):
+        self._pool.join()
+"""
+
+SKY503_GOOD_SYNC_CLOSE = """\
+import asyncio
+
+
+class TablePool:
+    def close(self):
+        self._executor.shutdown(wait=True)
+
+    async def build_async(self, store):
+        future = self._executor.submit(build_payload, store.values)
+        return await asyncio.wrap_future(future)
+"""
+
+
+def test_sky503_flags_blocking_pool_joins_in_async_def():
+    findings = _run(
+        SKY503_BAD_POOL_JOIN, AsyncioDisciplineRule(), "repro/distributed/workers.py"
+    )
+    assert [f.rule for f in findings] == ["SKY503", "SKY503"]
+    assert "shutdown" in findings[0].message
+    assert "join" in findings[1].message
+
+
+def test_sky503_accepts_sync_teardown_and_wrapped_futures():
+    assert (
+        _run(
+            SKY503_GOOD_SYNC_CLOSE,
+            AsyncioDisciplineRule(),
+            "repro/distributed/workers.py",
+        )
+        == []
+    )
+
+
+def test_sky503_ignores_joins_on_non_executor_receivers():
+    source = """\
+class Service:
+    async def render(self, parts):
+        return ", ".join(parts)
+"""
+    assert (
+        _run(source, AsyncioDisciplineRule(), "repro/distributed/workers.py") == []
+    )
+
+
+def test_sky503_worker_module_in_scope_for_blocking_calls():
+    findings = _run(
+        SKY503_BAD_BLOCKING, AsyncioDisciplineRule(), "repro/distributed/workers.py"
     )
     assert [f.rule for f in findings] == ["SKY503", "SKY503"]

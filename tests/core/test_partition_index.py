@@ -1,0 +1,232 @@
+"""Property tests: the partitioned P_sky table agrees with both kernels.
+
+:class:`~repro.core.partition_index.PartitionIndex` computes the same
+Eq. 9 products as the flat vectorized kernel and the same Eq. 3 P_sky
+values as the scalar reference — on *any* input, including duplicate
+points (every row in one cell), degenerate grids (``cells_per_dim=1``
+puts the whole relation in a single boundary cell, disabling every
+whole-cell shortcut), boundary probabilities (exactly 1.0 and
+near-zero), and after §5.4 updates that dirty and recompute cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import ColumnStore
+from repro.core.partition_index import PartitionIndex
+from repro.core.prob_skyline import all_skyline_probabilities
+from repro.core.tuples import UncertainTuple
+
+from ..conftest import make_random_database
+
+TOL = 1e-9
+
+
+@st.composite
+def databases(draw):
+    """Integer-grid databases (ties guaranteed) with boundary probabilities."""
+    d = draw(st.integers(min_value=1, max_value=4))
+    boundary = st.sampled_from([1.0, 1e-12, 0.5])
+    generic = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.integers(min_value=0, max_value=6).map(float),
+                    min_size=d,
+                    max_size=d,
+                ),
+                st.one_of(generic, boundary),
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    return [UncertainTuple(i, tuple(v), p) for i, (v, p) in enumerate(rows)]
+
+
+def _index_for(db, cells_per_dim=None):
+    store = ColumnStore.from_tuples(db)
+    return store, PartitionIndex.build(store, cells_per_dim=cells_per_dim)
+
+
+def _assert_agrees(db, index, store):
+    """index == vectorized == scalar, row by row."""
+    table = index.all_probabilities()
+    psky = index.p_sky()
+    points = np.asarray(store.values, dtype=np.float64)
+    vectorized = store.dominator_products(
+        points, exclude_keys=[t.key for t in db]
+    )
+    scalar = all_skyline_probabilities(db)
+    for r, t in enumerate(db):
+        assert table[r] == pytest.approx(vectorized[r], abs=TOL), t
+        assert psky[r] == pytest.approx(scalar[t.key], abs=TOL), t
+
+
+class TestAgreement:
+    @given(databases())
+    def test_matches_vectorized_and_scalar(self, db):
+        store, index = _index_for(db)
+        _assert_agrees(db, index, store)
+        index.check_invariants()
+
+    @given(databases())
+    def test_single_cell_grid_matches(self, db):
+        """cells_per_dim=1: one boundary cell, no whole-cell shortcuts."""
+        store, index = _index_for(db, cells_per_dim=1)
+        assert index.cell_count == 1
+        _assert_agrees(db, index, store)
+
+    @given(databases(), st.integers(min_value=2, max_value=5))
+    def test_grid_resolution_is_invisible(self, db, cells):
+        """Any grid resolution computes the identical table."""
+        _, coarse = _index_for(db, cells_per_dim=1)
+        _, fine = _index_for(db, cells_per_dim=cells)
+        np.testing.assert_allclose(
+            coarse.p_sky(), fine.p_sky(), atol=TOL, rtol=0.0
+        )
+
+    def test_duplicate_points_share_nothing_but_coordinates(self):
+        """Equal tuples never dominate each other (need < somewhere)."""
+        db = [UncertainTuple(i, (2.0, 3.0), 0.5) for i in range(6)]
+        store, index = _index_for(db)
+        _assert_agrees(db, index, store)
+        np.testing.assert_allclose(index.all_probabilities(), np.ones(6))
+
+    def test_certain_dominator_zeroes_the_table_below_it(self):
+        db = [
+            UncertainTuple(0, (0.0, 0.0), 1.0),
+            UncertainTuple(1, (1.0, 1.0), 0.7),
+            UncertainTuple(2, (0.0, 2.0), 0.4),
+        ]
+        store, index = _index_for(db)
+        _assert_agrees(db, index, store)
+        table = index.all_probabilities()
+        assert table[0] == 1.0
+        assert table[1] == 0.0
+        assert table[2] == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_threshold_edges_in_p_sky_filter(self, threshold):
+        """Filtering p_sky at any threshold matches the scalar filter."""
+        db = make_random_database(60, 3, seed=8, grid=5)
+        _, index = _index_for(db)
+        psky = index.p_sky()
+        got = {int(index.keys[r]) for r in np.nonzero(psky >= threshold)[0]}
+        exact = all_skyline_probabilities(db)
+        want = {k for k, p in exact.items() if p >= threshold - TOL}
+        tight = {k for k, p in exact.items() if p >= threshold + TOL}
+        assert tight <= got <= want
+
+
+class TestProbes:
+    @given(databases())
+    def test_dominator_product_matches_flat_kernel(self, db):
+        store, index = _index_for(db)
+        rng = np.random.default_rng(3)
+        d = len(db[0].values)
+        for point in rng.uniform(-1.0, 8.0, size=(8, d)):
+            got = index.dominator_product(point)
+            want = store.dominator_product(np.asarray(point))
+            assert got == pytest.approx(want, abs=TOL)
+
+    @given(databases())
+    def test_exclude_key_matches_flat_kernel(self, db):
+        store, index = _index_for(db)
+        for t in db:
+            point = np.asarray(t.values, dtype=np.float64)
+            got = index.dominator_product(point, exclude_key=t.key)
+            want = store.dominator_product(point, exclude_key=t.key)
+            assert got == pytest.approx(want, abs=TOL)
+
+
+class TestUpdates:
+    """§5.4 maintenance invalidates exactly the touched cells."""
+
+    @settings(deadline=None)
+    @given(databases(), st.randoms(use_true_random=False))
+    def test_insert_delete_sequence_matches_fresh_rebuild(self, db, rnd):
+        _, index = _index_for(db)
+        index.refresh()
+        live = {t.key: t for t in db}
+        next_key = len(db)
+        for _ in range(6):
+            if live and rnd.random() < 0.4:
+                victim = rnd.choice(sorted(live))
+                del live[victim]
+                assert index.apply_delete(victim)
+            else:
+                d = index.dimensionality
+                t = UncertainTuple(
+                    next_key,
+                    tuple(float(rnd.randint(-2, 8)) for _ in range(d)),
+                    rnd.random() * 0.99 + 0.01,
+                )
+                live[t.key] = t
+                index.apply_insert(
+                    np.asarray(t.values, dtype=np.float64), t.probability, t.key
+                )
+                next_key += 1
+        index.check_invariants()
+        survivors = [live[k] for k in sorted(live)]
+        exact = all_skyline_probabilities(survivors)
+        psky = index.p_sky()
+        alive_rows = np.nonzero(index.alive)[0]
+        assert {int(index.keys[r]) for r in alive_rows} == set(live)
+        for r in alive_rows:
+            key = int(index.keys[r])
+            assert psky[r] == pytest.approx(exact[key], abs=TOL), key
+
+    def test_updates_only_dirty_affected_cells(self):
+        db = make_random_database(200, 2, seed=11, grid=10)
+        _, index = _index_for(db, cells_per_dim=8)
+        index.refresh()
+        assert index.stale_cells() == 0
+        # A point at the grid's top corner dominates nothing below it in
+        # only a few cells; the rest must stay clean.
+        index.apply_insert(np.array([9.0, 9.0]), 0.5, 10_000)
+        assert 0 < index.stale_cells() < index.cell_count
+        index.refresh()
+        assert index.stale_cells() == 0
+
+    def test_insert_outside_grid_extends_via_clamping(self):
+        db = make_random_database(50, 3, seed=12, grid=4)
+        store, index = _index_for(db)
+        out = UncertainTuple(999, (-5.0, 20.0, 1.0), 0.6)
+        index.apply_insert(np.asarray(out.values, dtype=np.float64), 0.6, 999)
+        exact = all_skyline_probabilities(db + [out])
+        psky = index.p_sky()
+        for r in np.nonzero(index.alive)[0]:
+            assert psky[r] == pytest.approx(exact[int(index.keys[r])], abs=TOL)
+
+    def test_delete_missing_key_is_a_noop(self):
+        db = make_random_database(10, 2, seed=13)
+        _, index = _index_for(db)
+        before = index.p_sky().copy()
+        assert not index.apply_delete(424242)
+        np.testing.assert_array_equal(index.p_sky(), before)
+
+
+class TestPayload:
+    def test_payload_roundtrip_is_bit_identical(self):
+        db = make_random_database(300, 3, seed=21, grid=6)
+        store, index = _index_for(db)
+        index.refresh()
+        clone = PartitionIndex.from_payload(store, index.to_payload())
+        np.testing.assert_array_equal(clone.products, index.products)
+        assert clone.stale_cells() == 0
+        clone.check_invariants()
+
+    def test_payload_grid_mismatch_rejected(self):
+        db = make_random_database(40, 2, seed=22)
+        store, index = _index_for(db)
+        index.refresh()
+        payload = index.to_payload()
+        payload["cells_per_dim"] = int(payload["cells_per_dim"]) + 1
+        with pytest.raises(ValueError):
+            PartitionIndex.from_payload(store, payload)
