@@ -27,22 +27,34 @@ from .framework import (
     analyze_paths,
     run_rules,
 )
-from .reporters import render_json, render_text, summarize
-from .rules import ALL_RULES, rules_by_id
+from .callgraph import Program, ProgramRule
+from .engine import ENGINE_VERSION, RunStats, analyze_project
+from .reporters import render_json, render_sarif, render_text, summarize
+from .rules import ALL_RULES, PROGRAM_RULES, rules_by_id
+from .summaries import ModuleSummary, build_summary
 
 __all__ = [
     "ALL_RULES",
+    "ENGINE_VERSION",
     "BaselineComparison",
     "BaselineEntry",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
+    "PROGRAM_RULES",
+    "Program",
+    "ProgramRule",
     "Project",
     "Rule",
+    "RunStats",
     "Severity",
     "analyze_paths",
+    "analyze_project",
+    "build_summary",
     "compare",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_by_id",
     "run_rules",

@@ -1,9 +1,12 @@
 """The skylint command line: ``python -m repro.analysis``.
 
-Exit status is 0 only when the run is *clean*: no finding outside the
-baseline and no stale baseline entry.  ``--write-baseline`` accepts the
-current findings as the new baseline (justifications must then be
-filled in by hand — the self-check test refuses empty ones).
+Runs the two-phase whole-program analyzer (per-file summaries + module
+rules, then the call-graph SKY6xx rules) with the incremental summary
+cache on by default.  Exit status is 0 only when the run is *clean*: no
+finding outside the baseline and no stale baseline entry.
+``--write-baseline`` accepts the current findings as the new baseline
+(justifications must then be filled in by hand — the self-check test
+refuses empty ones).
 """
 
 from __future__ import annotations
@@ -19,9 +22,15 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
-from .framework import analyze_paths
-from .reporters import render_json, render_text
-from .rules import ALL_RULES
+from .cache import DEFAULT_CACHE_NAME
+from .engine import ENGINE_VERSION, analyze_project
+from .reporters import render_json, render_sarif, render_text
+from .rules import ALL_RULES, PROGRAM_RULES, rules_by_id
+
+#: Directories scanned when no explicit paths are given.  Benchmarks
+#: and examples are protocol clients too — an unbilled RPC or unseeded
+#: workload there corrupts the paper's figures just as surely.
+DEFAULT_SCAN_DIRS = ("src", "benchmarks", "examples")
 
 
 def _repo_root(start: Path) -> Path:
@@ -35,19 +44,20 @@ def _repo_root(start: Path) -> Path:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="skylint: repo-specific static analysis "
+        description="skylint: repo-specific whole-program static analysis "
         "(protocol accounting, determinism, probability safety, "
-        "RPC discipline, thread-shared state)",
+        "RPC discipline, event-loop and lock discipline)",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=None,
-        help="files or directories to analyse (default: src/ under the repo root)",
+        help="files or directories to analyse "
+        f"(default: {'/, '.join(DEFAULT_SCAN_DIRS)}/ under the repo root)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -77,14 +87,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="SKY###",
+        default=None,
+        help="print one rule's full description (and what supersedes "
+        "or is superseded by it) and exit",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help="summary cache file "
+        f"(default: <repo-root>/{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the summary cache (cold run)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print phase timings and cache hit counts to stderr",
+    )
     return parser
+
+
+def _explain(rule_id: str) -> int:
+    registry = rules_by_id()
+    rule = registry.get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(sorted(registry))
+        print(f"unknown rule {rule_id!r}; known rules: {known}", file=sys.stderr)
+        return 2
+    kind = "whole-program" if rule in PROGRAM_RULES else "per-module"
+    print(f"{rule.id}  {rule.name}  [{rule.severity}]  ({kind})")
+    print()
+    print(rule.description.strip())
+    if rule.supersedes:
+        print()
+        print(
+            f"Supersedes {rule.supersedes}: when this rule runs, "
+            f"{rule.supersedes} steps back to avoid double-reporting."
+        )
+    if rule.superseded_by:
+        print()
+        print(
+            f"Superseded by {rule.superseded_by} in whole-program runs; "
+            "this rule remains the per-file fallback."
+        )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.explain:
+        return _explain(args.explain)
+
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in [*ALL_RULES, *PROGRAM_RULES]:
             print(f"{rule.id}  {rule.name}  [{rule.severity}]")
             print(f"    {rule.description.strip()}")
         return 0
@@ -93,10 +156,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.paths:
         paths: List[Path] = [Path(p) for p in args.paths]
     else:
-        src = root / "src"
-        paths = [src if src.is_dir() else root]
+        paths = [root / d for d in DEFAULT_SCAN_DIRS if (root / d).is_dir()]
+        if not paths:
+            paths = [root]
 
-    findings = analyze_paths(paths, ALL_RULES, root=root)
+    cache_path: Optional[Path]
+    if args.no_cache:
+        cache_path = None
+    elif args.cache:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = root / DEFAULT_CACHE_NAME
+
+    findings, stats = analyze_project(
+        paths, ALL_RULES, PROGRAM_RULES, root=root, cache_path=cache_path
+    )
+    if args.stats:
+        print(stats.render(), file=sys.stderr)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
@@ -112,10 +188,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     baseline = [] if args.no_baseline else load_baseline(baseline_path)
     comparison = compare(findings, baseline)
 
+    rules = [*ALL_RULES, *PROGRAM_RULES]
     if args.format == "json":
-        print(render_json(comparison, ALL_RULES))
+        print(render_json(comparison, rules))
+    elif args.format == "sarif":
+        print(render_sarif(comparison, rules, engine_version=ENGINE_VERSION))
     else:
-        print(render_text(comparison, ALL_RULES, show_matched=args.show_baselined))
+        print(render_text(comparison, rules, show_matched=args.show_baselined))
     return 0 if comparison.clean else 1
 
 

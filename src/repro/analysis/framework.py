@@ -40,6 +40,7 @@ __all__ = [
     "Rule",
     "ModuleContext",
     "Project",
+    "module_findings",
     "run_rules",
     "analyze_paths",
     "dotted_name",
@@ -97,6 +98,19 @@ class Finding:
             "context": self.context,
             "snippet": self.snippet,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            column=int(data["column"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            context=str(data["context"]),
+            snippet=str(data["snippet"]),
+        )
 
 
 _SUPPRESS_RE = re.compile(
@@ -200,12 +214,31 @@ class ModuleContext:
 
 
 class Project:
-    """Cross-module facts shared by every rule in one run."""
+    """Cross-module facts shared by every rule in one run.
 
-    def __init__(self, modules: Sequence[ModuleContext]) -> None:
+    ``superseding`` names the whole-program rules active in this run:
+    a module rule whose approximation a program rule replaces (SKY101
+    under SKY602, SKY503's blocking checks under SKY601) consults it
+    and steps back, so per-file runs keep the fallback behaviour while
+    whole-program runs never double-report.
+
+    ``class_bases`` may be injected pre-built (the incremental engine
+    derives it from cached summaries without re-parsing files); classes
+    found in ``modules`` are merged on top.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[ModuleContext],
+        superseding: Iterable[str] = (),
+        class_bases: Optional[Dict[str, Set[str]]] = None,
+    ) -> None:
         self.modules = list(modules)
+        self.superseding: Set[str] = set(superseding)
         #: class name -> set of textual base-class names, across all files.
-        self.class_bases: Dict[str, Set[str]] = {}
+        self.class_bases: Dict[str, Set[str]] = {
+            name: set(bases) for name, bases in (class_bases or {}).items()
+        }
         for module in self.modules:
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.ClassDef):
@@ -239,6 +272,11 @@ class Rule:
     name: str = "abstract"
     severity: str = Severity.WARNING
     description: str = ""
+    #: id of the whole-program rule that replaces this one when active
+    #: (the module rule then acts as a per-file fallback only).
+    superseded_by: Optional[str] = None
+    #: id of the module rule this (program) rule replaces, if any.
+    supersedes: Optional[str] = None
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
         raise NotImplementedError
@@ -277,42 +315,54 @@ def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
             yield path
 
 
-def run_rules(
-    modules: Sequence[ModuleContext],
+def module_findings(
+    module: ModuleContext,
     rules: Sequence[Rule],
+    project: Project,
 ) -> List[Finding]:
-    """Run every rule over every module; returns findings, suppressions honoured.
+    """Run module rules over one file: findings, suppressions honoured.
 
     A ``# skylint: ignore[...]`` comment with no reason text is itself
     reported (SKY000): a suppression must justify the invariant it waives.
     """
-    project = Project(modules)
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module, project):
+            if module.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    for lineno, (ids, reason) in sorted(module.suppressions.items()):
+        if not reason:
+            findings.append(
+                Finding(
+                    rule="SKY000",
+                    severity=Severity.ERROR,
+                    path=module.relpath,
+                    line=lineno,
+                    column=1,
+                    message=(
+                        "skylint suppression without a reason: say why "
+                        f"{sorted(ids)} may be ignored here"
+                    ),
+                    context="<module>",
+                    snippet=module.source_line(lineno),
+                )
+            )
+    return findings
+
+
+def run_rules(
+    modules: Sequence[ModuleContext],
+    rules: Sequence[Rule],
+    superseding: Iterable[str] = (),
+) -> List[Finding]:
+    """Run every rule over every module (the non-incremental driver)."""
+    project = Project(modules, superseding=superseding)
     findings: List[Finding] = []
     for module in modules:
-        for rule in rules:
-            if not rule.applies_to(module):
-                continue
-            for finding in rule.check(module, project):
-                if module.is_suppressed(finding.rule, finding.line):
-                    continue
-                findings.append(finding)
-        for lineno, (ids, reason) in sorted(module.suppressions.items()):
-            if not reason:
-                findings.append(
-                    Finding(
-                        rule="SKY000",
-                        severity=Severity.ERROR,
-                        path=module.relpath,
-                        line=lineno,
-                        column=1,
-                        message=(
-                            "skylint suppression without a reason: say why "
-                            f"{sorted(ids)} may be ignored here"
-                        ),
-                        context="<module>",
-                        snippet=module.source_line(lineno),
-                    )
-                )
+        findings.extend(module_findings(module, rules, project))
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
     return findings
 

@@ -1,4 +1,4 @@
-"""Text and JSON rendering of a skylint run."""
+"""Text, JSON, and SARIF rendering of a skylint run."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence
 from .baseline import BaselineComparison
 from .framework import Finding, Rule, Severity
 
-__all__ = ["render_text", "render_json", "summarize"]
+__all__ = ["render_text", "render_json", "render_sarif", "summarize"]
 
 
 def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
@@ -85,6 +85,87 @@ def render_json(
                 "description": rule.description.strip(),
             }
             for rule in rules
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: SARIF uses error/warning/note levels; skylint severities map directly.
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def render_sarif(
+    comparison: BaselineComparison,
+    rules: Sequence[Rule],
+    engine_version: str = "2.0",
+) -> str:
+    """SARIF 2.1.0 report (GitHub code-scanning upload format).
+
+    Only *new* findings become results — baselined ones are the repo's
+    accepted debt and stale entries are a baseline-hygiene problem the
+    text/JSON reporters surface; neither belongs in a code-scanning
+    alert stream.
+    """
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    sarif_rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description.strip()},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL.get(rule.severity, "warning")
+            },
+        }
+        for rule in rules
+    ]
+    results = []
+    for finding in comparison.new:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVEL.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": finding.context}
+                    ],
+                }
+            ],
+            # The line-free fingerprint keeps alerts stable across
+            # unrelated edits, mirroring the baseline machinery.
+            "partialFingerprints": {
+                "skylint/v1": "|".join(finding.fingerprint())
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "skylint",
+                        "version": engine_version,
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2)

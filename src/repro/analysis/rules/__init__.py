@@ -1,23 +1,36 @@
 """The skylint rule registry.
 
 Every rule family lives in its own module; :data:`ALL_RULES` is the
-canonical ordered registry the CLI and the self-check tests run.
+canonical ordered registry of per-module rules and
+:data:`PROGRAM_RULES` the whole-program (SKY6xx) family.  The CLI and
+the self-check tests run both; per-file callers (editor integrations,
+unit fixtures) may run :data:`ALL_RULES` alone, in which case the
+superseded module rules (SKY101, SKY503's blocking checks) act as
+single-function fallbacks.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from ..callgraph import ProgramRule
 from ..framework import Rule
 from .asyncio_discipline import AsyncioDisciplineRule
 from .concurrency import ThreadSharedStateRule
 from .determinism import UnseededRandomRule, WallClockRule
+from .interprocedural import (
+    InterproceduralBillingRule,
+    LedgerSymmetryRule,
+    LockDisciplineRule,
+    SeedProvenanceRule,
+    TransitiveBlockingRule,
+)
 from .probability import FloatEqualityRule, RawNonOccurrenceProductRule
 from .protocol import EmissionDisciplineRule, ProtocolAccountingRule
 from .replica import ReplicaAccountingRule
 from .rpc import RpcDisciplineRule
 
-__all__ = ["ALL_RULES", "rules_by_id"]
+__all__ = ["ALL_RULES", "PROGRAM_RULES", "rules_by_id"]
 
 ALL_RULES: List[Rule] = [
     ProtocolAccountingRule(),
@@ -32,6 +45,16 @@ ALL_RULES: List[Rule] = [
     AsyncioDisciplineRule(),
 ]
 
+PROGRAM_RULES: List[ProgramRule] = [
+    TransitiveBlockingRule(),
+    InterproceduralBillingRule(),
+    LedgerSymmetryRule(),
+    SeedProvenanceRule(),
+    LockDisciplineRule(),
+]
+
 
 def rules_by_id() -> Dict[str, Rule]:
-    return {rule.id: rule for rule in ALL_RULES}
+    rules: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+    rules.update({rule.id: rule for rule in PROGRAM_RULES})
+    return rules

@@ -65,8 +65,11 @@ class AsyncioDisciplineRule(Rule):
         "in-flight session), no blocking pool joins/shutdowns in "
         "`async def` (teardown belongs in sync close paths), and no "
         "fire-and-forget create_task (a dropped reference loses the "
-        "task and swallows its exceptions)."
+        "task and swallows its exceptions). The blocking and pool-join "
+        "checks are the per-file fallback for SKY601, which follows "
+        "calls through sync helpers."
     )
+    superseded_by = "SKY601"
 
     def applies_to(self, module: ModuleContext) -> bool:
         return (
@@ -76,10 +79,26 @@ class AsyncioDisciplineRule(Rule):
         )
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        # SKY601 reports every blocking/pool-join case below *plus* the
+        # transitive ones this rule's single-function view cannot see;
+        # under it, only the fire-and-forget check (which SKY601 does
+        # not cover) remains ours.
+        transitive = "SKY601" in project.superseding
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
+            if transitive:
+                if name.split(".")[-1] in _SPAWNERS and self._is_dropped(module, node):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"fire-and-forget `{name}(...)`: nothing holds the "
+                        "task, so the loop may garbage-collect it mid-flight "
+                        "and its exceptions vanish — store the handle and "
+                        "await (or cancel) it on close",
+                    )
+                continue
             if name in _BLOCKING and self._in_async_def(module, node):
                 yield module.finding(
                     self,

@@ -31,6 +31,11 @@ __all__ = ["UnseededRandomRule", "WallClockRule"]
 #: Paths where nondeterminism is the point, not a bug.
 EXEMPT_PATH_PARTS = ("bench/", "/cli.py", "/__main__.py", "net/sockets.py")
 
+#: Additional wall-clock-only exemptions: benchmark and example drivers
+#: time real runs (SKY202 would flag their wall-clock stamps), but their
+#: *workloads* must still replay from explicit seeds (SKY201 stays on).
+WALL_CLOCK_EXEMPT_PARTS = EXEMPT_PATH_PARTS + ("benchmarks/", "examples/")
+
 #: ``random.<attr>`` calls that are fine: explicit-seed construction and
 #: state plumbing.  Everything else on the module object draws from the
 #: hidden process-global generator.
@@ -215,7 +220,8 @@ class WallClockRule(Rule):
     )
 
     def applies_to(self, module: ModuleContext) -> bool:
-        return not _path_exempt(module)
+        path = "/" + module.relpath
+        return not any(part in path for part in WALL_CLOCK_EXEMPT_PARTS)
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -104,8 +104,11 @@ class ProtocolAccountingRule(Rule):
     description = (
         "Site RPC without NetworkStats accounting in the same function: "
         "every message must hit the Eq. 10 / Corollary 1 bandwidth books, "
-        "or the paper's central metric under-counts."
+        "or the paper's central metric under-counts. Fallback for "
+        "per-file runs; whole-program runs use SKY602's path-sensitive "
+        "version instead."
     )
+    superseded_by = "SKY602"
 
     def applies_to(self, module: ModuleContext) -> bool:
         return "distributed/" in module.relpath and not module.relpath.endswith(
@@ -113,6 +116,11 @@ class ProtocolAccountingRule(Rule):
         )
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        if "SKY602" in project.superseding:
+            # The interprocedural billing rule subsumes this
+            # same-function approximation (and legalises the
+            # billed-in-a-wrapper pattern it cannot see).
+            return
         # Group every call by its outermost enclosing function so that
         # RPC thunks defined inline (lambdas, nested `probe` helpers)
         # are judged against the function that actually runs them.

@@ -513,7 +513,9 @@ class Coordinator:
             global_probability *= reply.factor
         return global_probability
 
-    def broadcast_probes(self, quaternion: Quaternion):
+    def broadcast_probes(
+        self, quaternion: Quaternion
+    ) -> List[Tuple[int, ProbeReply]]:
         """Deliver one feedback tuple to every other live site; yield replies.
 
         Returns ``(site_id, ProbeReply)`` pairs and does all the
@@ -579,7 +581,9 @@ class Coordinator:
             probabilities[index] *= factor
         return probabilities
 
-    def broadcast_probes_batch(self, quaternions: Sequence[Quaternion]):
+    def broadcast_probes_batch(
+        self, quaternions: Sequence[Quaternion]
+    ) -> List[Tuple[int, int, float]]:
         """Deliver a batch of feedback tuples; yield per-tuple factors.
 
         Returns ``(site_id, batch_index, factor)`` triples.  Each live
@@ -621,7 +625,7 @@ class Coordinator:
             )
             total_tuples += len(indices)
 
-        def probe(entry):
+        def probe(entry: Tuple[SiteEndpoint, List[int]]) -> List[float]:
             site, indices = entry
             ts = [quaternions[i].tuple for i in indices]
             if len(ts) == 1:
@@ -1116,9 +1120,23 @@ class Coordinator:
         Idempotent; :meth:`run` calls it on every exit path, but a
         caller driving the protocol building blocks directly should
         close explicitly (or rely on GC of the daemonless pool).
+        Joins the pool's worker threads — event-loop code must use
+        :meth:`close_nowait` instead.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def close_nowait(self) -> None:
+        """Detach the broadcast pool without joining its threads.
+
+        The event-loop-safe close: an aborted serving-layer session
+        lets in-flight broadcasts drain in the background instead of
+        stalling every other session on the loop.  A later
+        :meth:`close` then no-ops.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
             self._pool = None
 
     def _broadcast_pool(self) -> ThreadPoolExecutor:

@@ -214,7 +214,12 @@ class RegionCoordinator:
             self._pull_from(self._site_by_id(origin))
         return pruned
 
-    def _lan(self, kind: MessageKind, to_site=None, from_site=None) -> None:
+    def _lan(
+        self,
+        kind: MessageKind,
+        to_site: Optional[SiteEndpoint] = None,
+        from_site: Optional[SiteEndpoint] = None,
+    ) -> None:
         if to_site is not None:
             self.local_stats.record(
                 Message.bearing(kind, f"region-{self.site_id}",
@@ -231,7 +236,7 @@ def build_regions(
     partitions: Sequence[Sequence[UncertainTuple]],
     region_size: int,
     preference: Optional[Preference] = None,
-    site_config=None,
+    site_config: Optional["SiteConfig"] = None,
 ) -> List[RegionCoordinator]:
     """Group flat partitions into regions of ``region_size`` sites each."""
     from .query import build_sites

@@ -89,7 +89,7 @@ class DistributedStreamSkyline:
         return len(self._windows)
 
     @property
-    def stats(self):
+    def stats(self) -> NetworkStats:
         """Maintenance-traffic accounting (tuple-exact, like the paper's)."""
         return self._maintainer.stats
 

@@ -139,14 +139,20 @@ class QuerySession:
         return finished
 
     def abort(self, reason: str) -> None:
-        """Stop a session early (admission kill, budget exhaustion)."""
+        """Stop a session early (admission kill, budget exhaustion).
+
+        Runs on the service's event loop, so the coordinator's pool is
+        released without joining its threads: in-flight broadcasts
+        drain in the background instead of stalling every other
+        session.  The generator's own ``finally: close()`` then no-ops
+        (the pool is already detached).
+        """
         if self.done:
             return
+        self.coordinator.close_nowait()
         if self._steps is not None:
-            self._steps.close()  # runs the generator's finally: pool shutdown
+            self._steps.close()
             self._steps = None
-        else:
-            self.coordinator.close()
         self.abort_reason = reason
         self.state = SessionState.ABORTED
         self.finished_at = time.perf_counter()

@@ -1,0 +1,597 @@
+"""Good/bad fixture pairs for the whole-program (SKY6xx) rule family.
+
+Each fixture is a tiny multi-file project: sources are linked into a
+:class:`~repro.analysis.callgraph.Program` exactly the way phase 2 of
+the engine does it, so these tests pin the *call-graph* semantics —
+resolution through ``self`` methods, attribute types, imports, the
+generator boundary — not just the per-rule predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.callgraph import Program, ProgramRule
+from repro.analysis.framework import Finding, ModuleContext, run_rules
+from repro.analysis.rules import PROGRAM_RULES
+from repro.analysis.rules.asyncio_discipline import AsyncioDisciplineRule
+from repro.analysis.rules.interprocedural import (
+    InterproceduralBillingRule,
+    LedgerSymmetryRule,
+    LockDisciplineRule,
+    SeedProvenanceRule,
+    TransitiveBlockingRule,
+)
+from repro.analysis.rules.protocol import ProtocolAccountingRule
+from repro.analysis.summaries import build_summary
+
+
+def _program(files: Dict[str, str]) -> Program:
+    summaries = [
+        build_summary(ModuleContext(relpath, source))
+        for relpath, source in files.items()
+    ]
+    return Program(summaries)
+
+
+def _check(files: Dict[str, str], rules: Sequence[ProgramRule]) -> List[Finding]:
+    program = _program(files)
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check_program(program)
+        if not program.is_suppressed(finding.path, finding.rule, finding.line)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SKY601 — async-transitive-blocking
+
+
+SKY601_BAD_TRANSITIVE = {
+    "repro/serve/fake.py": """\
+import time
+
+
+class Service:
+    async def step(self):
+        self._drain()
+
+    def _drain(self):
+        self._flush()
+
+    def _flush(self):
+        time.sleep(0.1)
+"""
+}
+
+SKY601_GOOD_GENERATOR_BOUNDARY = {
+    "repro/serve/fake.py": """\
+import time
+
+
+class Service:
+    async def poll(self):
+        self._advance()
+
+    def _advance(self):
+        return self.steps()
+
+    def steps(self):
+        time.sleep(0.1)
+        yield 1
+"""
+}
+
+
+def test_sky601_follows_blocking_through_sync_helpers():
+    findings = _check(SKY601_BAD_TRANSITIVE, [TransitiveBlockingRule()])
+    assert [f.rule for f in findings] == ["SKY601"]
+    assert "Service._drain -> Service._flush" in findings[0].message
+    assert "time.sleep" in findings[0].message
+    # Anchored at the async call site, not the deep blocking line.
+    assert findings[0].context == "Service.step"
+
+
+def test_sky601_treats_calling_a_generator_as_a_boundary():
+    # Calling a generator function executes none of its body, so the
+    # sleep inside `steps` is not reachable from `poll`.
+    assert _check(SKY601_GOOD_GENERATOR_BOUNDARY, [TransitiveBlockingRule()]) == []
+
+
+def test_sky601_transitive_pool_join_flagged_and_nowait_accepted():
+    bad = {
+        "repro/serve/fake.py": """\
+class Service:
+    async def abort(self):
+        self._release()
+
+    def _release(self):
+        self._pool.shutdown(wait=True)
+"""
+    }
+    good = {
+        "repro/serve/fake.py": """\
+class Service:
+    async def abort(self):
+        self._release()
+
+    def _release(self):
+        self._pool.shutdown(wait=False)
+"""
+    }
+    findings = _check(bad, [TransitiveBlockingRule()])
+    assert [f.rule for f in findings] == ["SKY601"]
+    assert "pool-join" in findings[0].message
+    assert _check(good, [TransitiveBlockingRule()]) == []
+
+
+_SYNC_ENDPOINT = """\
+class SiteEndpoint:
+    def prepare(self, threshold):
+        return 0
+"""
+
+
+def test_sky601_flags_sync_site_endpoint_calls_in_async_defs():
+    files = {
+        "repro/net/transport.py": _SYNC_ENDPOINT,
+        "repro/net/aio_fake.py": """\
+from repro.net.transport import SiteEndpoint
+
+
+class Adapter:
+    def __init__(self, inner: SiteEndpoint) -> None:
+        self.inner = inner
+
+    async def prepare(self, threshold):
+        return self.inner.prepare(threshold)
+""",
+    }
+    findings = _check(files, [TransitiveBlockingRule()])
+    assert [f.rule for f in findings] == ["SKY601"]
+    assert "sync" in findings[0].message and "SiteEndpoint" in findings[0].message
+
+
+def test_sky601_respects_reasoned_suppressions():
+    files = {
+        "repro/net/transport.py": _SYNC_ENDPOINT,
+        "repro/net/aio_fake.py": """\
+from repro.net.transport import SiteEndpoint
+
+
+class Adapter:
+    def __init__(self, inner: SiteEndpoint) -> None:
+        self.inner = inner
+
+    async def prepare(self, threshold):
+        return self.inner.prepare(threshold)  # skylint: ignore[SKY601] in-process compute by design
+""",
+    }
+    assert _check(files, [TransitiveBlockingRule()]) == []
+
+
+# SKY601 must reproduce everything SKY503 caught on its old scope
+# (direct blocking calls and pool joins in async defs).
+
+SKY503_BAD_BLOCKING = """\
+import socket
+import time
+
+
+class Service:
+    async def step(self):
+        time.sleep(0.1)
+        conn = socket.create_connection(("site-0", 9000))
+        return conn
+"""
+
+SKY503_BAD_POOL_JOIN = """\
+class TablePool:
+    async def aclose(self):
+        self._executor.shutdown(wait=True)
+
+    async def drain(self):
+        self._pool.join()
+"""
+
+
+def test_sky601_reproduces_sky503_blocking_findings():
+    old = run_rules(
+        [ModuleContext("repro/serve/fake.py", SKY503_BAD_BLOCKING)],
+        [AsyncioDisciplineRule()],
+    )
+    new = _check(
+        {"repro/serve/fake.py": SKY503_BAD_BLOCKING}, [TransitiveBlockingRule()]
+    )
+    assert [(f.path, f.line) for f in new] == [(f.path, f.line) for f in old]
+
+
+def test_sky601_reproduces_sky503_pool_join_findings():
+    old = run_rules(
+        [ModuleContext("repro/distributed/workers.py", SKY503_BAD_POOL_JOIN)],
+        [AsyncioDisciplineRule()],
+    )
+    new = _check(
+        {"repro/distributed/workers.py": SKY503_BAD_POOL_JOIN},
+        [TransitiveBlockingRule()],
+    )
+    assert [(f.path, f.line) for f in new] == [(f.path, f.line) for f in old]
+
+
+def test_sky503_steps_back_to_fire_and_forget_only_under_sky601():
+    source = """\
+import asyncio
+import time
+
+
+class Service:
+    async def step(self):
+        time.sleep(0.1)
+        asyncio.create_task(self._scheduler())
+"""
+    modules = [ModuleContext("repro/serve/fake.py", source)]
+    alone = run_rules(modules, [AsyncioDisciplineRule()])
+    assert sorted({f.rule for f in alone}) == ["SKY503"]
+    assert len(alone) == 2  # blocking + fire-and-forget
+    superseded = run_rules(
+        modules, [AsyncioDisciplineRule()], superseding={"SKY601"}
+    )
+    assert len(superseded) == 1
+    assert "fire-and-forget" in superseded[0].message
+
+
+# ----------------------------------------------------------------------
+# SKY602 — rpc-billing-paths
+
+
+SKY602_GOOD_WRAPPER_TWO_UP = {
+    "repro/distributed/fake.py": """\
+class Region:
+    def entry(self, site):
+        self._account("PREPARE")
+        self.middle(site)
+
+    def middle(self, site):
+        self.leaf(site)
+
+    def leaf(self, site):
+        return site.prepare(0.5)
+
+    def _account(self, kind):
+        self.stats.record(kind)
+"""
+}
+
+SKY602_BAD_UNBILLED = {
+    "repro/distributed/fake.py": """\
+class Region:
+    def entry(self, site):
+        self.leaf(site)
+
+    def leaf(self, site):
+        return site.prepare(0.5)
+"""
+}
+
+SKY602_BAD_DOUBLE = {
+    "repro/distributed/fake.py": """\
+class Region:
+    def entry(self, site):
+        self._account("PREPARE")
+        self.leaf(site)
+
+    def leaf(self, site):
+        self.stats.record("PREPARE")
+        return site.prepare(0.5)
+
+    def _account(self, kind):
+        self.stats.record(kind)
+"""
+}
+
+
+def test_sky602_accepts_billing_in_a_wrapper_two_calls_up():
+    assert _check(SKY602_GOOD_WRAPPER_TWO_UP, [InterproceduralBillingRule()]) == []
+
+
+def test_sky602_flags_rpc_billed_nowhere_on_the_path():
+    findings = _check(SKY602_BAD_UNBILLED, [InterproceduralBillingRule()])
+    assert [f.rule for f in findings] == ["SKY602"]
+    assert "site.prepare" in findings[0].message
+    assert "Region.entry" in findings[0].message  # names the unbilled root
+
+
+def test_sky602_flags_double_billing_through_a_wrapper():
+    findings = _check(SKY602_BAD_DOUBLE, [InterproceduralBillingRule()])
+    assert [f.rule for f in findings] == ["SKY602"]
+    assert "twice" in findings[0].message
+    assert "Region.entry" in findings[0].message
+
+
+def test_sky602_scope_excludes_the_site_module_and_core():
+    for relpath in ("repro/distributed/site.py", "repro/core/fake.py"):
+        files = {relpath: SKY602_BAD_UNBILLED["repro/distributed/fake.py"]}
+        assert _check(files, [InterproceduralBillingRule()]) == []
+
+
+def test_sky101_steps_back_under_sky602():
+    source = SKY602_BAD_UNBILLED["repro/distributed/fake.py"]
+    modules = [ModuleContext("repro/distributed/fake.py", source)]
+    alone = run_rules(modules, [ProtocolAccountingRule()])
+    assert [f.rule for f in alone] == ["SKY101"]
+    assert run_rules(modules, [ProtocolAccountingRule()], superseding={"SKY602"}) == []
+
+
+# ----------------------------------------------------------------------
+# SKY603 — message-kind-ledger
+
+
+_MESSAGE_MODULE = """\
+import enum
+
+
+class MessageKind(enum.Enum):
+    PREPARE = "prepare"
+    RESULT = "result"
+"""
+
+
+def test_sky603_accepts_kinds_billed_from_their_rpc_sites():
+    files = {
+        "repro/net/message.py": _MESSAGE_MODULE,
+        "repro/distributed/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Region:
+    def pull(self, site):
+        self.stats.record(MessageKind.PREPARE, "server", "site-0")
+        self.stats.record(MessageKind.RESULT, "server", "client")
+        return site.prepare(0.5)
+""",
+    }
+    assert _check(files, [LedgerSymmetryRule()]) == []
+
+
+def test_sky603_flags_a_kind_nothing_ever_bills():
+    files = {
+        "repro/net/message.py": _MESSAGE_MODULE,
+        "repro/distributed/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Region:
+    def pull(self, site):
+        self.stats.record(MessageKind.PREPARE, "server", "site-0")
+        return site.prepare(0.5)
+""",
+    }
+    findings = _check(files, [LedgerSymmetryRule()])
+    assert [f.rule for f in findings] == ["SKY603"]
+    assert "RESULT" in findings[0].message
+    assert findings[0].path == "repro/net/message.py"
+
+
+def test_sky603_flags_a_kind_billed_away_from_its_rpc():
+    files = {
+        "repro/net/message.py": _MESSAGE_MODULE,
+        "repro/distributed/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Region:
+    def pull(self, site):
+        self.stats.record(MessageKind.PREPARE, "server", "site-0")
+        self.stats.record(MessageKind.RESULT, "server", "client")
+        return site.pop_representative()
+""",
+    }
+    findings = _check(files, [LedgerSymmetryRule()])
+    assert [f.rule for f in findings] == ["SKY603"]
+    assert "PREPARE" in findings[0].message
+
+
+def test_sky603_attributes_bills_in_helpers_to_their_callers():
+    # The repo's `_tuple_message` idiom: the bill sits in a pure helper,
+    # the RPC in its caller — the ledger entry still matches.
+    files = {
+        "repro/net/message.py": _MESSAGE_MODULE,
+        "repro/distributed/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Region:
+    def pull(self, site):
+        self._account()
+        self.stats.record(MessageKind.RESULT, "server", "client")
+        return site.prepare(0.5)
+
+    def _account(self):
+        self.stats.record(MessageKind.PREPARE, "server", "site-0")
+""",
+    }
+    assert _check(files, [LedgerSymmetryRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# SKY604 — seed-provenance
+
+
+_PROTOCOL_CONSUMER = """\
+def run_query(rng):
+    return rng.random()
+"""
+
+
+def test_sky604_flags_unseeded_rng_flowing_into_protocol_code():
+    files = {
+        "repro/distributed/fake.py": _PROTOCOL_CONSUMER,
+        "bench/driver.py": """\
+import random
+
+from repro.distributed.fake import run_query
+
+
+def main():
+    rng = random.Random()
+    return run_query(rng)
+""",
+    }
+    findings = _check(files, [SeedProvenanceRule()])
+    assert [f.rule for f in findings] == ["SKY604"]
+    assert "unseeded" in findings[0].message
+    assert findings[0].path == "bench/driver.py"  # anchored at the ctor
+
+
+def test_sky604_flags_wall_clock_seeds():
+    files = {
+        "repro/distributed/fake.py": _PROTOCOL_CONSUMER,
+        "bench/driver.py": """\
+import random
+import time
+
+from repro.distributed.fake import run_query
+
+
+def main():
+    rng = random.Random(time.time())
+    return run_query(rng)
+""",
+    }
+    findings = _check(files, [SeedProvenanceRule()])
+    assert [f.rule for f in findings] == ["SKY604"]
+    assert "wall-clock-seeded" in findings[0].message
+
+
+def test_sky604_accepts_seeded_generators_and_local_unseeded_ones():
+    seeded = {
+        "repro/distributed/fake.py": _PROTOCOL_CONSUMER,
+        "bench/driver.py": """\
+import random
+
+from repro.distributed.fake import run_query
+
+
+def main():
+    rng = random.Random(1234)
+    return run_query(rng)
+""",
+    }
+    local_only = {
+        "bench/driver.py": """\
+import random
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def main():
+    rng = random.Random()
+    return jitter(rng)
+""",
+    }
+    assert _check(seeded, [SeedProvenanceRule()]) == []
+    assert _check(local_only, [SeedProvenanceRule()]) == []
+
+
+def test_sky604_follows_returns_into_protocol_callers():
+    files = {
+        "bench/factory.py": """\
+import random
+
+
+def make_rng():
+    return random.Random()
+""",
+        "repro/serve/fake.py": """\
+from bench.factory import make_rng
+
+
+class Service:
+    def start(self):
+        self.rng = make_rng()
+""",
+    }
+    findings = _check(files, [SeedProvenanceRule()])
+    assert [f.rule for f in findings] == ["SKY604"]
+    assert findings[0].path == "bench/factory.py"
+
+
+# ----------------------------------------------------------------------
+# SKY605 — lock-discipline
+
+
+def test_sky605_flags_an_unguarded_write_to_guarded_state():
+    files = {
+        "repro/distributed/fake.py": """\
+class Books:
+    def __init__(self):
+        self.count = 0
+
+    def hit(self):
+        with self._state_lock:
+            self.count += 1
+
+    def race(self):
+        self.count += 1
+""",
+    }
+    findings = _check(files, [LockDisciplineRule()])
+    assert [f.rule for f in findings] == ["SKY605"]
+    assert "Books.race" in findings[0].message
+    assert findings[0].line == 10
+
+
+def test_sky605_accepts_uniformly_guarded_writes_and_init():
+    files = {
+        "repro/distributed/fake.py": """\
+class Books:
+    def __init__(self):
+        self.count = 0
+
+    def hit(self):
+        with self._state_lock:
+            self.count += 1
+
+    def miss(self):
+        with self._state_lock:
+            self.count -= 1
+""",
+    }
+    assert _check(files, [LockDisciplineRule()]) == []
+
+
+def test_sky605_distinguishes_full_attribute_paths():
+    # Guarding `self.stats.sites_lost` says nothing about `self.stats.rounds`.
+    files = {
+        "repro/distributed/fake.py": """\
+class Books:
+    def hit(self):
+        with self._state_lock:
+            self.stats.sites_lost += 1
+
+    def other(self):
+        self.stats.rounds += 1
+""",
+    }
+    assert _check(files, [LockDisciplineRule()]) == []
+
+
+# ----------------------------------------------------------------------
+# registry sanity
+
+
+def test_program_rules_cover_sky601_through_sky605():
+    assert [rule.id for rule in PROGRAM_RULES] == [
+        "SKY601",
+        "SKY602",
+        "SKY603",
+        "SKY604",
+        "SKY605",
+    ]
+    for rule in PROGRAM_RULES:
+        assert rule.description.strip()

@@ -12,8 +12,9 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, compare, load_baseline
+from repro.analysis.engine import analyze_project
 from repro.analysis.framework import ModuleContext, run_rules
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import ALL_RULES, PROGRAM_RULES
 
 
 def _repo_root() -> Path:
@@ -43,6 +44,31 @@ def test_src_matches_the_committed_baseline(modules):
         "New findings (fix them, or baseline with --write-baseline and a "
         "justification):\n  " + "\n  ".join(new or ["<none>"]) + "\n"
         "Stale baseline entries (delete them):\n  " + "\n  ".join(stale or ["<none>"])
+    )
+
+
+def test_whole_program_pass_is_clean_over_the_default_scope():
+    """The CI gate proper: both phases over src/ + benchmarks/ + examples/.
+
+    Runs without a cache so the result is a pure function of the
+    sources; the superseding machinery means SKY101/SKY503's blocking
+    checks step back and SKY601/SKY602 take over here.
+    """
+    root = _repo_root()
+    paths = [
+        root / d for d in ("src", "benchmarks", "examples") if (root / d).is_dir()
+    ]
+    assert paths, "no default scan directories found"
+    findings, stats = analyze_project(
+        paths, ALL_RULES, PROGRAM_RULES, root=root, cache_path=None
+    )
+    assert stats.files > 0 and not stats.notes, stats.notes
+    baseline = load_baseline(root / DEFAULT_BASELINE_NAME)
+    comparison = compare(findings, baseline)
+    new = [f"{f.rule} {f.path}:{f.line} {f.message}" for f in comparison.new]
+    assert comparison.clean, (
+        "whole-program skylint drifted from the committed baseline:\n  "
+        + "\n  ".join(new or ["<none>"])
     )
 
 
