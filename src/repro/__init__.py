@@ -56,6 +56,8 @@ from .distributed import (
     RunResult,
     ShipAllBaseline,
     SiteConfig,
+    adistributed_skyline,
+    build_coordinator,
     build_sites,
     distributed_skyline,
     vertical_skyline,
@@ -101,7 +103,9 @@ __all__ = [
     "RunResult",
     "ALGORITHMS",
     "build_sites",
+    "build_coordinator",
     "distributed_skyline",
+    "adistributed_skyline",
     "IncrementalMaintainer",
     "NaiveMaintainer",
     "vertical_skyline",

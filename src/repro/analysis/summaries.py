@@ -733,6 +733,26 @@ class _SummaryBuilder:
                         site=self._site(node),
                     )
                 )
+            # Script descriptors: `_Rpc(site, "method", ...)` is the
+            # point where a protocol message is decided — the shared
+            # sync/async drivers only relay it — so the construction
+            # site carries the RpcFact the billing ledger matches.
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "_Rpc"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and node.args[1].value in RPC_METHODS
+            ):
+                summary.rpcs.append(
+                    RpcFact(
+                        method=node.args[1].value,
+                        receiver=dotted_name(node.args[0]),
+                        is_ref=False,
+                        site=self._site(node),
+                    )
+                )
             # Bound RPC methods passed as arguments (the `_rpc` thunk
             # pattern) are messages too even though nothing calls them
             # lexically here.

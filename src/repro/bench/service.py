@@ -9,7 +9,14 @@ chaos slice with private fault schedules) under two arrival shapes:
   backpressure path is exercised when the service cannot keep up,
 * **closed loop** — ``k`` synchronous clients, each submitting its
   next query the moment the previous one completes (the CI smoke
-  gate's shape: finite, fast, and failure-revealing).
+  gate's shape: finite, fast, and failure-revealing),
+* **remote closed loop** — the same clients against site servers in
+  separate OS processes (:func:`~repro.net.sockets.host_sites_in_processes`)
+  with a deterministic per-RPC service delay standing in for the WAN.
+  Each point runs twice: ``overlap_steps=True`` (sessions' socket
+  waits overlap under ``asyncio.gather``) versus the sync-stepped
+  baseline (one session stepped at a time) — the makespan gap is the
+  awaitable coordinator's headline number.
 
 Each point reports p50/p95/p99 completion latency, p50 time-to-first-
 result (the progressiveness promise under load), and achieved
@@ -48,6 +55,9 @@ __all__ = ["run_service_bench", "main"]
 SEED = 707
 OPEN_LOOP_RATES = (25.0, 100.0)  # offered queries per second
 CLOSED_LOOP_CLIENTS = (2, 8)
+REMOTE_CLIENTS = 8
+REMOTE_RPC_DELAY = 0.0015  # seconds per RPC: the deterministic WAN stand-in
+REMOTE_QUERY_CAP = 24  # remote rounds are wire-priced; cap the mix
 CHAOS_FRACTION = 0.15
 FULL = {"n": 1_200, "d": 3, "sites": 6, "queries": 60}
 QUICK = {"n": 300, "d": 3, "sites": 4, "queries": 16}
@@ -102,6 +112,26 @@ def _specs_for_mix(
             )
         )
     return specs
+
+
+def _remote_specs(specs: Sequence[QuerySpec]) -> List[QuerySpec]:
+    """Strip the in-process-only knobs for the remote points.
+
+    Chaos schedules and client-side preferences assume in-process
+    sites (remote servers fail for real and bake their preference at
+    hosting time), so the remote mix keeps only the wire-expressible
+    dimensions: threshold, algorithm, top-k, batching, tenant.
+    """
+    return [
+        QuerySpec(
+            threshold=spec.threshold,
+            algorithm=spec.algorithm,
+            limit=spec.limit,
+            batch_size=spec.batch_size,
+            tenant=spec.tenant,
+        )
+        for spec in specs[:REMOTE_QUERY_CAP]
+    ]
 
 
 def _percentile(values: Sequence[float], fraction: float) -> float:
@@ -211,11 +241,47 @@ def run_service_bench(quick: bool = False) -> Dict[str, object]:
             elapsed = time.perf_counter() - start
         return _measure(scale_label, mode, sessions, elapsed, point)
 
+    async def remote_point(overlap: bool) -> Dict[str, object]:
+        # A fresh cluster per row: neither variant inherits the other's
+        # warmed skyline caches, so the makespan gap is scheduling, not
+        # cache luck.
+        from ..net.sockets import host_sites_in_processes
+
+        remote = _remote_specs(specs)
+        with host_sites_in_processes(
+            partitions, rpc_delay=REMOTE_RPC_DELAY
+        ) as cluster:
+            async with SkylineService(
+                remote_sites=cluster.addresses,
+                policy=AdmissionPolicy(max_inflight=8, max_queued=len(remote)),
+                overlap_steps=overlap,
+            ) as service:
+                start = time.perf_counter()
+                sessions = await _closed_loop(
+                    service, remote, clients=REMOTE_CLIENTS
+                )
+                elapsed = time.perf_counter() - start
+        return _measure(
+            scale_label,
+            "remote-closed-loop",
+            sessions,
+            elapsed,
+            {
+                "clients": REMOTE_CLIENTS,
+                "overlap_steps": overlap,
+                "rpc_delay_s": REMOTE_RPC_DELAY,
+            },
+        )
+
     scale_label = "quick" if quick else "full"
     for rate in OPEN_LOOP_RATES:
         results.append(asyncio.run(one_point("open-loop", rate)))
     for clients in CLOSED_LOOP_CLIENTS:
         results.append(asyncio.run(one_point("closed-loop", float(clients))))
+    # The distributed points: sync-stepped baseline first, then the
+    # overlapping scheduler the async coordinator exists for.
+    for overlap in (False, True):
+        results.append(asyncio.run(remote_point(overlap)))
     return {
         "artifact": "BENCH_service",
         "generated_by": "python -m repro.bench.service",
@@ -254,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if "offered_rate_qps" in row
             else f"clients {row['clients']:2d}"
         )
+        if "overlap_steps" in row:
+            point += " overlap" if row["overlap_steps"] else " serial "
         print(
             f"{row['mode']:11s} {point}  qps {row['throughput_qps']:8.2f}  "
             f"p50 {row['latency_p50_ms']:8.2f}ms  p95 {row['latency_p95_ms']:8.2f}ms  "
@@ -263,6 +331,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures += int(row["failed"])
         if row["finished"] != row["queries"]:
             failures += 1
+    remote = {
+        bool(row["overlap_steps"]): row
+        for row in doc["results"]
+        if row["mode"] == "remote-closed-loop"
+    }
+    if len(remote) == 2:
+        serial = float(remote[False]["elapsed_seconds"])
+        overlap = float(remote[True]["elapsed_seconds"])
+        speedup = serial / overlap if overlap else 0.0
+        print(
+            f"remote makespan: overlap {overlap:.3f}s vs sync-stepped "
+            f"{serial:.3f}s ({speedup:.2f}x)"
+        )
     print(f"wrote {args.out}")
     if failures:
         print(f"FAILED: {failures} sessions did not finish cleanly")

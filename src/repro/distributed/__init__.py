@@ -8,7 +8,13 @@ from .dsud import DSUD
 from .edsud import EDSUD, EDSUDConfig
 from .hierarchy import RegionCoordinator, build_regions
 from .naive import NaiveLocalSkylines
-from .query import ALGORITHMS, build_sites, distributed_skyline
+from .query import (
+    ALGORITHMS,
+    adistributed_skyline,
+    build_coordinator,
+    build_sites,
+    distributed_skyline,
+)
 from .runner import RunResult
 from .site import LocalSite, ProbeReply, SiteConfig
 from .streaming import DistributedStreamSkyline, StreamEvent
@@ -51,7 +57,9 @@ __all__ = [
     "RunResult",
     "ALGORITHMS",
     "build_sites",
+    "build_coordinator",
     "distributed_skyline",
+    "adistributed_skyline",
     "IncrementalMaintainer",
     "NaiveMaintainer",
     "MaintenanceReport",

@@ -10,12 +10,12 @@ centralized computation has finished.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Generator, List, Optional
 
 from ..core.prob_skyline import prob_skyline_sfs
 from ..core.tuples import UncertainTuple
 from ..net.message import Message, MessageKind
-from .coordinator import Coordinator
+from .coordinator import Coordinator, _Request, _Rpc
 
 __all__ = ["ShipAllBaseline"]
 
@@ -25,13 +25,13 @@ class ShipAllBaseline(Coordinator):
 
     algorithm = "ship-all"
 
-    def _execute(self) -> None:
+    def _steps(self) -> Generator[Optional[_Request], Any, None]:
         union: List[UncertainTuple] = []
         for site in self.sites:
             # The RPC funnel keeps even the strawman fault-tolerant: an
             # unreachable partition is simply absent from the union, and
             # the answer degrades to the reachable sites' data.
-            ok, shipped = self._rpc(site, "ship_all", site.ship_all)
+            ok, shipped = yield _Rpc(site, "ship_all")
             if not ok:
                 continue
             for _ in shipped:

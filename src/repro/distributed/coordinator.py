@@ -31,6 +31,8 @@ fault-oblivious protocol.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import itertools
 import threading
 import time
@@ -38,13 +40,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Any,
+    AsyncGenerator,
+    Awaitable,
     Callable,
     Dict,
+    Generator,
     Iterator,
     List,
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..core.dominance import Preference
@@ -52,9 +59,9 @@ from ..core.prob_skyline import ProbabilisticSkyline, SkylineMember
 from ..core.tuples import UncertainTuple
 from ..fault.coverage import CoverageTracker, TupleCoverage
 from ..fault.errors import RETRYABLE_FAULTS
-from ..fault.fsm import ClusterHealth
+from ..fault.fsm import ClusterHealth, SiteLifecycle
 from ..fault.liveness import LivenessBook
-from ..fault.retry import RetryPolicy, call_with_retry
+from ..fault.retry import RetryPolicy, acall_with_retry, call_with_retry
 from ..net.message import Message, MessageKind, Quaternion
 from ..net.stats import LatencyModel, NetworkStats, ProgressLog
 from ..net.transport import SiteEndpoint
@@ -70,6 +77,50 @@ _SERVER = "server"
 
 #: The emission callback drains hand results to (Coordinator.report).
 ReportFn = Callable[[UncertainTuple, float], object]
+
+
+@dataclass(frozen=True)
+class _Rpc:
+    """One site RPC a protocol script asks its driver to perform.
+
+    The protocol building blocks are *sans-io* generators: instead of
+    calling sites directly they yield ``_Rpc`` descriptors and receive
+    the ``(ok, value)`` verdict back through ``send()``.  The sync
+    driver executes the descriptor through :meth:`Coordinator._rpc`,
+    the async driver through :meth:`Coordinator._arpc` — same retry,
+    FSM, and accounting semantics, because the bookkeeping lives in the
+    script and the settle path, not in the driver.
+
+    ``raw=True`` requests a single unretried attempt with no stats or
+    FSM side effects (the liveness-probe shape): the driver answers
+    ``(alive, value)`` where a transport fault means ``(False, None)``.
+    """
+
+    site: SiteEndpoint
+    method: str
+    args: Tuple[Any, ...] = ()
+    raw: bool = False
+
+
+@dataclass(frozen=True)
+class _Fanout:
+    """A one-round broadcast: per-site RPC plans, executed concurrently.
+
+    Each inner list is one site's sequential call plan (stop on the
+    first failed call); plans for distinct sites may run concurrently —
+    the sync driver maps them over the broadcast thread pool, the async
+    driver gathers them — when ``parallel_broadcast`` is set, and run
+    sequentially in plan order otherwise (preserving deterministic
+    per-endpoint call order under chaos schedules).  The reply is a
+    list of per-plan ``(ok, value)`` result lists, aligned with the
+    input.
+    """
+
+    plans: Tuple[Tuple[_Rpc, ...], ...] = ()
+
+
+#: What a protocol script may yield to its driver.
+_Request = Union[_Rpc, _Fanout]
 
 
 @dataclass
@@ -363,36 +414,32 @@ class Coordinator:
     # the fault-tolerant RPC funnel
     # ------------------------------------------------------------------
 
-    def _rpc(
-        self, site: SiteEndpoint, label: str, call: Callable[[], object]
-    ) -> Tuple[bool, object]:
-        """Invoke one site RPC; never raises transport faults.
-
-        Returns ``(True, value)`` on success.  On a terminal transport
-        fault the site is marked DOWN and ``(False, None)`` is returned
-        — the caller degrades instead of unwinding.
-        """
-        site_id = site.site_id
-        lifecycle = self.health.lifecycle(site_id)
+    def _retry_recorder(
+        self, lifecycle: SiteLifecycle
+    ) -> Callable[[int, float, Exception], None]:
+        """The shared per-retry bookkeeping hook for both RPC funnels."""
 
         def on_retry(attempt: int, delay: float, exc: Exception) -> None:
             with self._state_lock:
                 self.stats.record_retry(delay)
                 lifecycle.record_failure()
 
-        start = time.perf_counter()
-        if self.retry_policy is None:
-            try:
-                value, error = call(), None
-            except RETRYABLE_FAULTS as exc:
-                value, error = None, exc
-        else:
-            value, error = call_with_retry(
-                call, self.retry_policy, site_id=site_id, on_retry=on_retry
-            )
-        elapsed = time.perf_counter() - start
-        # The call itself ran unlocked; only the bookkeeping is
-        # serialised, so parallel probes still overlap on the wire.
+        return on_retry
+
+    def _settle_rpc(
+        self,
+        site_id: int,
+        lifecycle: SiteLifecycle,
+        label: str,
+        elapsed: float,
+        value: object,
+        error: Optional[Exception],
+    ) -> Tuple[bool, object]:
+        """Post-call bookkeeping shared by :meth:`_rpc` and :meth:`_arpc`.
+
+        The call itself ran unlocked; only the bookkeeping is
+        serialised, so parallel probes still overlap on the wire.
+        """
         with self._state_lock:
             self.stats.record_rpc_time(elapsed)
             if error is not None:
@@ -408,6 +455,158 @@ class Coordinator:
                 self.health.mark_up(site_id, reason=f"{label} succeeded")
         return True, value
 
+    def _rpc(
+        self, site: SiteEndpoint, label: str, call: Callable[[], object]
+    ) -> Tuple[bool, object]:
+        """Invoke one site RPC; never raises transport faults.
+
+        Returns ``(True, value)`` on success.  On a terminal transport
+        fault the site is marked DOWN and ``(False, None)`` is returned
+        — the caller degrades instead of unwinding.
+        """
+        site_id = site.site_id
+        lifecycle = self.health.lifecycle(site_id)
+        start = time.perf_counter()
+        if self.retry_policy is None:
+            try:
+                value, error = call(), None
+            except RETRYABLE_FAULTS as exc:
+                value, error = None, exc
+        else:
+            value, error = call_with_retry(
+                call,
+                self.retry_policy,
+                site_id=site_id,
+                on_retry=self._retry_recorder(lifecycle),
+            )
+        elapsed = time.perf_counter() - start
+        return self._settle_rpc(site_id, lifecycle, label, elapsed, value, error)
+
+    async def _arpc(
+        self,
+        site: SiteEndpoint,
+        label: str,
+        call: Callable[[], "Awaitable[Any]"],
+    ) -> Tuple[bool, object]:
+        """Awaitable twin of :meth:`_rpc` — same verdicts, same books.
+
+        Retries go through :func:`acall_with_retry` (identical
+        deterministic backoff, non-blocking sleeps) and land in the
+        same :meth:`_settle_rpc` bookkeeping, so a chaos schedule's
+        FSM transitions and retry accounting replay bit-for-bit
+        whichever funnel carried the call.
+        """
+        site_id = site.site_id
+        lifecycle = self.health.lifecycle(site_id)
+        start = time.perf_counter()
+        if self.retry_policy is None:
+            try:
+                value, error = await call(), None
+            except RETRYABLE_FAULTS as exc:
+                value, error = None, exc
+        else:
+            value, error = await acall_with_retry(
+                call,
+                self.retry_policy,
+                site_id=site_id,
+                on_retry=self._retry_recorder(lifecycle),
+            )
+        elapsed = time.perf_counter() - start
+        return self._settle_rpc(site_id, lifecycle, label, elapsed, value, error)
+
+    # ------------------------------------------------------------------
+    # the script drivers: sync and async execution of _Rpc/_Fanout
+    # ------------------------------------------------------------------
+
+    def _perform_rpc(self, request: _Rpc) -> Tuple[bool, object]:
+        """Execute one descriptor synchronously through the RPC funnel."""
+        site, method, args = request.site, request.method, request.args
+        if request.raw:
+            try:
+                return True, getattr(site, method)(*args)
+            except RETRYABLE_FAULTS:
+                return False, None
+        return self._rpc(site, method, lambda: getattr(site, method)(*args))
+
+    def _run_plan(self, plan: Sequence[_Rpc]) -> List[Tuple[bool, object]]:
+        """One site's sequential fanout plan: stop at the first failure."""
+        out: List[Tuple[bool, object]] = []
+        for rpc in plan:
+            verdict = self._perform_rpc(rpc)
+            out.append(verdict)
+            if not verdict[0]:
+                break
+        return out
+
+    def _perform(self, request: _Request) -> object:
+        """Synchronous driver for one script-yielded request."""
+        if isinstance(request, _Rpc):
+            return self._perform_rpc(request)
+        plans = request.plans
+        if self.parallel_broadcast and len(plans) > 1:
+            return list(self._broadcast_pool().map(self._run_plan, plans))
+        return [self._run_plan(plan) for plan in plans]
+
+    async def _aperform_rpc(self, request: _Rpc) -> Tuple[bool, object]:
+        """Execute one descriptor through the awaitable funnel.
+
+        Endpoints may be sync (in-process :class:`LocalSite` forks,
+        chaos wrappers, promoted replicas) or async
+        (:class:`~repro.net.aio.AsyncSiteEndpoint` proxies); the driver
+        awaits whatever the method returns when it is awaitable, so one
+        coordinator can mix both behind identical accounting.
+        """
+        site, method, args = request.site, request.method, request.args
+        if request.raw:
+            try:
+                value = getattr(site, method)(*args)
+                if inspect.isawaitable(value):
+                    value = await value
+                return True, value
+            except RETRYABLE_FAULTS:
+                return False, None
+
+        async def call() -> object:
+            value = getattr(site, method)(*args)
+            if inspect.isawaitable(value):
+                value = await value
+            return value
+
+        return await self._arpc(site, method, call)
+
+    async def _arun_plan(self, plan: Sequence[_Rpc]) -> List[Tuple[bool, object]]:
+        out: List[Tuple[bool, object]] = []
+        for rpc in plan:
+            verdict = await self._aperform_rpc(rpc)
+            out.append(verdict)
+            if not verdict[0]:
+                break
+        return out
+
+    async def _aperform(self, request: _Request) -> object:
+        """Awaitable driver: fanouts become ``asyncio.gather`` rounds."""
+        if isinstance(request, _Rpc):
+            return await self._aperform_rpc(request)
+        plans = request.plans
+        if self.parallel_broadcast and len(plans) > 1:
+            return list(await asyncio.gather(*(self._arun_plan(p) for p in plans)))
+        return [await self._arun_plan(plan) for plan in plans]
+
+    def _drive(self, script: Generator[Optional[_Request], Any, Any]) -> Any:
+        """Run a protocol script to completion synchronously.
+
+        The public building-block methods stay plain calls by pumping
+        their script through this loop; :meth:`steps` and
+        :meth:`asteps` pump the same scripts one request at a time.
+        """
+        to_send: object = None
+        while True:
+            try:
+                request = script.send(to_send)
+            except StopIteration as stop:
+                return stop.value
+            to_send = None if request is None else self._perform(request)
+
     # ------------------------------------------------------------------
     # protocol building blocks
     # ------------------------------------------------------------------
@@ -419,16 +618,20 @@ class Coordinator:
         and simply contributes no size — the query proceeds over the
         reachable partitions.
         """
+        sizes: List[int] = self._drive(self._prepare_sites_script())
+        return sizes
+
+    def _prepare_sites_script(
+        self,
+    ) -> Generator[Optional[_Request], Any, List[int]]:
         sizes = []
         for site in self.sites:
             self._account(MessageKind.PREPARE, _SERVER, self._name(site))
-            ok, size = self._rpc(
-                site, "prepare", lambda site=site: site.prepare(self.threshold)
-            )
+            ok, size = yield _Rpc(site, "prepare", (self.threshold,))
             if not ok:
                 # A buddy replica (if any) can take over from the very
                 # first round — its prepare is billed inside _promote.
-                promoted = self._failover(site.site_id)
+                promoted = yield from self._failover_script(site.site_id)
                 if promoted is None:
                     continue
                 _endpoint, size, _factors = promoted
@@ -450,31 +653,35 @@ class Coordinator:
         unreachable one — in the latter case the FSM records the loss
         and :meth:`poll_recoveries` can undo it later.
         """
+        quaternion: Optional[Quaternion] = self._drive(
+            self._fetch_representative_script(site, request=request)
+        )
+        return quaternion
+
+    def _fetch_representative_script(
+        self, site: SiteEndpoint, request: bool = True
+    ) -> Generator[Optional[_Request], Any, Optional[Quaternion]]:
         # Re-resolve through the live endpoint table: run loops hold
         # references from query start, which go stale after a failover
         # or failback swaps the logical site's serving endpoint.
         site = self._site_by_id.get(site.site_id, site)
         if self.health.is_down(site.site_id):
-            promoted = self._failover(site.site_id)
+            promoted = yield from self._failover_script(site.site_id)
             if promoted is None:
                 return None
             site = promoted[0]
         if request:
             self._account(MessageKind.NEXT_REQUEST, _SERVER, self._name(site))
-        ok, quaternion = self._rpc(
-            site, "pop_representative", site.pop_representative
-        )
+        ok, quaternion = yield _Rpc(site, "pop_representative")
         if not ok:
             # Died on the pop: promote a replica (which fast-forwards
             # past everything already delivered) and re-issue the pop
             # against it — the To-Server phase continues exactly.
-            promoted = self._failover(site.site_id)
+            promoted = yield from self._failover_script(site.site_id)
             if promoted is None:
                 return None
             site = promoted[0]
-            ok, quaternion = self._rpc(
-                site, "pop_representative", site.pop_representative
-            )
+            ok, quaternion = yield _Rpc(site, "pop_representative")
             if not ok:
                 return None
         if quaternion is None:
@@ -490,9 +697,17 @@ class Coordinator:
 
     def initial_fill(self) -> List[Quaternion]:
         """First To-Server round: every site's head, in parallel."""
+        out: List[Quaternion] = self._drive(self._initial_fill_script())
+        return out
+
+    def _initial_fill_script(
+        self,
+    ) -> Generator[Optional[_Request], Any, List[Quaternion]]:
         out = []
         for site in self.sites:
-            quaternion = self.fetch_representative(site, request=False)
+            quaternion = yield from self._fetch_representative_script(
+                site, request=False
+            )
             if quaternion is not None:
                 out.append(quaternion)
         self.stats.record_round(tuples_in_round=len(out))
@@ -508,8 +723,15 @@ class Coordinator:
         down it is the Corollary-1 upper bound (each missing factor
         ≤ 1), and the coverage tracker knows which.
         """
+        probability: float = self._drive(self._broadcast_script(quaternion))
+        return probability
+
+    def _broadcast_script(
+        self, quaternion: Quaternion
+    ) -> Generator[Optional[_Request], Any, float]:
         global_probability = quaternion.local_probability
-        for _site_id, reply in self.broadcast_probes(quaternion):
+        replies = yield from self._broadcast_probes_script(quaternion)
+        for _site_id, reply in replies:
             global_probability *= reply.factor
         return global_probability
 
@@ -529,6 +751,14 @@ class Coordinator:
         PROBE_REPLY only when the site actually answers — a site that
         dies mid-broadcast costs the attempt, not the reply.
         """
+        replies: List[Tuple[int, ProbeReply]] = self._drive(
+            self._broadcast_probes_script(quaternion)
+        )
+        return replies
+
+    def _broadcast_probes_script(
+        self, quaternion: Quaternion
+    ) -> Generator[Optional[_Request], Any, List[Tuple[int, ProbeReply]]]:
         t = quaternion.tuple
         targets = [
             s
@@ -540,21 +770,20 @@ class Coordinator:
         )
         for site in targets:
             self._account(MessageKind.FEEDBACK, _SERVER, self._name(site))
-        probe = lambda s: self._rpc(  # noqa: E731 — bound per target below
-            s, "probe_and_prune", lambda: s.probe_and_prune(t)
+        attempts = yield _Fanout(
+            tuple((_Rpc(s, "probe_and_prune", (t,)),) for s in targets)
         )
-        if self.parallel_broadcast and len(targets) > 1:
-            attempts = list(self._broadcast_pool().map(probe, targets))
-        else:
-            attempts = [probe(site) for site in targets]
         out = []
-        for site, (ok, reply) in zip(targets, attempts):
+        for site, plan_result in zip(targets, attempts):
+            ok, reply = plan_result[0]
             if not ok:
                 # Mid-broadcast casualty: promote a replica and recover
                 # this round's factor from the replay (billed as
                 # FAILOVER_PROBE/PROBE_REPLY inside _promote, and
                 # already contributed to the coverage books there).
-                factor = self._failover_factor(site.site_id, t.key)
+                factor = yield from self._failover_factor_script(
+                    site.site_id, t.key
+                )
                 if factor is None:
                     continue  # factor stays missing in the coverage books
                 out.append(
@@ -575,9 +804,18 @@ class Coordinator:
         a single-element batch this is byte-for-byte :meth:`broadcast`
         — same messages, same rounds, same multiplication order.
         """
+        probabilities: List[float] = self._drive(
+            self._broadcast_batch_script(quaternions)
+        )
+        return probabilities
+
+    def _broadcast_batch_script(
+        self, quaternions: Sequence[Quaternion]
+    ) -> Generator[Optional[_Request], Any, List[float]]:
         quaternions = list(quaternions)
         probabilities = [q.local_probability for q in quaternions]
-        for _site_id, index, factor in self.broadcast_probes_batch(quaternions):
+        triples = yield from self._broadcast_probes_batch_script(quaternions)
+        for _site_id, index, factor in triples:
             probabilities[index] *= factor
         return probabilities
 
@@ -599,14 +837,20 @@ class Coordinator:
         aggregators) degrade to per-tuple probe_and_prune RPCs behind
         the same batched accounting.
         """
+        triples: List[Tuple[int, int, float]] = self._drive(
+            self._broadcast_probes_batch_script(quaternions)
+        )
+        return triples
+
+    def _broadcast_probes_batch_script(
+        self, quaternions: Sequence[Quaternion]
+    ) -> Generator[Optional[_Request], Any, List[Tuple[int, int, float]]]:
         quaternions = list(quaternions)
         if not quaternions:
             return []
         if len(quaternions) == 1:
-            return [
-                (site_id, 0, reply.factor)
-                for site_id, reply in self.broadcast_probes(quaternions[0])
-            ]
+            replies = yield from self._broadcast_probes_script(quaternions[0])
+            return [(site_id, 0, reply.factor) for site_id, reply in replies]
         for q in quaternions:
             self.coverage.open(q.tuple.key, q.site, q.tuple, q.local_probability)
         plan = []  # (site, indices of batch tuples it must probe)
@@ -625,41 +869,41 @@ class Coordinator:
             )
             total_tuples += len(indices)
 
-        def probe(entry: Tuple[SiteEndpoint, List[int]]) -> List[float]:
-            site, indices = entry
+        # Three per-site call shapes, mirrored when decoding replies:
+        # a single-tuple probe, one batched RPC, or (for endpoints
+        # without probe_and_prune_batch) sequential per-tuple probes
+        # whose partial factors still tighten coverage.
+        shapes = []
+        fanout_plans = []
+        for site, indices in plan:
             ts = [quaternions[i].tuple for i in indices]
             if len(ts) == 1:
-                ok, reply = self._rpc(
-                    site, "probe_and_prune", lambda: site.probe_and_prune(ts[0])
+                shapes.append("single")
+                fanout_plans.append((_Rpc(site, "probe_and_prune", (ts[0],)),))
+            elif getattr(site, "probe_and_prune_batch", None) is not None:
+                shapes.append("batch")
+                fanout_plans.append((_Rpc(site, "probe_and_prune_batch", (ts,)),))
+            else:
+                shapes.append("sequential")
+                fanout_plans.append(
+                    tuple(_Rpc(site, "probe_and_prune", (t,)) for t in ts)
                 )
-                return [reply.factor] if ok else []
-            batch_call = getattr(site, "probe_and_prune_batch", None)
-            if batch_call is not None:
-                ok, reply = self._rpc(
-                    site, "probe_and_prune_batch", lambda: batch_call(ts)
-                )
-                return list(reply.factors) if ok else []
-            factors = []
-            for t in ts:
-                ok, reply = self._rpc(
-                    site, "probe_and_prune", lambda t=t: site.probe_and_prune(t)
-                )
-                if not ok:
-                    break  # partial factors still tighten coverage
-                factors.append(reply.factor)
-            return factors
-
-        if self.parallel_broadcast and len(plan) > 1:
-            attempts = list(self._broadcast_pool().map(probe, plan))
-        else:
-            attempts = [probe(entry) for entry in plan]
+        attempts = yield _Fanout(tuple(fanout_plans))
         out = []
-        for (site, indices), factors in zip(plan, attempts):
+        for (site, indices), shape, results in zip(plan, shapes, attempts):
+            if shape == "single":
+                ok, reply = results[0]
+                factors = [reply.factor] if ok else []
+            elif shape == "batch":
+                ok, reply = results[0]
+                factors = list(reply.factors) if ok else []
+            else:
+                factors = [reply.factor for ok, reply in results if ok]
             if not factors:
                 # Mid-round casualty: a promoted replica supplies the
                 # whole batch's factors through the replay inside
                 # _promote (billed and contributed there).
-                replayed = self._failover_factors(site.site_id)
+                replayed = yield from self._failover_factors_script(site.site_id)
                 if replayed is None:
                     continue  # factors stay missing in the coverage books
                 for index in indices:
@@ -775,24 +1019,32 @@ class Coordinator:
         each failed-over primary gets its own liveness probe — on an
         answer it is re-synced and promoted back (failback).
         """
+        recovered: List[SiteEndpoint] = self._drive(self._poll_recoveries_script())
+        return recovered
+
+    def _poll_recoveries_script(
+        self,
+    ) -> Generator[Optional[_Request], Any, List[SiteEndpoint]]:
         if not self.health.any_down and not self._failed_over:
             return []
         recovered: List[SiteEndpoint] = []
         for site_id in self.health.down_sites():
             site = self._site_by_id[site_id]
-            if not self._probe_liveness(site):
-                promoted = self._failover(site_id)
+            alive = yield from self._probe_liveness_script(site)
+            if not alive:
+                promoted = yield from self._failover_script(site_id)
                 if promoted is not None:
                     recovered.append(promoted[0])
                 continue
             self.health.mark_recovering(site_id, "liveness probe answered")
-            if self._reintegrate(site):
+            reintegrated = yield from self._reintegrate_script(site)
+            if reintegrated:
                 self.health.mark_up(site_id, "reintegration complete")
                 self.stats.sites_recovered += 1
                 recovered.append(site)
             else:
                 self.health.mark_down(site_id, "reintegration failed")
-        self._poll_failbacks()
+        yield from self._poll_failbacks_script()
         return recovered
 
     def _probe_liveness(self, endpoint: SiteEndpoint, kind: str = "site") -> bool:
@@ -806,6 +1058,12 @@ class Coordinator:
         the probe of a failed-over *primary* from shadowing the probe
         of the logical site's serving endpoint.
         """
+        alive: bool = self._drive(self._probe_liveness_script(endpoint, kind=kind))
+        return alive
+
+    def _probe_liveness_script(
+        self, endpoint: SiteEndpoint, kind: str = "site"
+    ) -> Generator[Optional[_Request], Any, bool]:
         book = self.liveness_book
         key = (kind, endpoint.site_id)
         if book is not None:
@@ -813,17 +1071,14 @@ class Coordinator:
             if cached is not None:
                 return cached
         self._account(MessageKind.CONTROL, _SERVER, self._name(endpoint))
-        try:
-            endpoint.queue_size()
-        except RETRYABLE_FAULTS:
-            alive = False
-        else:
-            alive = True
+        alive, _size = yield _Rpc(endpoint, "queue_size", raw=True)
         if book is not None:
             book.record(key, alive)
         return alive
 
-    def _reintegrate(self, site: SiteEndpoint) -> bool:
+    def _reintegrate_script(
+        self, site: SiteEndpoint
+    ) -> Generator[Optional[_Request], Any, bool]:
         """Bring one RECOVERING site back into the query.
 
         Prepares it if it never completed PREPARE, then replays every
@@ -834,9 +1089,7 @@ class Coordinator:
         site_id = site.site_id
         if site_id not in self._prepared:
             self._account(MessageKind.PREPARE, _SERVER, self._name(site))
-            ok, _size = self._rpc(
-                site, "prepare", lambda: site.prepare(self.threshold)
-            )
+            ok, _size = yield _Rpc(site, "prepare", (self.threshold,))
             if not ok:
                 return False
             self._prepared.add(site_id)
@@ -844,9 +1097,7 @@ class Coordinator:
         owed = self.coverage.missing_from(site_id)
         for cov in owed:
             self._account(MessageKind.FEEDBACK, _SERVER, self._name(site))
-            ok, reply = self._rpc(
-                site, "probe_and_prune", lambda cov=cov: site.probe_and_prune(cov.tuple)
-            )
+            ok, reply = yield _Rpc(site, "probe_and_prune", (cov.tuple,))
             if not ok:
                 return False
             self._account(MessageKind.PROBE_REPLY, self._name(site), _SERVER)
@@ -876,6 +1127,16 @@ class Coordinator:
         itself died — with one buddy there is no second failover), or
         promotion failed.
         """
+        promoted: Optional[Tuple[SiteEndpoint, int, Dict[int, float]]] = (
+            self._drive(self._failover_script(site_id))
+        )
+        return promoted
+
+    def _failover_script(
+        self, site_id: int
+    ) -> Generator[
+        Optional[_Request], Any, Optional[Tuple[SiteEndpoint, int, Dict[int, float]]]
+    ]:
         if self.replica_manager is None or site_id in self._failed_over:
             return None
         if not self.health.is_down(site_id):
@@ -885,7 +1146,7 @@ class Coordinator:
             return None
         primary = self._site_by_id[site_id]
         self.health.mark_recovering(site_id, "failover: promoting buddy replica")
-        promoted = self._promote(site_id, replica)
+        promoted = yield from self._promote_script(site_id, replica)
         if promoted is None:
             # _promote's failing _rpc already journalled the fault and
             # marked the site DOWN again; the query stays degraded.
@@ -897,14 +1158,30 @@ class Coordinator:
 
     def _failover_factor(self, site_id: int, key: int) -> Optional[float]:
         """One broadcast tuple's Eq.-9 factor, recovered via failover."""
-        factors = self._failover_factors(site_id)
+        factor: Optional[float] = self._drive(
+            self._failover_factor_script(site_id, key)
+        )
+        return factor
+
+    def _failover_factor_script(
+        self, site_id: int, key: int
+    ) -> Generator[Optional[_Request], Any, Optional[float]]:
+        factors = yield from self._failover_factors_script(site_id)
         if factors is None:
             return None
         return factors.get(key)
 
     def _failover_factors(self, site_id: int) -> Optional[Dict[int, float]]:
         """Fail over and return every factor the promotion replayed."""
-        promoted = self._failover(site_id)
+        factors: Optional[Dict[int, float]] = self._drive(
+            self._failover_factors_script(site_id)
+        )
+        return factors
+
+    def _failover_factors_script(
+        self, site_id: int
+    ) -> Generator[Optional[_Request], Any, Optional[Dict[int, float]]]:
+        promoted = yield from self._failover_script(site_id)
         if promoted is None:
             return None
         return promoted[2]
@@ -937,11 +1214,17 @@ class Coordinator:
         Returns ``(|SKY(D_i)|, replayed factors by key)``; ``None`` if
         the replacement itself faulted (the site is then DOWN again).
         """
+        promoted: Optional[Tuple[int, Dict[int, float]]] = self._drive(
+            self._promote_script(site_id, endpoint)
+        )
+        return promoted
+
+    def _promote_script(
+        self, site_id: int, endpoint: SiteEndpoint
+    ) -> Generator[Optional[_Request], Any, Optional[Tuple[int, Dict[int, float]]]]:
         name = self._name(endpoint)
         self._account(MessageKind.PREPARE, _SERVER, name)
-        ok, size = self._rpc(
-            endpoint, "prepare", lambda: endpoint.prepare(self.threshold)
-        )
+        ok, size = yield _Rpc(endpoint, "prepare", (self.threshold,))
         if not ok:
             return None
         self._prepared.add(site_id)
@@ -950,11 +1233,7 @@ class Coordinator:
         replayed = [cov for cov in self.coverage.entries() if cov.origin != site_id]
         for cov in replayed:
             self._account(MessageKind.FAILOVER_PROBE, _SERVER, name)
-            ok, reply = self._rpc(
-                endpoint,
-                "probe_and_prune",
-                lambda cov=cov: endpoint.probe_and_prune(cov.tuple),
-            )
+            ok, reply = yield _Rpc(endpoint, "probe_and_prune", (cov.tuple,))
             if not ok:
                 return None
             self._account(MessageKind.PROBE_REPLY, name, _SERVER)
@@ -965,9 +1244,7 @@ class Coordinator:
         delivered = self._delivered_keys[site_id]
         if delivered:
             self._account(MessageKind.CONTROL, _SERVER, name)
-            ok, _skipped = self._rpc(
-                endpoint, "fast_forward", lambda: endpoint.fast_forward(delivered)
-            )
+            ok, _skipped = yield _Rpc(endpoint, "fast_forward", (delivered,))
             if not ok:
                 return None
         self._site_by_id[site_id] = endpoint
@@ -979,7 +1256,7 @@ class Coordinator:
             self.stats.record_round(tuples_in_round=len(replayed))
         return int(size), factors
 
-    def _poll_failbacks(self) -> None:
+    def _poll_failbacks_script(self) -> Generator[Optional[_Request], Any, None]:
         """Probe each failed-over primary; re-sync and re-target on answer.
 
         The replica keeps serving until its primary both answers a
@@ -995,10 +1272,14 @@ class Coordinator:
             return
         for site_id in sorted(self._failed_over):
             primary = self._failed_over[site_id]
-            if not self._probe_liveness(primary, kind="primary"):
+            alive = yield from self._probe_liveness_script(primary, kind="primary")
+            if not alive:
                 continue
+            # Partition re-sync runs in-process against replica state —
+            # replicas are always local endpoints, never remote proxies.
             self.replica_manager.resync_primary(site_id)
-            if self._promote(site_id, primary) is None:
+            promoted = yield from self._promote_script(site_id, primary)
+            if promoted is None:
                 # The primary died again mid-promotion: _rpc marked the
                 # logical site DOWN, but the replica is still serving —
                 # restore UP through the legal RECOVERING hop.
@@ -1053,10 +1334,64 @@ class Coordinator:
         generator, then read :meth:`finish` for the RunResult.
         """
         self.progress.restart_clock()
+        script = self._steps()
         try:
-            yield from self._steps()
+            to_send: object = None
+            while True:
+                try:
+                    request = script.send(to_send)
+                except StopIteration:
+                    break
+                if request is None:
+                    to_send = None
+                    yield
+                else:
+                    to_send = self._perform(request)
         finally:
+            script.close()
             self.close()
+
+    async def asteps(self) -> AsyncGenerator[None, None]:
+        """Awaitable twin of :meth:`steps` — same script, async driver.
+
+        Pumps the *same* ``_steps`` protocol script, but executes every
+        yielded RPC through :meth:`_arpc` and every fanout through
+        ``asyncio.gather``, so a session awaiting a socket reply hands
+        the event loop to other sessions instead of blocking the
+        scheduler thread.  Scheduling points surface as async-iterator
+        items, exactly one per sync ``steps()`` item — drive with
+        ``async for`` and read :meth:`afinish` afterwards.  Teardown
+        uses :meth:`close_nowait` (never joins pool threads on the
+        event loop); a cancelled or abandoned iteration still closes
+        the script, leaving sites and accounting books consistent at
+        the last completed request boundary.
+        """
+        self.progress.restart_clock()
+        script = self._steps()
+        try:
+            to_send: object = None
+            while True:
+                try:
+                    request = script.send(to_send)
+                except StopIteration:
+                    break
+                if request is None:
+                    to_send = None
+                    yield
+                else:
+                    to_send = await self._aperform(request)
+        finally:
+            script.close()
+            self.close_nowait()
+
+    async def afinish(self) -> RunResult:
+        """Assemble the RunResult once :meth:`asteps` is exhausted.
+
+        Pure in-memory bookkeeping (no site RPCs), so awaiting it never
+        blocks the loop; it exists so async callers never touch the
+        sync surface.
+        """
+        return self.finish()
 
     def finish(self) -> RunResult:
         """Assemble the RunResult once :meth:`steps` is exhausted."""
@@ -1091,13 +1426,18 @@ class Coordinator:
             coverage=coverage,
         )
 
-    def _steps(self) -> Iterator[None]:
-        """Subclass hook: the iteration policy as a generator.
+    def _steps(self) -> Generator[Optional[_Request], Any, None]:
+        """Subclass hook: the iteration policy as a *sans-io* script.
 
-        Progressive algorithms yield once per run-loop iteration (their
-        scheduling points); one-shot algorithms may simply compute and
-        never yield.  The default adapts a legacy :meth:`_execute`
-        override, which runs to completion in a single step.
+        The script yields two things: ``None`` for a scheduling point
+        (one per run-loop iteration — :meth:`steps`/:meth:`asteps`
+        surface these to the caller) and :class:`_Rpc`/:class:`_Fanout`
+        request descriptors, whose ``(ok, value)`` results come back
+        through ``send()``.  Protocol building blocks compose via
+        ``yield from self._*_script(...)``, so one iteration policy
+        drives both the sync and the awaitable funnel unchanged.  The
+        default adapts a legacy :meth:`_execute` override, which runs
+        to completion in a single step.
         """
         self._execute()
         yield from ()

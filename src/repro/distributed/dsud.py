@@ -25,14 +25,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Sequence
 
 from ..core.dominance import Preference
 from ..fault.liveness import LivenessBook
 from ..fault.retry import RetryPolicy
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
-from .coordinator import Coordinator
+from .coordinator import Coordinator, _Request
 
 if TYPE_CHECKING:
     from ..replica.manager import ReplicaManager
@@ -68,24 +68,24 @@ class DSUD(Coordinator):
             liveness_book=liveness_book,
         )
 
-    def _steps(self) -> Iterator[None]:
-        self.prepare_sites()
+    def _steps(self) -> Generator[Optional[_Request], Any, None]:
+        yield from self._prepare_sites_script()
         counter = itertools.count()
         heap: List = []
-        for quaternion in self.initial_fill():
+        for quaternion in (yield from self._initial_fill_script()):
             heapq.heappush(
                 heap, (-quaternion.local_probability, next(counter), quaternion)
             )
         exhausted = set()
         site_by_id = {site.site_id: site for site in self.sites}
 
-        def reintegrate() -> None:
+        def reintegrate() -> Generator[Optional[_Request], Any, None]:
             # Reintegrate any crashed site that has come back: its
             # missed factors were already re-probed inside
             # poll_recoveries; here we resume draining its queue.
-            for site in self.poll_recoveries():
+            for site in (yield from self._poll_recoveries_script()):
                 exhausted.discard(site.site_id)
-                refill = self.fetch_representative(site)
+                refill = yield from self._fetch_representative_script(site)
                 if refill is None:
                     exhausted.add(site.site_id)
                 else:
@@ -95,7 +95,7 @@ class DSUD(Coordinator):
                     self.stats.record_round(tuples_in_round=1)
 
         while True:
-            reintegrate()
+            yield from reintegrate()
             if not heap:
                 # L drained while a site was unreachable — one final
                 # poll above was its last chance; terminate degraded.
@@ -118,14 +118,16 @@ class DSUD(Coordinator):
                 self.iterations += 1
                 heapq.heappop(heap)
                 break
-            global_probabilities = self.broadcast_batch(batch)
+            global_probabilities = yield from self._broadcast_batch_script(batch)
             for head, global_probability in zip(batch, global_probabilities):
                 # The coverage-aware funnel: reports directly without a
                 # limit, otherwise buffers with the live TupleCoverage.
                 self.emit(head.tuple, global_probability)
             for head in batch:
                 if head.site not in exhausted:
-                    refill = self.fetch_representative(site_by_id[head.site])
+                    refill = yield from self._fetch_representative_script(
+                        site_by_id[head.site]
+                    )
                     if refill is None:
                         exhausted.add(head.site)
                     else:

@@ -31,7 +31,7 @@ It defaults off to stay faithful; the ablation benchmark measures it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence
 
 from ..core.dominance import Preference, dominates
 from ..core.probability import observation2_bound
@@ -40,7 +40,7 @@ from ..fault.retry import RetryPolicy
 from ..net.message import Quaternion
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
-from .coordinator import Coordinator
+from .coordinator import Coordinator, _Request
 
 if TYPE_CHECKING:
     from ..replica.manager import ReplicaManager
@@ -167,10 +167,10 @@ class EDSUD(Coordinator):
     # the iteration policy
     # ------------------------------------------------------------------
 
-    def _steps(self) -> Iterator[None]:
-        self.prepare_sites()
+    def _steps(self) -> Generator[Optional[_Request], Any, None]:
+        yield from self._prepare_sites_script()
         site_by_id = {site.site_id: site for site in self.sites}
-        for quaternion in self.initial_fill():
+        for quaternion in (yield from self._initial_fill_script()):
             self._admit(quaternion)
         for site in self.sites:
             if site.site_id not in self._residents:
@@ -183,25 +183,27 @@ class EDSUD(Coordinator):
             # has a live resident at the server — fetching another here
             # would overwrite (and silently lose) it, so only sites
             # whose resident was consumed are refilled.
-            for site in self.poll_recoveries():
+            for site in (yield from self._poll_recoveries_script()):
                 self._exhausted.discard(site.site_id)
                 if site.site_id not in self._residents:
-                    self._refill(site_by_id, site.site_id)
+                    yield from self._refill_script(site_by_id, site.site_id)
             if self.config.server_expunge:
-                self._expunge_dead(site_by_id)
+                yield from self._expunge_dead_script(site_by_id)
             heads = self._top_residents()
             if not heads:
                 if self._all_sites_drained():
                     break
                 # Lazy mode: dead residents block non-exhausted sites;
                 # drop them so those sites can surface fresh candidates.
-                self._expunge_dead(site_by_id)
+                yield from self._expunge_dead_script(site_by_id)
                 continue
             self.iterations += len(heads)
             quaternions = [resident.quaternion for resident in heads]
             for quaternion in quaternions:
                 del self._residents[quaternion.site]
-            global_probabilities = self._broadcast_batch_tracking(quaternions)
+            global_probabilities = yield from self._broadcast_batch_tracking_script(
+                quaternions
+            )
             for quaternion, global_probability in zip(
                 quaternions, global_probabilities
             ):
@@ -209,7 +211,7 @@ class EDSUD(Coordinator):
                 # limit, otherwise buffers with the live TupleCoverage.
                 self.emit(quaternion.tuple, global_probability)
             for quaternion in quaternions:
-                self._refill(site_by_id, quaternion.site)
+                yield from self._refill_script(site_by_id, quaternion.site)
             if self.limit is not None:
                 # Everything unresolved — residents and their sites'
                 # unfetched tails alike — is capped by the residents'
@@ -232,7 +234,10 @@ class EDSUD(Coordinator):
 
     def _broadcast_tracking_factors(self, quaternion: Quaternion) -> float:
         """Broadcast like the base class, but remember exact factors."""
-        return self._broadcast_batch_tracking([quaternion])[0]
+        probabilities: List[float] = self._drive(
+            self._broadcast_batch_tracking_script([quaternion])
+        )
+        return probabilities[0]
 
     def _broadcast_batch_tracking(
         self, quaternions: Sequence[Quaternion]
@@ -244,10 +249,19 @@ class EDSUD(Coordinator):
         messages, and multiplication order match the per-candidate
         e-DSUD exactly.
         """
+        probabilities: List[float] = self._drive(
+            self._broadcast_batch_tracking_script(quaternions)
+        )
+        return probabilities
+
+    def _broadcast_batch_tracking_script(
+        self, quaternions: Sequence[Quaternion]
+    ) -> Generator[Optional[_Request], Any, List[float]]:
         quaternions = list(quaternions)
         global_probabilities = [q.local_probability for q in quaternions]
         exacts: List[Dict[int, float]] = [{} for _ in quaternions]
-        for site_id, index, factor in self.broadcast_probes_batch(quaternions):
+        triples = yield from self._broadcast_probes_batch_script(quaternions)
+        for site_id, index, factor in triples:
             global_probabilities[index] *= factor
             exacts[index][site_id] = factor
         for quaternion, exact in zip(quaternions, exacts):
@@ -261,18 +275,24 @@ class EDSUD(Coordinator):
                     self._apply_seen_to(other, entry)
         return global_probabilities
 
-    def _refill(self, site_by_id: Dict[int, SiteEndpoint], site_id: int) -> None:
+    def _refill_script(
+        self, site_by_id: Dict[int, SiteEndpoint], site_id: int
+    ) -> Generator[Optional[_Request], Any, None]:
         """Ask a site whose resident was consumed for its next candidate."""
         if site_id in self._exhausted:
             return
-        quaternion = self.fetch_representative(site_by_id[site_id])
+        quaternion = yield from self._fetch_representative_script(
+            site_by_id[site_id]
+        )
         if quaternion is None:
             self._exhausted.add(site_id)
             return
         self.stats.record_round(tuples_in_round=1)
         self._admit(quaternion)
 
-    def _expunge_dead(self, site_by_id: Dict[int, SiteEndpoint]) -> None:
+    def _expunge_dead_script(
+        self, site_by_id: Dict[int, SiteEndpoint]
+    ) -> Generator[Optional[_Request], Any, None]:
         """Drop every resident whose bound proves it unqualified.
 
         Each drop frees its site, which is immediately asked for the
@@ -290,7 +310,7 @@ class EDSUD(Coordinator):
             for site_id in dead:
                 del self._residents[site_id]
                 self.expunged_total += 1
-                self._refill(site_by_id, site_id)
+                yield from self._refill_script(site_by_id, site_id)
 
     def _max_bound_resident(self) -> Optional[_Resident]:
         best = None

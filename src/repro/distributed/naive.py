@@ -16,10 +16,10 @@ this algorithm is progressive too, just wasteful.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Generator, List, Optional
 
 from ..net.message import Message, MessageKind, Quaternion
-from .coordinator import Coordinator
+from .coordinator import Coordinator, _Request, _Rpc
 
 __all__ = ["NaiveLocalSkylines"]
 
@@ -29,15 +29,11 @@ class NaiveLocalSkylines(Coordinator):
 
     algorithm = "naive-local-skylines"
 
-    def _execute(self) -> None:
-        self.prepare_sites()
+    def _steps(self) -> Generator[Optional[_Request], Any, None]:
+        yield from self._prepare_sites_script()
         gathered: List[Quaternion] = []
         for site in self.sites:
-            ok, burst = self._rpc(
-                site,
-                "ship_local_skyline",
-                lambda site=site: site.ship_local_skyline(self.threshold),
-            )
+            ok, burst = yield _Rpc(site, "ship_local_skyline", (self.threshold,))
             if not ok:
                 continue
             for _ in burst:
@@ -51,5 +47,9 @@ class NaiveLocalSkylines(Coordinator):
         gathered.sort(key=lambda q: -q.local_probability)
         for quaternion in gathered:
             self.iterations += 1
-            global_probability = self.broadcast(quaternion)
+            global_probability = yield from self._broadcast_script(quaternion)
             self.emit(quaternion.tuple, global_probability)
+            # Each candidate costs one broadcast round — a scheduling
+            # point, so served naive sessions interleave per round
+            # instead of monopolising the scheduler for the whole query.
+            yield

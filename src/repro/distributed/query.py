@@ -25,7 +25,13 @@ from .naive import NaiveLocalSkylines
 from .runner import RunResult
 from .site import LocalSite, SiteConfig
 
-__all__ = ["ALGORITHMS", "build_sites", "distributed_skyline"]
+__all__ = [
+    "ALGORITHMS",
+    "build_sites",
+    "build_coordinator",
+    "distributed_skyline",
+    "adistributed_skyline",
+]
 
 ALGORITHMS: Dict[str, Type[Coordinator]] = {
     "ship-all": ShipAllBaseline,
@@ -45,6 +51,89 @@ def build_sites(
         LocalSite(site_id=i, database=part, preference=preference, config=site_config)
         for i, part in enumerate(partitions)
     ]
+
+
+def build_coordinator(
+    partitions: Sequence[Sequence[UncertainTuple]],
+    threshold: float,
+    algorithm: str = "edsud",
+    preference: Optional[Preference] = None,
+    site_config: Optional[SiteConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+    edsud_config: Optional[EDSUDConfig] = None,
+    limit: Optional[int] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    batch_size: int = 1,
+    replication_factor: int = 1,
+    replica_manager: Optional[ReplicaManager] = None,
+) -> Coordinator:
+    """Assemble (but do not run) the coordinator for one query.
+
+    Shared by :func:`distributed_skyline` (sync ``run``) and
+    :func:`adistributed_skyline` (awaitable ``asteps``); validation
+    and site/replica assembly are identical, so the two drivers differ
+    only in who owns the event loop.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+        )
+    if replication_factor < 1:
+        raise ValueError(
+            f"replication_factor must be >= 1, got {replication_factor!r}"
+        )
+    sites: Sequence = build_sites(
+        partitions, preference=preference, site_config=site_config
+    )
+    if fault_schedule is not None:
+        sites = [FaultyEndpoint(site, fault_schedule) for site in sites]
+    cls = ALGORITHMS[algorithm]
+    if replica_manager is None and replication_factor > 1:
+        if cls not in (DSUD, EDSUD):
+            raise ValueError(
+                f"replication_factor= requires a progressive algorithm "
+                f"(dsud/edsud); {algorithm!r} has no failover protocol"
+            )
+        # Replicas are provisioned from the (possibly fault-wrapped)
+        # primaries via ship_all — a maintenance path the fault
+        # schedule does not gate — onto plain LocalSite copies; the
+        # provisioning cost lands on the manager's standing books.
+        replica_manager = ReplicaManager(
+            sites, replication_factor,
+            preference=preference, site_config=site_config,
+        )
+        replica_manager.ensure_provisioned()
+    if cls is EDSUD:
+        coordinator: Coordinator = EDSUD(
+            sites, threshold, preference, latency_model,
+            config=edsud_config, limit=limit, retry_policy=retry_policy,
+            batch_size=batch_size, replica_manager=replica_manager,
+        )
+    elif cls is DSUD:
+        coordinator = DSUD(
+            sites, threshold, preference, latency_model, limit=limit,
+            retry_policy=retry_policy, batch_size=batch_size,
+            replica_manager=replica_manager,
+        )
+    else:
+        if replica_manager is not None:
+            raise ValueError(
+                f"replication requires a progressive algorithm "
+                f"(dsud/edsud); {algorithm!r} has no failover protocol"
+            )
+        if limit is not None:
+            raise ValueError(
+                f"limit= requires a progressive algorithm (dsud/edsud); "
+                f"{algorithm!r} resolves everything before its first result"
+            )
+        if batch_size != 1:
+            raise ValueError(
+                f"batch_size= requires a progressive algorithm (dsud/edsud); "
+                f"{algorithm!r} has no broadcast rounds to batch"
+            )
+        coordinator = cls(sites, threshold, preference, latency_model)
+    return coordinator
 
 
 def distributed_skyline(
@@ -121,63 +210,49 @@ def distributed_skyline(
     Returns the :class:`RunResult` with the answer, exact bandwidth
     accounting, the progressiveness timeline, and the coverage report.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
-        )
-    if replication_factor < 1:
-        raise ValueError(
-            f"replication_factor must be >= 1, got {replication_factor!r}"
-        )
-    sites: Sequence = build_sites(
-        partitions, preference=preference, site_config=site_config
+    coordinator = build_coordinator(
+        partitions, threshold, algorithm=algorithm, preference=preference,
+        site_config=site_config, latency_model=latency_model,
+        edsud_config=edsud_config, limit=limit,
+        fault_schedule=fault_schedule, retry_policy=retry_policy,
+        batch_size=batch_size, replication_factor=replication_factor,
+        replica_manager=replica_manager,
     )
-    if fault_schedule is not None:
-        sites = [FaultyEndpoint(site, fault_schedule) for site in sites]
-    cls = ALGORITHMS[algorithm]
-    if replica_manager is None and replication_factor > 1:
-        if cls not in (DSUD, EDSUD):
-            raise ValueError(
-                f"replication_factor= requires a progressive algorithm "
-                f"(dsud/edsud); {algorithm!r} has no failover protocol"
-            )
-        # Replicas are provisioned from the (possibly fault-wrapped)
-        # primaries via ship_all — a maintenance path the fault
-        # schedule does not gate — onto plain LocalSite copies; the
-        # provisioning cost lands on the manager's standing books.
-        replica_manager = ReplicaManager(
-            sites, replication_factor,
-            preference=preference, site_config=site_config,
-        )
-        replica_manager.ensure_provisioned()
-    if cls is EDSUD:
-        coordinator: Coordinator = EDSUD(
-            sites, threshold, preference, latency_model,
-            config=edsud_config, limit=limit, retry_policy=retry_policy,
-            batch_size=batch_size, replica_manager=replica_manager,
-        )
-    elif cls is DSUD:
-        coordinator = DSUD(
-            sites, threshold, preference, latency_model, limit=limit,
-            retry_policy=retry_policy, batch_size=batch_size,
-            replica_manager=replica_manager,
-        )
-    else:
-        if replica_manager is not None:
-            raise ValueError(
-                f"replication requires a progressive algorithm "
-                f"(dsud/edsud); {algorithm!r} has no failover protocol"
-            )
-        if limit is not None:
-            raise ValueError(
-                f"limit= requires a progressive algorithm (dsud/edsud); "
-                f"{algorithm!r} resolves everything before its first result"
-            )
-        if batch_size != 1:
-            raise ValueError(
-                f"batch_size= requires a progressive algorithm (dsud/edsud); "
-                f"{algorithm!r} has no broadcast rounds to batch"
-            )
-        coordinator = cls(sites, threshold, preference, latency_model)
     with coordinator:
         return coordinator.run()
+
+
+async def adistributed_skyline(
+    partitions: Sequence[Sequence[UncertainTuple]],
+    threshold: float,
+    algorithm: str = "edsud",
+    preference: Optional[Preference] = None,
+    site_config: Optional[SiteConfig] = None,
+    latency_model: Optional[LatencyModel] = None,
+    edsud_config: Optional[EDSUDConfig] = None,
+    limit: Optional[int] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    batch_size: int = 1,
+    replication_factor: int = 1,
+    replica_manager: Optional[ReplicaManager] = None,
+) -> RunResult:
+    """Awaitable twin of :func:`distributed_skyline`.
+
+    Same assembly, same knobs, same RunResult — but the query is driven
+    through :meth:`~repro.distributed.coordinator.Coordinator.asteps`,
+    so every coordinator→site RPC is awaited on the caller's event loop
+    and the answer is bit-identical to the sync run (the async
+    exactness suite pins this).
+    """
+    coordinator = build_coordinator(
+        partitions, threshold, algorithm=algorithm, preference=preference,
+        site_config=site_config, latency_model=latency_model,
+        edsud_config=edsud_config, limit=limit,
+        fault_schedule=fault_schedule, retry_policy=retry_policy,
+        batch_size=batch_size, replication_factor=replication_factor,
+        replica_manager=replica_manager,
+    )
+    async for _ in coordinator.asteps():
+        pass
+    return await coordinator.afinish()

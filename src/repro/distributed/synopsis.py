@@ -23,12 +23,13 @@ up-front synopsis traffic differ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
 from ..net.message import Message, MessageKind
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
+from .coordinator import _Request
 from .edsud import EDSUD, EDSUDConfig, _Resident
 from .site import LocalSite
 
@@ -144,8 +145,10 @@ class SynopsisEDSUD(EDSUD):
         self.synopses: Dict[int, GridSynopsis] = {}
         self.synopsis_tuples = 0
 
-    def prepare_sites(self) -> List[int]:
-        sizes = super().prepare_sites()
+    def _prepare_sites_script(
+        self,
+    ) -> Generator[Optional[_Request], Any, List[int]]:
+        sizes = yield from super()._prepare_sites_script()
         # The rejected design's defining cost: one shipment of every
         # non-empty histogram cell, billed as tuple traffic.
         total = 0

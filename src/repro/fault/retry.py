@@ -12,14 +12,15 @@ The coordinator wraps every site RPC in :func:`call_with_retry` under a
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Awaitable, Callable, Optional, Tuple
 
 from .errors import RETRYABLE_FAULTS
 from .schedule import _deterministic_unit
 
-__all__ = ["RetryPolicy", "call_with_retry"]
+__all__ = ["RetryPolicy", "call_with_retry", "acall_with_retry"]
 
 
 @dataclass(frozen=True)
@@ -91,4 +92,38 @@ def call_with_retry(
                 on_retry(attempt, delay, exc)
             if sleep is not None:
                 sleep(delay)
+    return None, last
+
+
+async def acall_with_retry(
+    fn: Callable[[], Awaitable[Any]],
+    policy: RetryPolicy,
+    site_id: int = 0,
+    on_retry: Optional[Callable[[int, float, Exception], None]] = None,
+) -> Tuple[Any, Optional[Exception]]:
+    """Awaitable twin of :func:`call_with_retry`.
+
+    Same attempt loop, same deterministic :meth:`RetryPolicy.backoff`
+    delays, same non-raising contract — the only difference is that the
+    call is awaited and the backoff is an ``asyncio.sleep`` instead of a
+    blocking one, so retries of one site's RPC overlap other sessions'
+    work on the event loop.
+    """
+    budget = policy.deadline
+    spent = 0.0
+    last: Optional[Exception] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return await fn(), None
+        except RETRYABLE_FAULTS as exc:
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.backoff(attempt, site_id)
+            if budget is not None and spent + delay > budget:
+                break
+            spent += delay
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            await asyncio.sleep(delay)
     return None, last

@@ -139,6 +139,7 @@ class AsyncRemoteSiteProxy:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._needs_redial = False
+        self._closed = False
 
     @classmethod
     async def connect(
@@ -154,6 +155,11 @@ class AsyncRemoteSiteProxy:
         return proxy
 
     async def _dial(self) -> None:
+        if self._closed:
+            # A closed proxy must never silently reconnect: session
+            # teardown released the socket, and a late RPC re-dialing
+            # here would leak a fresh connection past the owner.
+            raise ConnectionError(f"proxy for site {self.site_id} is closed")
         await self._close_stream()
         try:
             self._reader, self._writer = await asyncio.wait_for(
@@ -186,6 +192,8 @@ class AsyncRemoteSiteProxy:
         return dict(json.loads(body.decode("utf-8")))
 
     async def _call(self, method: str, **kwargs: Any) -> Any:
+        if self._closed:
+            raise ConnectionError(f"proxy for site {self.site_id} is closed")
         attempts = 1 + (0 if method in self._NON_IDEMPOTENT else self.retries)
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
@@ -272,6 +280,14 @@ class AsyncRemoteSiteProxy:
         return bool(await self._call("ping") == "pong")
 
     async def close(self) -> None:
+        """Release the connection; idempotent, and final.
+
+        Waits for the transport to actually close (``wait_closed``
+        inside :meth:`_close_stream`), so rapid session churn cannot
+        accumulate half-open sockets, and flags the proxy so a
+        straggling RPC cannot silently re-dial afterwards.
+        """
+        self._closed = True
         await self._close_stream()
 
 
@@ -304,6 +320,11 @@ async def connect_async_sites(
             failure = item
     if failure is not None:
         for proxy in proxies:
-            await proxy.close()
+            try:
+                await proxy.close()
+            except (ConnectionError, OSError):
+                # Best-effort cleanup: one endpoint refusing to close
+                # must not leak the rest of the fan-out.
+                continue
         raise failure
     return proxies

@@ -16,10 +16,12 @@ format and the accounting model describe the same objects.
 from __future__ import annotations
 
 import json
+import multiprocessing
 import socket
 import socketserver
 import struct
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.dominance import Preference
@@ -30,7 +32,14 @@ if TYPE_CHECKING:  # typing only — net must not import distributed at runtime
     from ..distributed.site import BatchProbeReply, LocalSite, ProbeReply, SiteConfig
 from .message import Quaternion, decode_tuple, encode_tuple
 
-__all__ = ["SiteServer", "RemoteSiteProxy", "host_sites", "SiteCluster"]
+__all__ = [
+    "SiteServer",
+    "RemoteSiteProxy",
+    "host_sites",
+    "SiteCluster",
+    "ProcessSiteCluster",
+    "host_sites_in_processes",
+]
 
 _LENGTH = struct.Struct(">I")
 
@@ -65,12 +74,17 @@ class _SiteRequestHandler(socketserver.BaseRequestHandler):
     """Serves RPCs against the hosted LocalSite until the peer hangs up."""
 
     def handle(self) -> None:
-        site = self.server.site  # type: ignore[attr-defined]
+        site = self.server.session_site()  # type: ignore[attr-defined]
+        delay = getattr(self.server, "rpc_delay", 0.0)
         while True:
             request = _recv_frame(self.request)
             if request is None:
                 return
             try:
+                if delay > 0.0:
+                    # Simulated WAN service time, applied before the
+                    # dispatch so it covers cache hits too.
+                    time.sleep(delay)
                 result = self._dispatch(site, request)
                 _send_frame(self.request, {"ok": True, "result": result})
             except Exception as exc:  # surfaced to the caller, not swallowed
@@ -114,14 +128,43 @@ class _SiteRequestHandler(socketserver.BaseRequestHandler):
 
 
 class SiteServer(socketserver.ThreadingTCPServer):
-    """Hosts one LocalSite on a TCP port (127.0.0.1, ephemeral by default)."""
+    """Hosts one LocalSite on a TCP port (127.0.0.1, ephemeral by default).
+
+    By default every connection shares the one hosted site — the
+    historical single-query behaviour.  ``fork_per_connection`` makes
+    the hosted site a *template*: each connection is served by a fresh
+    :meth:`LocalSite.fork`, so many concurrent query sessions get
+    independent queue/feedback state over the same partition (the
+    remote twin of :class:`repro.serve.sites.SharedSiteHost`).  Enable
+    the template's skyline cache first so forks amortise the local
+    computing phase.  ``rpc_delay`` adds a per-RPC service-time sleep —
+    a deterministic stand-in for WAN latency, used by the serving
+    bench to make socket-wait overlap measurable on localhost.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, site: "LocalSite", host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        site: "LocalSite",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fork_per_connection: bool = False,
+        rpc_delay: float = 0.0,
+    ) -> None:
         super().__init__((host, port), _SiteRequestHandler)
         self.site = site
+        self.fork_per_connection = fork_per_connection
+        self.rpc_delay = rpc_delay
+        self.forks_served = 0
+
+    def session_site(self) -> "LocalSite":
+        """The site one incoming connection should talk to."""
+        if not self.fork_per_connection:
+            return self.site
+        self.forks_served += 1
+        return self.site.fork()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -324,3 +367,111 @@ def host_sites(
             server.server_close()
         raise
     return SiteCluster(servers, proxies)
+
+
+def _serve_partition_process(
+    site_id: int,
+    partition: Sequence[UncertainTuple],
+    preference: Optional[Preference],
+    site_config: "Optional[SiteConfig]",
+    fork_per_connection: bool,
+    rpc_delay: float,
+    port_queue: "multiprocessing.Queue[int]",
+) -> None:
+    """Child-process entry point: host one partition until terminated."""
+    from ..distributed.site import LocalSite
+
+    site = LocalSite(
+        site_id=site_id, database=partition, preference=preference, config=site_config
+    )
+    if fork_per_connection:
+        # Standing template: one local-computing phase serves every
+        # session at the same threshold, across connections.
+        site.enable_skyline_cache()
+    server = SiteServer(
+        site, fork_per_connection=fork_per_connection, rpc_delay=rpc_delay
+    )
+    port_queue.put(server.address[1])
+    server.serve_forever()
+
+
+class ProcessSiteCluster:
+    """TCP site servers in their own OS processes, with clean teardown.
+
+    The genuinely distributed deployment: each partition lives in a
+    separate Python process (own GIL, own memory), reachable only
+    through the wire protocol.  ``addresses`` is ready to hand to
+    :func:`repro.net.aio.connect_async_sites` or to
+    :class:`RemoteSiteProxy`.
+    """
+
+    def __init__(
+        self,
+        processes: List[multiprocessing.Process],
+        addresses: List[Tuple[int, Tuple[str, int]]],
+    ) -> None:
+        self.processes = processes
+        self.addresses = addresses
+
+    def __enter__(self) -> "ProcessSiteCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for process in self.processes:
+            process.terminate()
+        for process in self.processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=10.0)
+
+
+def host_sites_in_processes(
+    partitions: Sequence[Sequence[UncertainTuple]],
+    preference: Optional[Preference] = None,
+    site_config: "Optional[SiteConfig]" = None,
+    fork_per_connection: bool = True,
+    rpc_delay: float = 0.0,
+    startup_timeout: float = 30.0,
+) -> ProcessSiteCluster:
+    """Spin up one site-server *process* per partition on localhost.
+
+    Each child binds an ephemeral port and reports it back through a
+    queue; the call returns once every server is accepting.  Uses the
+    ``fork`` start method where available (no pickling of numpy-backed
+    partitions through spawn), falling back to the platform default.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    processes: List[multiprocessing.Process] = []
+    addresses: List[Tuple[int, Tuple[str, int]]] = []
+    try:
+        for i, partition in enumerate(partitions):
+            port_queue: "multiprocessing.Queue[int]" = ctx.Queue(maxsize=1)
+            process = ctx.Process(
+                target=_serve_partition_process,
+                args=(
+                    i,
+                    list(partition),
+                    preference,
+                    site_config,
+                    fork_per_connection,
+                    rpc_delay,
+                    port_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+            port = port_queue.get(timeout=startup_timeout)
+            addresses.append((i, ("127.0.0.1", port)))
+    except Exception:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=10.0)
+        raise
+    return ProcessSiteCluster(processes, addresses)

@@ -1,18 +1,25 @@
 """The :class:`SkylineService`: many progressive queries, one cluster.
 
 The service multiplexes concurrent :class:`~repro.serve.session.QuerySession`\\ s
-over shared :class:`~repro.serve.sites.SharedSiteHost` partitions on a
-single asyncio event loop.  Scheduling is cooperative and fair: every
-pass admits queued sessions up to the in-flight cap, steps each running
-session one coordinator iteration, then yields to the loop so
-submitters (and any async transport I/O) run between passes.
+on a single asyncio event loop, over either shared in-process
+:class:`~repro.serve.sites.SharedSiteHost` partitions or a *remote*
+cluster of site servers dialed through
+:func:`~repro.net.aio.connect_async_sites`.  Scheduling is cooperative
+and fair: every pass admits queued sessions up to the in-flight cap,
+awaits one coordinator iteration from each running session, then
+yields to the loop so submitters (and any async transport I/O) run
+between passes.  With ``overlap_steps`` (the default) the per-session
+steps of one pass run under ``asyncio.gather``, so a session parked on
+a site socket donates the loop to its siblings' compute — the pass
+lasts as long as its slowest step, not the sum.
 
 Correctness under concurrency is by *isolation*, not locking: a
-session's coordinator, site forks, fault wrappers, and stats books are
-all private, so stepping order cannot change any query's answer,
-message accounting, or emission order — each session stays
-bit-identical to the same spec run solo (the exactness suite pins
-this).  The only shared query-path state is deliberately one-way:
+session's coordinator, site forks (or privately dialed proxies), fault
+wrappers, and stats books are all private, so stepping order cannot
+change any query's answer, message accounting, or emission order —
+each session stays bit-identical to the same spec run solo (the
+exactness suites pin this, sync and async alike).  The only shared
+query-path state is deliberately one-way:
 
 * the hosts' skyline memo (an answer cache — hit or miss, same bytes),
 * the :class:`~repro.fault.liveness.LivenessBook`, advanced once per
@@ -27,13 +34,19 @@ Use as an async context manager::
     async with SkylineService(partitions, policy=AdmissionPolicy(4)) as svc:
         sessions = [await svc.submit(spec) for spec in specs]
         await svc.drain()
+
+or, against site servers hosted elsewhere (addresses as produced by
+:func:`~repro.net.sockets.host_sites_in_processes`)::
+
+    async with SkylineService(remote_sites=addresses) as svc:
+        ...
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Deque, List, Mapping, Optional, Sequence
+from typing import Deque, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.tuples import UncertainTuple
 from ..distributed.coordinator import Coordinator
@@ -42,6 +55,7 @@ from ..distributed.edsud import EDSUD
 from ..distributed.site import SiteConfig
 from ..fault.injection import FaultyEndpoint
 from ..fault.liveness import LivenessBook
+from ..net.aio import connect_async_sites
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
 from .admission import AdmissionPolicy, AdmissionRejected, TenantLedger
@@ -56,24 +70,45 @@ class SkylineService:
 
     def __init__(
         self,
-        partitions: Sequence[Sequence[UncertainTuple]],
+        partitions: Optional[Sequence[Sequence[UncertainTuple]]] = None,
         site_config: Optional[SiteConfig] = None,
         policy: Optional[AdmissionPolicy] = None,
         tenant_budgets: Optional[Mapping[str, float]] = None,
         latency_model: Optional[LatencyModel] = None,
         replica_seed: int = 0,
+        remote_sites: Optional[Sequence[Tuple[int, Tuple[str, int]]]] = None,
+        remote_timeout: float = 30.0,
+        remote_retries: int = 0,
+        overlap_steps: bool = True,
     ) -> None:
-        if not partitions:
+        if partitions is not None and remote_sites is not None:
+            raise ValueError(
+                "pass either partitions= (in-process cluster) or "
+                "remote_sites= (dial site servers), not both"
+            )
+        if remote_sites is None and not partitions:
             raise ValueError("a service needs at least one partition")
+        if remote_sites is not None and not remote_sites:
+            raise ValueError("remote_sites= needs at least one address")
         self.hosts = [
             SharedSiteHost(i, partition, site_config=site_config)
-            for i, partition in enumerate(partitions)
+            for i, partition in enumerate(partitions or ())
         ]
+        self.remote_sites = (
+            None if remote_sites is None else list(remote_sites)
+        )
+        self.remote_timeout = remote_timeout
+        self.remote_retries = remote_retries
+        self.overlap_steps = overlap_steps
         self.site_config = site_config
         self.policy = policy or AdmissionPolicy()
         self.ledger = TenantLedger(tenant_budgets)
         self.latency_model = latency_model
-        self.replica_book = StandingReplicaBook(self.hosts, seed=replica_seed)
+        self.replica_book = (
+            StandingReplicaBook(self.hosts, seed=replica_seed)
+            if self.hosts
+            else None
+        )
         self.liveness_book = LivenessBook()
         self._pending: Deque[QuerySession] = deque()
         self._running: List[QuerySession] = []
@@ -143,6 +178,9 @@ class SkylineService:
         frees a slot (closed-loop backpressure) and ``wait=False``
         raises :class:`AdmissionRejected` (open-loop shedding).  A
         tenant already over its bandwidth budget is rejected outright.
+        In remote mode the session's site proxies are dialed here — a
+        cluster that cannot be reached rejects at submission instead of
+        failing mid-query.
         """
         if self._scheduler_task is None:
             raise RuntimeError("service not started; use 'async with' or start()")
@@ -157,8 +195,7 @@ class SkylineService:
                 )
             self._space.clear()
             await self._space.wait()
-        self._ids += 1
-        session = QuerySession(self._ids, spec, self._build_coordinator(spec))
+        session = await self._build_session(spec)
         self._pending.append(session)
         self._work.set()
         return session
@@ -173,6 +210,15 @@ class SkylineService:
     # session assembly
     # ------------------------------------------------------------------
 
+    async def _build_session(self, spec: QuerySpec) -> QuerySession:
+        self._ids += 1
+        if self.remote_sites is None:
+            return QuerySession(self._ids, spec, self._build_coordinator(spec))
+        coordinator, proxies = await self._build_remote_coordinator(spec)
+        session = QuerySession(self._ids, spec, coordinator)
+        session.owned_endpoints = list(proxies)
+        return session
+
     def _build_coordinator(self, spec: QuerySpec) -> Coordinator:
         """Mirror :func:`~repro.distributed.query.distributed_skyline`,
         with per-session forks standing in for fresh sites."""
@@ -183,12 +229,60 @@ class SkylineService:
             sites = [FaultyEndpoint(site, spec.fault_schedule) for site in sites]
         replica_manager = None
         if spec.replication_factor > 1:
+            assert self.replica_book is not None
             replica_manager = self.replica_book.manager_for(
                 sites, spec.replication_factor, preference=spec.preference
             )
         # A chaos session's failures are its own private fiction — its
         # verdicts must not leak into (or read from) the shared book.
         book = None if spec.fault_schedule is not None else self.liveness_book
+        return self._make_coordinator(spec, sites, replica_manager, book)
+
+    async def _build_remote_coordinator(
+        self, spec: QuerySpec
+    ) -> Tuple[Coordinator, Sequence[SiteEndpoint]]:
+        """Dial this session's own proxies to the remote cluster.
+
+        Remote sites are other processes: chaos wrappers, standing
+        replicas, and client-side preferences all assume in-process
+        sites (a site server bakes its preference at hosting time), so
+        a spec asking for them is a configuration error, not a degraded
+        mode.
+        """
+        assert self.remote_sites is not None
+        if spec.fault_schedule is not None:
+            raise ValueError(
+                "fault_schedule= injects in-process chaos; remote sites "
+                "fail for real — drop it for remote mode"
+            )
+        if spec.replication_factor > 1:
+            raise ValueError(
+                "standing replicas are in-process only; remote mode "
+                "requires replication_factor=1"
+            )
+        if spec.preference is not None:
+            raise ValueError(
+                "remote site servers bake their preference at hosting "
+                "time; per-spec preference= is in-process only"
+            )
+        proxies = await connect_async_sites(
+            self.remote_sites,
+            timeout=self.remote_timeout,
+            retries=self.remote_retries,
+        )
+        # Async proxies satisfy the endpoint contract awaitably; the
+        # coordinator's async driver awaits whatever they return.
+        sites: List[SiteEndpoint] = list(proxies)  # type: ignore[arg-type]
+        coordinator = self._make_coordinator(spec, sites, None, self.liveness_book)
+        return coordinator, sites
+
+    def _make_coordinator(
+        self,
+        spec: QuerySpec,
+        sites: Sequence[SiteEndpoint],
+        replica_manager: object,
+        book: Optional[LivenessBook],
+    ) -> Coordinator:
         if spec.algorithm == "edsud":
             return EDSUD(
                 sites,
@@ -225,36 +319,47 @@ class SkylineService:
     # the scheduler
     # ------------------------------------------------------------------
 
-    def _admit(self) -> None:
+    async def _admit(self) -> None:
         while self._pending and len(self._running) < self.policy.max_inflight:
             session = self._pending.popleft()
             self._space.set()
             if not self.ledger.within_budget(session.spec.tenant):
-                session.abort(
+                await session.abort(
                     f"tenant {session.spec.tenant!r} over budget before start"
                 )
+                await session.release_endpoints()
                 self._finished.append(session)
                 continue
             session.start()
             self._running.append(session)
 
-    def _step_all(self) -> None:
+    async def _step_all(self) -> None:
         # One LivenessBook epoch per pass: every fault-free session
         # stepping below shares this pass's probe verdicts.
         self._passes += 1
         self.liveness_book.advance()
+        stepping = list(self._running)
+        if self.overlap_steps and len(stepping) > 1:
+            # Steps overlap on the loop; gather returns verdicts in
+            # submission order, so the billing sweep below is
+            # deterministic no matter whose socket answered first.
+            verdicts = list(
+                await asyncio.gather(*(session.step() for session in stepping))
+            )
+        else:
+            verdicts = [await session.step() for session in stepping]
         still_running: List[QuerySession] = []
-        for session in self._running:
-            done = session.step()
+        for session, done in zip(stepping, verdicts):
             delta = session.transmitted_tuples - session.billed_tuples
             session.billed_tuples = session.transmitted_tuples
             within = self.ledger.charge(session.spec.tenant, delta)
             if not within and not session.done:
-                session.abort(
+                await session.abort(
                     f"tenant {session.spec.tenant!r} bandwidth budget exhausted"
                 )
                 done = True
             if done:
+                await session.release_endpoints()
                 self._finished.append(session)
             else:
                 still_running.append(session)
@@ -269,6 +374,6 @@ class SkylineService:
                 # Woken by submit() or close(); never busy-waits idle.
                 await self._work.wait()
                 continue
-            self._admit()
-            self._step_all()
+            await self._admit()
+            await self._step_all()
             await asyncio.sleep(0)

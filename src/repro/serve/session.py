@@ -4,19 +4,24 @@ A :class:`QuerySession` owns everything a single query mutates — its
 coordinator (heap / residents, :class:`~repro.fault.coverage.CoverageTracker`,
 :class:`~repro.distributed.coordinator.TopKBuffer`, per-query
 :class:`~repro.net.stats.NetworkStats`) plus its per-session site forks
-— and exposes the query as a sequence of :meth:`step` calls, one per
-coordinator iteration.  The service interleaves sessions by stepping
-them in turn; because no mutable state is shared between sessions, the
+or dialed remote proxies — and exposes the query as a sequence of
+awaitable :meth:`step` calls, one per coordinator iteration.  Steps
+drive :meth:`~repro.distributed.coordinator.Coordinator.asteps`, so a
+session blocked on a socket reply parks on the event loop instead of
+the scheduler thread: one session's I/O wait overlaps another's
+compute.  Because no mutable state is shared between sessions, the
 interleaving order cannot change any session's answer, messages, or
-emission order (the exactness suite pins this).
+emission order (the exactness suites pin this, sync and async alike).
 """
 
 from __future__ import annotations
 
+import asyncio
 import enum
+import inspect
 import time
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Any, AsyncGenerator, List, Optional
 
 from ..core.dominance import Preference
 from ..distributed.coordinator import Coordinator
@@ -81,7 +86,15 @@ class QuerySession:
         #: bills the delta after every step).
         self.billed_tuples = 0
         self.steps_taken = 0
-        self._steps: Optional[Iterator[None]] = None
+        #: Remote endpoints dialed for this session alone; released via
+        #: :meth:`release_endpoints` once the session is terminal.
+        self.owned_endpoints: List[Any] = []
+        self._steps: Optional[AsyncGenerator[None, None]] = None
+        #: Bandwidth book snapshot taken when the session goes terminal.
+        #: Once set, :attr:`transmitted_tuples` stops tracking the live
+        #: coordinator stats, so nothing the transport finishes after
+        #: abort can ever reach the tenant ledger.
+        self._frozen_tuples: Optional[int] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -97,35 +110,52 @@ class QuerySession:
 
     @property
     def transmitted_tuples(self) -> int:
+        if self._frozen_tuples is not None:
+            return self._frozen_tuples
         return int(self.coordinator.stats.tuples_transmitted)
+
+    def _freeze_tuples(self) -> None:
+        if self._frozen_tuples is None:
+            self._frozen_tuples = int(self.coordinator.stats.tuples_transmitted)
 
     def start(self) -> None:
         if self.state is not SessionState.QUEUED:
             raise RuntimeError(f"session {self.query_id} already {self.state.value}")
         self.state = SessionState.RUNNING
         self.started_at = time.perf_counter()
-        self._steps = self.coordinator.steps()
+        self._steps = self.coordinator.asteps()
 
-    def step(self) -> bool:
+    async def step(self) -> bool:
         """Advance one coordinator iteration; True when the query ended.
 
-        A fault that escapes the coordinator (anything beyond the
-        transport faults it degrades through) fails the session rather
-        than the service.
+        Awaits the coordinator's async iterator, so while this session
+        waits on a site socket the event loop runs its siblings.
+        ``steps_taken`` counts *completed* iterations only: the counter
+        moves after the iterator yields, never on the probe that merely
+        discovers exhaustion and never on a step that raises.  A fault
+        that escapes the coordinator (anything beyond the transport
+        faults it degrades through) fails the session rather than the
+        service.
         """
         if self.state is not SessionState.RUNNING or self._steps is None:
             return True
-        self.steps_taken += 1
         try:
-            next(self._steps)
+            await self._steps.__anext__()
             finished = False
-        except StopIteration:
+            self.steps_taken += 1
+        except StopAsyncIteration:
             finished = True
+        except asyncio.CancelledError:
+            # Cancellation is the caller's verdict, not a site fault:
+            # the generator's ``finally`` has already detached the pool
+            # and closed the script, so re-raise with books consistent.
+            raise
         except BaseException as exc:
             self.error = exc
             self.state = SessionState.FAILED
             self.finished_at = time.perf_counter()
             self._steps = None
+            self._freeze_tuples()
             return True
         if self.first_result_at is None and self.coordinator.results:
             self.first_result_at = time.perf_counter()
@@ -136,26 +166,50 @@ class QuerySession:
             self.state = SessionState.FINISHED
             self.finished_at = time.perf_counter()
             self._steps = None
+            self._freeze_tuples()
         return finished
 
-    def abort(self, reason: str) -> None:
+    async def abort(self, reason: str) -> None:
         """Stop a session early (admission kill, budget exhaustion).
 
         Runs on the service's event loop, so the coordinator's pool is
         released without joining its threads: in-flight broadcasts
         drain in the background instead of stalling every other
-        session.  The generator's own ``finally: close()`` then no-ops
-        (the pool is already detached).
+        session.  The bandwidth book is frozen *before* this returns —
+        whatever those draining broadcasts still add to the
+        coordinator's ``tuples_transmitted`` can never be billed to the
+        tenant, because :attr:`transmitted_tuples` now reads the frozen
+        snapshot.
         """
         if self.done:
             return
         self.coordinator.close_nowait()
-        if self._steps is not None:
-            self._steps.close()
-            self._steps = None
+        steps, self._steps = self._steps, None
+        if steps is not None:
+            await steps.aclose()
         self.abort_reason = reason
         self.state = SessionState.ABORTED
         self.finished_at = time.perf_counter()
+        self._freeze_tuples()
+
+    async def release_endpoints(self) -> None:
+        """Close remote endpoints this session dialed for itself.
+
+        Idempotent; endpoints whose ``close`` is a coroutine (the async
+        TCP proxies) are awaited so the sockets are really gone before
+        the service reports the session finished.
+        """
+        endpoints, self.owned_endpoints = self.owned_endpoints, []
+        for endpoint in endpoints:
+            closer = getattr(endpoint, "close", None)
+            if closer is None:
+                continue
+            try:
+                outcome = closer()
+                if inspect.isawaitable(outcome):
+                    await outcome
+            except (ConnectionError, OSError):
+                continue
 
     # ------------------------------------------------------------------
     # bench-facing latency marks

@@ -23,11 +23,17 @@ class TestQuickRun:
         doc = json.loads(out.read_text())
         assert doc["artifact"] == "BENCH_service"
         assert doc["quick"] is True
-        # Two open-loop rate points + two closed-loop client points.
-        assert len(doc["results"]) == 4
+        # Two open-loop rate points + two closed-loop client points +
+        # the remote pair (sync-stepped baseline vs overlapped steps).
+        assert len(doc["results"]) == 6
         modes = [row["mode"] for row in doc["results"]]
         assert modes.count("open-loop") == 2
         assert modes.count("closed-loop") == 2
+        assert modes.count("remote-closed-loop") == 2
+        remote = [r for r in doc["results"] if r["mode"] == "remote-closed-loop"]
+        assert sorted(r["overlap_steps"] for r in remote) == [False, True]
+        assert all(r["clients"] == 8 for r in remote)
+        assert all(r["rpc_delay_s"] > 0 for r in remote)
         for row in doc["results"]:
             assert row["finished"] == row["queries"]
             assert row["failed"] == 0
@@ -37,6 +43,7 @@ class TestQuickRun:
             assert row["tuples_transmitted"] > 0
         printed = capsys.readouterr().out
         assert "open-loop" in printed and "closed-loop" in printed
+        assert "remote makespan" in printed
 
     def test_document_carries_the_reproducibility_keys(self, tmp_path):
         out = tmp_path / "doc.json"

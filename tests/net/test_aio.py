@@ -179,6 +179,86 @@ class TestAsyncRemoteProxy:
 
         run(scenario())
 
+    def test_close_waits_for_the_transport_and_is_idempotent(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(0, c.servers[0].address)
+            assert await proxy.ping()
+            writer = proxy._writer
+            await proxy.close()
+            # wait_closed ran: the transport is really gone, not merely
+            # scheduled to go — rapid churn cannot pile up half-open
+            # sockets behind the loop.
+            assert writer.is_closing()
+            assert proxy._writer is None and proxy._reader is None
+            await proxy.close()  # idempotent
+
+        run(scenario())
+
+    def test_closed_proxy_never_silently_redials(self, cluster):
+        c, _ = cluster
+
+        async def scenario():
+            proxy = await AsyncRemoteSiteProxy.connect(0, c.servers[0].address)
+            await proxy.close()
+            # A straggling RPC after teardown must fail loudly, not dial
+            # a fresh connection past the owner that released it.
+            with pytest.raises(ConnectionError, match="closed"):
+                await proxy.ping()
+            with pytest.raises(ConnectionError, match="closed"):
+                await proxy._dial()
+            assert proxy._writer is None
+
+        run(scenario())
+
+    def test_rapid_session_churn_leaks_no_connections(self, cluster):
+        """Session churn: dial the fan-out, use it, drop it — 15 times.
+        Every writer ever created must be closing by the end."""
+        c, _ = cluster
+
+        async def scenario():
+            writers = []
+            for _ in range(15):
+                proxies = await connect_async_sites(_addresses(c))
+                for p in proxies:
+                    assert await p.ping()
+                    writers.append(p._writer)
+                for p in proxies:
+                    await p.close()
+            return writers
+
+        writers = run(scenario())
+        assert len(writers) == 15 * 3
+        assert all(w.is_closing() for w in writers)
+
+    def test_partial_fanout_cleanup_survives_a_failing_close(self, cluster):
+        """One endpoint refusing to close must not leak the rest."""
+        c, _ = cluster
+        dead = ("127.0.0.1", 1)
+        closed = []
+        original_close = AsyncRemoteSiteProxy.close
+
+        async def chaotic_close(self):
+            if self.site_id == 0:
+                raise ConnectionError("stuck in teardown")
+            closed.append(self.site_id)
+            await original_close(self)
+
+        async def scenario():
+            with pytest.raises((ConnectionError, OSError, SiteTimeout)):
+                await connect_async_sites(
+                    _addresses(c) + [(99, dead)], timeout=2.0
+                )
+
+        AsyncRemoteSiteProxy.close = chaotic_close
+        try:
+            run(scenario())
+        finally:
+            AsyncRemoteSiteProxy.close = original_close
+        # Site 0's close raised, yet 1 and 2 were still released.
+        assert sorted(closed) == [1, 2]
+
     def test_rpcs_to_distinct_sites_overlap(self, cluster):
         """The whole point of the async transport: concurrent in-flight
         RPCs to different sites overlap on one thread.  Server-side

@@ -255,3 +255,73 @@ class TestEndToEnd:
         s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         s.bind(("127.0.0.1", port))
         s.close()
+
+
+class TestProcessHosting:
+    """Site servers in their own OS processes (the distributed deploy)."""
+
+    def test_process_cluster_serves_full_queries(self):
+        from repro.net.sockets import RemoteSiteProxy, host_sites_in_processes
+
+        db = make_random_database(200, 2, seed=11, grid=10)
+        partitions = [db[i::3] for i in range(3)]
+        central = prob_skyline_sfs(db, 0.3)
+        with host_sites_in_processes(partitions) as cluster:
+            proxies = [
+                RemoteSiteProxy(site_id=i, address=addr)
+                for i, addr in cluster.addresses
+            ]
+            try:
+                result = DSUD(proxies, 0.3).run()
+            finally:
+                for proxy in proxies:
+                    proxy.close()
+        assert result.answer.agrees_with(central, tol=1e-9)
+
+    def test_fork_per_connection_isolates_concurrent_queries(self):
+        """Two connections to one server must not share queue state:
+        each gets a private fork, so both pop the same representative
+        first — exactly what per-session isolation requires."""
+        from repro.net.sockets import RemoteSiteProxy, host_sites_in_processes
+
+        db = make_random_database(120, 2, seed=12, grid=10)
+        with host_sites_in_processes([db], fork_per_connection=True) as cluster:
+            (site_id, address) = cluster.addresses[0]
+            a = RemoteSiteProxy(site_id=site_id, address=address)
+            b = RemoteSiteProxy(site_id=site_id, address=address)
+            try:
+                assert a.prepare(0.3) == b.prepare(0.3)
+                first_a = a.pop_representative()
+                first_b = b.pop_representative()
+                assert first_a is not None and first_b is not None
+                assert first_a.tuple.key == first_b.tuple.key
+            finally:
+                a.close()
+                b.close()
+
+    def test_rpc_delay_is_applied_per_request(self):
+        """The deterministic WAN stand-in: every RPC takes at least the
+        configured service delay."""
+        import time
+
+        from repro.net.sockets import RemoteSiteProxy, host_sites_in_processes
+
+        db = make_random_database(40, 2, seed=13)
+        with host_sites_in_processes([db], rpc_delay=0.05) as cluster:
+            (site_id, address) = cluster.addresses[0]
+            proxy = RemoteSiteProxy(site_id=site_id, address=address)
+            try:
+                start = time.perf_counter()
+                assert proxy.ping()
+                assert time.perf_counter() - start >= 0.05
+            finally:
+                proxy.close()
+
+    def test_close_terminates_all_site_processes(self):
+        from repro.net.sockets import host_sites_in_processes
+
+        db = make_random_database(30, 2, seed=14)
+        cluster = host_sites_in_processes([db[0::2], db[1::2]])
+        assert all(p.is_alive() for p in cluster.processes)
+        cluster.close()
+        assert all(not p.is_alive() for p in cluster.processes)

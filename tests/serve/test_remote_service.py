@@ -1,0 +1,121 @@
+"""The service against a genuinely distributed cluster.
+
+Site servers run in their own OS processes
+(:func:`~repro.net.sockets.host_sites_in_processes`); the service
+dials each session its own :class:`AsyncRemoteSiteProxy` fan-out via
+``connect_async_sites``.  Sessions stepped concurrently over the wire
+must still be bit-identical to their solo synchronous runs, and the
+per-session sockets must be released once a session is terminal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.distributed.query import distributed_skyline
+from repro.distributed.runner import RunResult
+from repro.fault.schedule import FaultSchedule
+from repro.net.sockets import host_sites_in_processes
+from repro.serve import AdmissionPolicy, QuerySpec, SkylineService
+
+from ..conftest import make_random_database
+
+SITES = 3
+DB = make_random_database(150, 2, seed=47, grid=10)
+PARTITIONS = [DB[i::SITES] for i in range(SITES)]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with host_sites_in_processes(PARTITIONS) as c:
+        yield c
+
+
+def _fingerprint(result: RunResult) -> Dict[str, object]:
+    coverage = result.coverage
+    return {
+        "answer": [(m.key, m.probability) for m in result.answer],
+        "emissions": [
+            (e.key, e.global_probability, e.tuples_transmitted)
+            for e in result.progress.events
+        ],
+        "tuples": result.stats.tuples_transmitted,
+        "messages": result.stats.messages,
+        "by_kind": dict(result.stats.by_kind),
+        "complete": coverage.complete if coverage else None,
+    }
+
+
+def _solo(spec: QuerySpec) -> RunResult:
+    return distributed_skyline(
+        PARTITIONS,
+        spec.threshold,
+        algorithm=spec.algorithm,
+        limit=spec.limit,
+        batch_size=spec.batch_size,
+    )
+
+
+def test_remote_sessions_match_their_solo_sync_runs(cluster):
+    specs = [
+        QuerySpec(threshold=0.3, algorithm="dsud"),
+        QuerySpec(threshold=0.5, algorithm="dsud"),
+        QuerySpec(threshold=0.4, algorithm="edsud"),
+        QuerySpec(threshold=0.4, algorithm="dsud", limit=3),
+    ]
+
+    async def drive() -> List[Optional[RunResult]]:
+        policy = AdmissionPolicy(max_inflight=4, max_queued=8)
+        async with SkylineService(
+            remote_sites=cluster.addresses, policy=policy
+        ) as service:
+            sessions = [await service.submit(spec) for spec in specs]
+            await service.drain()
+        # Terminal sessions have surrendered their sockets.
+        assert all(not s.owned_endpoints for s in sessions)
+        return [s.result for s in sessions]
+
+    served = asyncio.run(drive())
+    for spec, result in zip(specs, served):
+        assert result is not None, f"{spec} did not finish"
+        assert _fingerprint(result) == _fingerprint(_solo(spec)), spec
+
+
+def test_remote_mode_rejects_in_process_only_knobs(cluster):
+    async def drive() -> None:
+        async with SkylineService(remote_sites=cluster.addresses) as service:
+            with pytest.raises(ValueError, match="chaos"):
+                await service.submit(
+                    QuerySpec(threshold=0.4, fault_schedule=FaultSchedule(seed=1))
+                )
+            with pytest.raises(ValueError, match="replica"):
+                await service.submit(
+                    QuerySpec(threshold=0.4, replication_factor=2)
+                )
+
+    asyncio.run(drive())
+
+
+def test_service_constructor_validates_cluster_choice(cluster):
+    with pytest.raises(ValueError, match="not both"):
+        SkylineService(PARTITIONS, remote_sites=cluster.addresses)
+    with pytest.raises(ValueError, match="at least one"):
+        SkylineService()
+    with pytest.raises(ValueError, match="at least one"):
+        SkylineService(remote_sites=[])
+
+
+def test_unreachable_cluster_rejects_at_submission():
+    dead = [(0, ("127.0.0.1", 1))]  # nothing listens on port 1
+
+    async def drive() -> None:
+        async with SkylineService(
+            remote_sites=dead, remote_timeout=2.0
+        ) as service:
+            with pytest.raises((ConnectionError, OSError)):
+                await service.submit(QuerySpec(threshold=0.4))
+
+    asyncio.run(drive())
