@@ -37,7 +37,7 @@ __all__ = ["ENGINE_VERSION", "RunStats", "analyze_project"]
 #: Bump on any change to summary extraction, linking, or rule logic —
 #: it keys the on-disk cache, so stale summaries can never leak across
 #: analyzer versions.
-ENGINE_VERSION = "2.0"
+ENGINE_VERSION = "2.1"
 
 
 @dataclass

@@ -274,9 +274,11 @@ class InterproceduralBillingRule(ProgramRule):
     @staticmethod
     def _in_scope(pf: ProgramFunction) -> bool:
         relpath = pf.module.relpath
-        return "distributed/" in relpath and not relpath.endswith(
-            "distributed/site.py"
-        )
+        if relpath.endswith(("distributed/site.py", "stream/site.py")):
+            # These modules *are* the endpoints: their calls onto the
+            # local engine are compute, not protocol messages.
+            return False
+        return "distributed/" in relpath or "stream/" in relpath
 
 
 #: MessageKind member -> the RPC methods whose send it prices.  ``None``
@@ -317,10 +319,19 @@ _KIND_RPCS: Dict[str, Optional[FrozenSet[str]]] = {
     "DATA": frozenset({"ship_all", "ship_local_skyline"}),
     "CONTROL": None,
     "REPLICA_SYNC": frozenset(
-        {"set_replica", "fast_forward", "insert_tuple", "delete_tuple"}
+        {"set_replica", "fast_forward", "insert_tuple", "delete_tuple",
+         "sync_candidates"}
     ),
     "DIGEST": frozenset({"partition_digest"}),
     "FAILOVER_PROBE": None,
+    # Continuous-query (stream/) push path: standing-query registration
+    # rides SUBSCRIBE, per-epoch site digests ride DELTA, windowed
+    # departures ride EXPIRE, and NOTIFY is pure coordinator->client
+    # control traffic with no paired site RPC.
+    "SUBSCRIBE": frozenset({"register_group", "drop_group"}),
+    "DELTA": frozenset({"close_epoch", "sync_candidates"}),
+    "NOTIFY": None,
+    "EXPIRE": frozenset({"close_epoch"}),
 }
 
 
@@ -426,7 +437,7 @@ class LedgerSymmetryRule(ProgramRule):
 class SeedProvenanceRule(ProgramRule):
     """Invariant: no unseeded (or wall-clock-seeded) RNG value flows —
     through assignments, arguments, or returns — into ``distributed/``,
-    ``replica/``, or ``serve/`` code.
+    ``replica/``, ``serve/``, or ``stream/`` code.
 
     Paper hook: the reproduction's chaos, replica, and serving
     exactness contracts all assert bit-identical replay; a generator
@@ -441,12 +452,12 @@ class SeedProvenanceRule(ProgramRule):
     description = (
         "Seed provenance: an unseeded or wall-clock-seeded "
         "Random/default_rng constructed anywhere (bench drivers, CLI, "
-        "tests) must not flow into distributed/, replica/, or serve/ "
-        "code — deterministic replay requires every protocol draw to "
-        "derive from an explicit seed."
+        "tests) must not flow into distributed/, replica/, serve/, or "
+        "stream/ code — deterministic replay requires every protocol "
+        "draw to derive from an explicit seed."
     )
 
-    _PROTECTED = ("distributed/", "replica/", "serve/")
+    _PROTECTED = ("distributed/", "replica/", "serve/", "stream/")
 
     def check_program(self, program: Program) -> Iterator[Finding]:
         findings: List[Finding] = []

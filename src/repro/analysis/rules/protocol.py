@@ -48,8 +48,9 @@ __all__ = [
     "ACCOUNTING_MARKERS",
 ]
 
-#: The SiteEndpoint surface (plus the strawman bulk-ship calls):
-#: invoking any of these on another object is a protocol message.
+#: The SiteEndpoint surface (plus the strawman bulk-ship calls and the
+#: continuous-query stream-site surface): invoking any of these on
+#: another object is a protocol message.
 RPC_METHODS = frozenset(
     {
         "prepare",
@@ -65,6 +66,10 @@ RPC_METHODS = frozenset(
         "probe_batch",
         "dominated_local_candidates",
         "set_replica",
+        "register_group",
+        "drop_group",
+        "close_epoch",
+        "sync_candidates",
     }
 )
 
@@ -111,9 +116,11 @@ class ProtocolAccountingRule(Rule):
     superseded_by = "SKY602"
 
     def applies_to(self, module: ModuleContext) -> bool:
-        return "distributed/" in module.relpath and not module.relpath.endswith(
-            "distributed/site.py"
-        )
+        if module.relpath.endswith(("distributed/site.py", "stream/site.py")):
+            # These modules *are* the endpoints: their calls onto the
+            # local engine are compute, not messages.
+            return False
+        return "distributed/" in module.relpath or "stream/" in module.relpath
 
     def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
         if "SKY602" in project.superseding:

@@ -46,9 +46,10 @@ __all__ = [
     "BLOCKING_CALLS",
 ]
 
-#: The SiteEndpoint surface (plus the strawman bulk-ship calls and the
-#: replica write-forwarding RPCs): invoking any of these on another
-#: object is a protocol message.
+#: The SiteEndpoint surface (plus the strawman bulk-ship calls, the
+#: replica write-forwarding RPCs, and the continuous-query stream-site
+#: surface): invoking any of these on another object is a protocol
+#: message.
 RPC_METHODS = frozenset(
     {
         "prepare",
@@ -66,6 +67,10 @@ RPC_METHODS = frozenset(
         "set_replica",
         "insert_tuple",
         "delete_tuple",
+        "register_group",
+        "drop_group",
+        "close_epoch",
+        "sync_candidates",
     }
 )
 

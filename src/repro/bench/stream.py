@@ -1,0 +1,221 @@
+"""Continuous-query bench: notification latency and edge suppression.
+
+Drives the :mod:`repro.stream` subsystem end-to-end through the serving
+layer — a :class:`~repro.serve.SkylineService` with a stream plane,
+standing queries subscribed, a seeded
+:func:`~repro.data.workload.make_synthetic_stream` schedule replayed
+into it — and measures, per window kind:
+
+* **notification latency** — wall-clock from the publish call to the
+  last subscriber receiving its delta batch (p50/p95/p99 over epochs),
+* **suppressed vs shipped** — candidate tuples the edge pre-filter
+  actually uplinked versus the naive-forwarding baseline, which ships
+  every arrival to the coordinator (plus the replication cost the
+  incremental protocol pays, reported separately and honestly),
+* **exactness** — at every measured epoch, the standing result of a
+  checked query is compared bit-for-bit against a fresh
+  :func:`~repro.distributed.query.distributed_skyline` run over the
+  live windows; any mismatch fails the bench.
+
+Results land in ``BENCH_stream.json`` at the repository root (override
+with ``--out``).  Latencies are wall-clock — the artifact is a
+trajectory, not a cross-machine diff; the suppression ratios and the
+exactness verdicts are deterministic.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.stream            # full
+    PYTHONPATH=src python -m repro.bench.stream --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.dominance import Preference
+from ..data.workload import StreamArrival, make_synthetic_stream
+from ..distributed.query import distributed_skyline
+from ..serve import AdmissionPolicy, SkylineService
+from ..stream import StandingQuery, make_window
+from ..stream.site import streaming_site_config
+
+__all__ = ["run_stream_bench", "main"]
+
+SEED = 811
+WINDOW_KINDS = ("count", "sliding-time", "tumbling-time")
+FULL = {"n": 1_500, "d": 3, "sites": 4, "epoch_every": 50, "window": 250}
+QUICK = {"n": 300, "d": 3, "sites": 3, "epoch_every": 30, "window": 90}
+#: Exactness is checked every k-th epoch (fresh runs are the expensive
+#: part of the bench, not the subsystem under test).
+EXACTNESS_EVERY = 2
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty series."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _window_size(kind: str, scale: Dict[str, int], arrivals: List[StreamArrival]) -> float:
+    if kind == "count":
+        return float(scale["window"])
+    # Time windows: span sized so the window holds roughly the same
+    # number of live tuples as the count variant does.
+    mean_gap = arrivals[-1].stamp / len(arrivals)
+    return scale["window"] * mean_gap
+
+
+def _standing_queries(d: int) -> List[StandingQuery]:
+    return [
+        StandingQuery(threshold=0.4),
+        StandingQuery(threshold=0.3, preference=Preference(subspace=(0, 1))),
+        StandingQuery(threshold=0.25, limit=8),
+    ]
+
+
+async def _one_kind(
+    kind: str, scale: Dict[str, int], arrivals: List[StreamArrival]
+) -> Dict[str, object]:
+    size = _window_size(kind, scale, arrivals)
+    windows = [make_window(kind, size) for _ in range(scale["sites"])]
+    notify_latencies: List[float] = []
+    exact_checks = 0
+    mismatches = 0
+    async with SkylineService(
+        stream_windows=windows,
+        auto_publish=False,
+        policy=AdmissionPolicy(max_subscriptions=8),
+    ) as service:
+        sessions = [
+            await service.subscribe(query) for query in _standing_queries(scale["d"])
+        ]
+        checked = sessions[0]
+        epochs = 0
+        for i, arrival in enumerate(arrivals):
+            service.ingest(arrival.site_id, arrival.tuple, arrival.stamp)
+            if (i + 1) % scale["epoch_every"] == 0:
+                start = time.perf_counter()
+                await service.publish()
+                for session in sessions:
+                    while not session._queue.empty():
+                        await session.next_batch()
+                notify_latencies.append(time.perf_counter() - start)
+                epochs += 1
+                if epochs % EXACTNESS_EVERY == 0:
+                    exact_checks += 1
+                    stream = service.stream
+                    assert stream is not None
+                    got = stream.result(checked.query_id)
+                    want = distributed_skyline(
+                        stream.live_partitions(),
+                        checked.query.threshold,
+                        algorithm="edsud",
+                        site_config=streaming_site_config(),
+                    ).answer
+                    if [(m.key, m.probability) for m in got.members] != [  # skylint: ignore[SKY301] bitwise on purpose: the exactness gate demands bit-identical answers
+                        (m.key, m.probability) for m in want.members
+                    ]:
+                        mismatches += 1
+        stream = service.stream
+        assert stream is not None
+        shipped = stream.candidates_shipped
+        replicas = stream.replicas_shipped
+        arrivals_total = stream.arrivals_total
+        tuples_transmitted = stream.stats.tuples_transmitted
+    naive = arrivals_total  # naive forwarding ships every arrival uplink
+    return {
+        "benchmark": "stream_continuous",
+        "window_kind": kind,
+        "window_size": size,
+        "epochs": epochs,
+        "subscriptions": len(sessions),
+        "arrivals": arrivals_total,
+        "candidates_shipped": shipped,
+        "replicas_shipped": replicas,
+        "tuples_transmitted": tuples_transmitted,
+        "naive_uplink_tuples": naive,
+        "suppressed_uplink_tuples": naive - shipped,
+        "suppression_ratio": round(1.0 - shipped / naive, 4) if naive else 0.0,
+        "notify_p50_ms": round(_percentile(notify_latencies, 0.50) * 1e3, 3),
+        "notify_p95_ms": round(_percentile(notify_latencies, 0.95) * 1e3, 3),
+        "notify_p99_ms": round(_percentile(notify_latencies, 0.99) * 1e3, 3),
+        "exactness_checks": exact_checks,
+        "exactness_mismatches": mismatches,
+    }
+
+
+def run_stream_bench(quick: bool = False) -> Dict[str, object]:
+    """Run the per-window-kind sweep; returns the JSON document."""
+    scale = QUICK if quick else FULL
+    arrivals = make_synthetic_stream(
+        n=scale["n"], d=scale["d"], sites=scale["sites"], seed=SEED
+    )
+    results = [
+        asyncio.run(_one_kind(kind, scale, arrivals)) for kind in WINDOW_KINDS
+    ]
+    return {
+        "artifact": "BENCH_stream",
+        "generated_by": "python -m repro.bench.stream",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": SEED,
+        "scale": scale,
+        "quick": quick,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.stream",
+        description="Bench the continuous-query subsystem.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_stream.json",
+        help="output path (default: BENCH_stream.json in the cwd)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small scale only (CI smoke)"
+    )
+    args = parser.parse_args(argv)
+    doc = run_stream_bench(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    failures = 0
+    for row in doc["results"]:
+        print(
+            f"{row['window_kind']:13s} epochs {row['epochs']:3d}  "
+            f"uplink {row['candidates_shipped']:5d}/{row['naive_uplink_tuples']:5d} "
+            f"(suppressed {row['suppression_ratio']:.1%})  "
+            f"notify p50 {row['notify_p50_ms']:7.2f}ms p95 {row['notify_p95_ms']:7.2f}ms  "
+            f"exact {row['exactness_checks'] - row['exactness_mismatches']}"
+            f"/{row['exactness_checks']}"
+        )
+        if row["exactness_mismatches"]:
+            failures += 1
+        if row["candidates_shipped"] >= row["naive_uplink_tuples"]:
+            print(
+                f"FAILED: {row['window_kind']} shipped no fewer tuples than "
+                f"naive forwarding"
+            )
+            failures += 1
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"FAILED: {failures} rows violated exactness or suppression")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

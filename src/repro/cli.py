@@ -22,6 +22,12 @@ Three commands make the library usable without writing Python:
     summary reports latency percentiles, throughput, and per-tenant
     bandwidth spend.
 
+``stream``
+    Register a standing query against a seeded synthetic uncertain
+    stream (:mod:`repro.stream`) and print the ordered ENTER/EXIT/
+    RESCORE deltas each published epoch produces, plus the edge
+    pre-filter's suppressed-vs-shipped bill.
+
 ``advise``
     Recommend an algorithm from the Eqs. 6-8 cost model.
 
@@ -179,6 +185,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="seed for partitioning and the query mix",
     )
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a standing query over a synthetic stream, printing deltas",
+    )
+    stream.add_argument(
+        "-q", "--threshold", type=float, default=0.3,
+        help="standing query probability threshold (default 0.3)",
+    )
+    stream.add_argument(
+        "--subspace", default=None,
+        help="comma-separated dimension indices, e.g. '0,2'",
+    )
+    stream.add_argument("-k", "--limit", type=int, default=None, help="top-k")
+    stream.add_argument("-m", "--sites", type=int, default=3)
+    stream.add_argument("-n", "--arrivals", type=int, default=300)
+    stream.add_argument("-d", "--dimensionality", type=int, default=3)
+    stream.add_argument(
+        "--distribution", choices=sorted(DISTRIBUTIONS), default="independent"
+    )
+    stream.add_argument(
+        "--window", choices=["count", "sliding-time", "tumbling-time"],
+        default="count",
+    )
+    stream.add_argument(
+        "--window-size", type=float, default=60,
+        help="count capacity, or span in seconds for the time kinds",
+    )
+    stream.add_argument(
+        "--epoch-every", type=int, default=25, metavar="N",
+        help="publish an epoch every N arrivals (default 25)",
+    )
+    stream.add_argument(
+        "--max-print", type=int, default=40,
+        help="delta rows to print (default 40)",
+    )
+    stream.add_argument("--seed", type=int, default=0)
 
     advise = sub.add_parser(
         "advise", help="recommend an algorithm from the Eqs. 6-8 cost model"
@@ -499,6 +542,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .data.workload import make_synthetic_stream
+    from .stream import (
+        ContinuousCoordinator,
+        StandingQuery,
+        StreamSite,
+        make_window,
+    )
+
+    preference = None
+    if args.subspace:
+        preference = Preference(
+            subspace=tuple(int(x) for x in args.subspace.split(","))
+        )
+    arrivals = make_synthetic_stream(
+        distribution=args.distribution,
+        n=args.arrivals,
+        d=args.dimensionality,
+        sites=args.sites,
+        seed=args.seed,
+    )
+    coordinator = ContinuousCoordinator(
+        [
+            StreamSite(i, make_window(args.window, args.window_size))
+            for i in range(args.sites)
+        ]
+    )
+    query_id = coordinator.register(
+        StandingQuery(
+            threshold=args.threshold, preference=preference, limit=args.limit
+        )
+    )
+    print(
+        f"standing query {query_id}: q={args.threshold} "
+        f"window={args.window}({args.window_size:g}) sites={args.sites} "
+        f"seed={args.seed}"
+    )
+    printed = 0
+    total_deltas = 0
+    for i, arrival in enumerate(arrivals):
+        coordinator.ingest(arrival.site_id, arrival.tuple, arrival.stamp)
+        if (i + 1) % max(1, args.epoch_every) == 0:
+            for delta in coordinator.close_epoch():
+                total_deltas += 1
+                if printed < args.max_print:
+                    print(f"  {delta.describe()}")
+                    printed += 1
+    if total_deltas > printed:
+        print(f"  ... and {total_deltas - printed} more (raise --max-print)")
+    standing = coordinator.result(query_id)
+    print(
+        f"standing result after epoch {coordinator.epoch}: "
+        f"{len(standing)} tuples"
+    )
+    shipped = coordinator.candidates_shipped
+    naive = coordinator.arrivals_total
+    suppressed = naive - shipped
+    ratio = suppressed / naive * 100 if naive else 0.0
+    print(
+        f"edge pre-filter: shipped {shipped}/{naive} candidate tuples uplink "
+        f"(suppressed {suppressed}, {ratio:.1f}%); "
+        f"{coordinator.replicas_shipped} replica tuples down; "
+        f"{coordinator.stats.tuples_transmitted} total on the books"
+    )
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from .distributed.advisor import recommend_algorithm
 
@@ -527,6 +637,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "info": _cmd_info,
         "serve": _cmd_serve,
+        "stream": _cmd_stream,
         "advise": _cmd_advise,
     }
     return handlers[args.command](args)

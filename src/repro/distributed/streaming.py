@@ -2,36 +2,42 @@
 
 The paper's related work (§2.2, Zhang et al.) studies probabilistic
 skylines over a *sliding window* of an uncertain stream, but leaves the
-distributed case open; its own §5.4 maintenance machinery is exactly
-the missing piece.  This module composes the two: every site observes
-an uncertain stream and keeps only its ``window`` most recent tuples,
-and the coordinator continuously maintains the global threshold
-skyline over the union of all windows.
+distributed case open.  This module keeps that original per-arrival API
+— one :class:`StreamEvent` per arrival, a standing answer always exact
+over the live windows — but is now a thin adapter over the
+:mod:`repro.stream` continuous-query subsystem: each site is a
+:class:`~repro.stream.site.StreamSite` with a count window, the answer
+lives in a :class:`~repro.stream.coordinator.ContinuousCoordinator`
+holding one registered :class:`~repro.stream.deltas.StandingQuery`, and
+every arrival closes one epoch whose ENTER/EXIT deltas become the
+event's ``added``/``removed``.
 
-Each arrival is one insert plus (once the window is full) one expiry,
-both handled by the replica-based
-:class:`~repro.distributed.updates.IncrementalMaintainer` — so the
-standing answer is always *exactly* the probabilistic skyline of the
-currently live tuples (a tested invariant), most arrivals cost zero
-wide-area tuples, and the bandwidth books stay exact.
+The edge pre-filter makes most arrivals free: a tuple whose local
+skyline probability cannot reach the threshold never touches the wire,
+and expiries of never-shipped tuples travel as nothing at all.  The
+bandwidth books stay tuple-exact, billed under the stream protocol's
+SUBSCRIBE/DELTA/NOTIFY/EXPIRE kinds.
 
 Windows are count-based per site, the natural distributed reading of
-"the last W readings of each sensor".
+"the last W readings of each sensor"; register standing queries on a
+:class:`~repro.stream.coordinator.ContinuousCoordinator` directly for
+time-based windows, multiple queries, or batched epochs.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.dominance import Preference
 from ..core.prob_skyline import ProbabilisticSkyline
 from ..core.tuples import UncertainTuple
-from ..net.stats import LatencyModel
-from .query import build_sites
+from ..net.stats import LatencyModel, NetworkStats
+from ..stream.coordinator import ContinuousCoordinator
+from ..stream.deltas import DeltaKind, StandingQuery
+from ..stream.site import StreamSite
+from ..stream.windows import CountWindow
 from .site import SiteConfig
-from .updates import IncrementalMaintainer
 
 __all__ = ["StreamEvent", "DistributedStreamSkyline"]
 
@@ -71,86 +77,64 @@ class DistributedStreamSkyline:
         self.window = window
         self.threshold = threshold
         self.preference = preference
-        self._windows: List[Deque[UncertainTuple]] = [deque() for _ in range(sites)]
-        self._maintainer = IncrementalMaintainer(
-            build_sites([[] for _ in range(sites)], preference=preference,
-                        site_config=site_config),
-            threshold,
-            preference,
-            latency_model,
+        self._coordinator = ContinuousCoordinator(
+            [
+                StreamSite(i, CountWindow(window), site_config=site_config)
+                for i in range(sites)
+            ],
+            latency_model=latency_model,
         )
-        self._seen_keys: set = set()
+        self._query_id = self._coordinator.register(
+            StandingQuery(threshold=threshold, preference=preference)
+        )
         self.events: List[StreamEvent] = []
 
     # ------------------------------------------------------------------
 
     @property
     def sites(self) -> int:
-        return len(self._windows)
+        return len(self._coordinator.sites)
 
     @property
     def stats(self) -> NetworkStats:
         """Maintenance-traffic accounting (tuple-exact, like the paper's)."""
-        return self._maintainer.stats
+        return self._coordinator.stats
 
     def live_tuples(self, site_id: Optional[int] = None) -> List[UncertainTuple]:
         """The currently windowed tuples (of one site, or all)."""
         if site_id is not None:
-            return list(self._windows[site_id])
-        return [t for w in self._windows for t in w]
+            return self._coordinator.sites[site_id].live_tuples()
+        return [t for site in self._coordinator.sites for t in site.live_tuples()]
 
     def skyline(self) -> ProbabilisticSkyline:
         """The standing answer — always equal to a fresh recompute."""
-        return self._maintainer.skyline()
+        return self._coordinator.result(self._query_id)
 
     # ------------------------------------------------------------------
 
     def arrive(self, site_id: int, t: UncertainTuple) -> StreamEvent:
         """Feed one stream tuple to a site; returns the resulting event.
 
-        If the site's window is full its oldest tuple expires first
-        (delete), then the arrival is inserted — both through the
-        incremental §5.4 protocol.
+        If the site's window is full its oldest tuple expires first,
+        then the arrival is inserted; the epoch closes immediately, so
+        the standing answer is exact after every arrival.
         """
         if not 0 <= site_id < self.sites:
             raise IndexError(f"no site {site_id} (have {self.sites})")
-        if t.key in self._seen_keys:
-            raise ValueError(
-                f"stream key {t.key} already live or previously seen; "
-                f"stream keys must be unique"
-            )
-        before = self._maintainer.stats.tuples_transmitted
-        window = self._windows[site_id]
+        site = self._coordinator.sites[site_id]
         expired_key: Optional[int] = None
-        added: List[int] = []
-        removed: List[int] = []
-
-        if len(window) >= self.window:
-            oldest = window.popleft()
-            expired_key = oldest.key
-            report = self._maintainer.delete(site_id, oldest.key)
-            added.extend(report.added)
-            removed.extend(report.removed)
-
-        window.append(t)
-        self._seen_keys.add(t.key)
-        report = self._maintainer.insert(site_id, t)
-        added.extend(report.added)
-        removed.extend(report.removed)
-
-        # An expiry can momentarily promote a tuple the insert then
-        # disqualifies (or vice versa); collapse such churn so the
-        # event describes the net effect of the arrival.
-        net_added = [k for k in added if k not in removed]
-        net_removed = [k for k in removed if k not in added]
-
+        if len(site.window) >= self.window:
+            expired_key = site.live_tuples()[0].key
+        before = self.stats.tuples_transmitted
+        self._coordinator.ingest(site_id, t)
+        deltas = self._coordinator.close_epoch()
         event = StreamEvent(
             site_id=site_id,
             arrived=t.key,
             expired=expired_key,
-            added=net_added,
-            removed=net_removed,
-            tuples_transmitted=self._maintainer.stats.tuples_transmitted - before,
+            added=[d.key for d in deltas if d.kind is DeltaKind.ENTER],
+            removed=[d.key for d in deltas if d.kind is DeltaKind.EXIT],
+            tuples_transmitted=self.stats.tuples_transmitted - before,
         )
         self.events.append(event)
         return event

@@ -301,4 +301,8 @@ class NaiveMaintainer(_MaintainerBase):
         self.stats.messages += result.stats.messages
         self.stats.simulated_time += result.stats.simulated_time
         self.stats.rounds += result.stats.rounds
+        # Merge the per-kind breakdown too, or the book goes asymmetric:
+        # every absorbed message must stay attributable to its kind.
+        for kind, count in result.stats.by_kind.items():
+            self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + count
         return result.stats.tuples_transmitted

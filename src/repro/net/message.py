@@ -47,6 +47,10 @@ class MessageKind(enum.Enum):
     REPLICA_SYNC = "replica_sync"        # S_i → R_i : tuple shipment to a replica
     DIGEST = "digest"                    # H ↔ R_i : anti-entropy partition digest
     FAILOVER_PROBE = "failover_probe"    # H → R_i : replayed broadcast after failover
+    SUBSCRIBE = "subscribe"              # client ↔ H ↔ S_i : standing-query (de)registration
+    DELTA = "delta"                      # S_i → H : stream digest (1 tuple per new candidate)
+    NOTIFY = "notify"                    # H → client: ordered ResultDelta batch
+    EXPIRE = "expire"                    # S_i → H : windowed candidate departed (key only)
 
 
 #: Message kinds whose payload is a tuple and therefore costs bandwidth.
@@ -57,6 +61,7 @@ _TUPLE_BEARING = {
     MessageKind.DATA,
     MessageKind.REPLICA_SYNC,
     MessageKind.FAILOVER_PROBE,
+    MessageKind.DELTA,
 }
 
 

@@ -11,6 +11,8 @@ architecture and :mod:`repro.bench.service` for the load-test harness.
   and pre-provisioned replicas (:class:`StandingReplicaBook`).
 * :mod:`~repro.serve.session` — per-query state (:class:`QuerySpec`,
   :class:`QuerySession`).
+* :mod:`~repro.serve.subscription` — long-lived standing-query sessions
+  (:class:`SubscriptionSession`) fed by the stream plane.
 * :mod:`~repro.serve.admission` — concurrency caps and tenant budgets.
 * :mod:`~repro.serve.service` — the scheduler tying it together.
 """
@@ -19,6 +21,7 @@ from .admission import AdmissionPolicy, AdmissionRejected, TenantLedger
 from .service import SkylineService
 from .session import QuerySession, QuerySpec, SessionState
 from .sites import SharedSiteHost, StandingReplicaBook
+from .subscription import SubscriptionSession, SubscriptionState
 
 __all__ = [
     "AdmissionPolicy",
@@ -30,4 +33,6 @@ __all__ = [
     "SessionState",
     "SharedSiteHost",
     "StandingReplicaBook",
+    "SubscriptionSession",
+    "SubscriptionState",
 ]

@@ -29,10 +29,17 @@ class AdmissionRejected(RuntimeError):
 
 @dataclass(frozen=True)
 class AdmissionPolicy:
-    """Concurrency limits for one service instance."""
+    """Concurrency limits for one service instance.
+
+    ``max_subscriptions`` caps *standing* (continuous) queries held
+    open at once — unlike one-shot queries they never finish on their
+    own, so there is no queue behind the cap: the ``subscribe`` call
+    is rejected outright.
+    """
 
     max_inflight: int = 8
     max_queued: int = 64
+    max_subscriptions: int = 32
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -42,6 +49,11 @@ class AdmissionPolicy:
         if self.max_queued < 0:
             raise ValueError(
                 f"max_queued must be non-negative, got {self.max_queued!r}"
+            )
+        if self.max_subscriptions < 0:
+            raise ValueError(
+                f"max_subscriptions must be non-negative, got "
+                f"{self.max_subscriptions!r}"
             )
 
 

@@ -58,9 +58,14 @@ from ..fault.liveness import LivenessBook
 from ..net.aio import connect_async_sites
 from ..net.stats import LatencyModel
 from ..net.transport import SiteEndpoint
+from ..stream.coordinator import ContinuousCoordinator
+from ..stream.deltas import ResultDelta, StandingQuery
+from ..stream.site import StreamSite
+from ..stream.windows import Window
 from .admission import AdmissionPolicy, AdmissionRejected, TenantLedger
 from .session import QuerySession, QuerySpec
 from .sites import SharedSiteHost, StandingReplicaBook
+from .subscription import SubscriptionSession
 
 __all__ = ["SkylineService"]
 
@@ -80,14 +85,19 @@ class SkylineService:
         remote_timeout: float = 30.0,
         remote_retries: int = 0,
         overlap_steps: bool = True,
+        stream_windows: Optional[Sequence[Window]] = None,
+        auto_publish: bool = True,
     ) -> None:
         if partitions is not None and remote_sites is not None:
             raise ValueError(
                 "pass either partitions= (in-process cluster) or "
                 "remote_sites= (dial site servers), not both"
             )
-        if remote_sites is None and not partitions:
-            raise ValueError("a service needs at least one partition")
+        if remote_sites is None and not partitions and stream_windows is None:
+            raise ValueError(
+                "a service needs at least one partition (or stream_windows= "
+                "for a continuous-only service)"
+            )
         if remote_sites is not None and not remote_sites:
             raise ValueError("remote_sites= needs at least one address")
         self.hosts = [
@@ -110,6 +120,25 @@ class SkylineService:
             else None
         )
         self.liveness_book = LivenessBook()
+        #: The continuous-query plane: present iff stream_windows= was
+        #: given.  Standing queries subscribe against it; epochs are
+        #: published by the scheduler (auto_publish) or by hand.
+        self.stream: Optional[ContinuousCoordinator] = None
+        if stream_windows is not None:
+            if not stream_windows:
+                raise ValueError("stream_windows= needs at least one window")
+            self.stream = ContinuousCoordinator(
+                [
+                    StreamSite(i, window, site_config=site_config)
+                    for i, window in enumerate(stream_windows)
+                ],
+                latency_model=latency_model,
+            )
+        self.auto_publish = auto_publish
+        self._subscriptions: List[SubscriptionSession] = []
+        self._stream_dirty = False
+        self._stream_billed = 0
+        self._subscription_ids = 0
         self._pending: Deque[QuerySession] = deque()
         self._running: List[QuerySession] = []
         self._finished: List[QuerySession] = []
@@ -142,13 +171,20 @@ class SkylineService:
             self._scheduler_task = loop.create_task(self._scheduler())
 
     async def close(self) -> None:
-        """Finish in-flight work, then stop the scheduler."""
+        """Finish in-flight work, then stop the scheduler.
+
+        Active subscriptions are cancelled on the way out so their
+        consumers' ``batches()`` iterators terminate.
+        """
         if self._scheduler_task is None:
             return
         self._stopping = True
         self._work.set()
         task, self._scheduler_task = self._scheduler_task, None
         await task
+        for subscription in self._subscriptions:
+            if subscription.active:
+                self._cancel_subscription(subscription, "service closed")
 
     # ------------------------------------------------------------------
     # the client surface
@@ -205,6 +241,113 @@ class SkylineService:
         while self._pending or self._running:
             await asyncio.sleep(0)
         return self.finished
+
+    # ------------------------------------------------------------------
+    # the continuous surface: standing queries over the stream plane
+    # ------------------------------------------------------------------
+
+    @property
+    def subscriptions(self) -> List[SubscriptionSession]:
+        return list(self._subscriptions)
+
+    def _require_stream(self) -> ContinuousCoordinator:
+        if self.stream is None:
+            raise RuntimeError(
+                "this service has no stream plane; pass stream_windows= "
+                "to serve standing queries"
+            )
+        return self.stream
+
+    async def subscribe(self, query: StandingQuery) -> SubscriptionSession:
+        """Register one standing query; returns its live session.
+
+        Unlike one-shot queries, subscriptions never finish on their
+        own, so there is no queue behind
+        :attr:`~repro.serve.admission.AdmissionPolicy.max_subscriptions`
+        — over the cap (or over the tenant's budget) the call raises
+        :class:`AdmissionRejected` outright.
+        """
+        stream = self._require_stream()
+        if self._scheduler_task is None:
+            raise RuntimeError("service not started; use 'async with' or start()")
+        if not self.ledger.within_budget(query.tenant):
+            raise AdmissionRejected(
+                f"tenant {query.tenant!r} is over its bandwidth budget"
+            )
+        active = sum(1 for s in self._subscriptions if s.active)
+        if active >= self.policy.max_subscriptions:
+            raise AdmissionRejected(
+                f"subscription cap reached ({self.policy.max_subscriptions} active)"
+            )
+        query_id = stream.register(query)
+        self._subscription_ids += 1
+        session = SubscriptionSession(self._subscription_ids, query, query_id)
+        self._subscriptions.append(session)
+        return session
+
+    def unsubscribe(self, session: SubscriptionSession) -> None:
+        """Voluntarily close one subscription (idempotent)."""
+        if session.active:
+            self._cancel_subscription(session, None)
+
+    def _cancel_subscription(
+        self, session: SubscriptionSession, reason: Optional[str]
+    ) -> None:
+        if self.stream is not None:
+            try:
+                self.stream.unregister(session.query_id)
+            except KeyError:
+                pass
+        session._cancel(reason)
+
+    def ingest(
+        self, site_id: int, t: UncertainTuple, stamp: Optional[float] = None
+    ) -> None:
+        """Feed one stream arrival; the next publish folds it in."""
+        self._require_stream().ingest(site_id, t, stamp)
+        self._stream_dirty = True
+        self._work.set()
+
+    def advance_stream(self, now: float) -> None:
+        """Advance the stream clock (time-based windows expire)."""
+        self._require_stream().advance(now)
+        self._stream_dirty = True
+        self._work.set()
+
+    async def publish(self) -> List[ResultDelta]:
+        """Close one stream epoch: bill delta traffic, fan batches out.
+
+        The epoch's transmitted tuples are split equally across the
+        active subscriptions and charged to their tenants; a tenant
+        pushed over budget has its subscriptions cancelled here, before
+        delivery — the continuous analogue of aborting a one-shot
+        session at its next step.
+        """
+        stream = self._require_stream()
+        self._stream_dirty = False
+        deltas = stream.close_epoch()
+        traffic = stream.stats.tuples_transmitted - self._stream_billed
+        self._stream_billed = stream.stats.tuples_transmitted
+        active = [s for s in self._subscriptions if s.active]
+        if active and traffic:
+            share = traffic / len(active)
+            for session in active:
+                session.billed_tuples += share
+                if not self.ledger.charge(session.query.tenant, share):
+                    self._cancel_subscription(
+                        session,
+                        f"tenant {session.query.tenant!r} bandwidth budget exhausted",
+                    )
+        by_query: dict = {}
+        for delta in deltas:
+            by_query.setdefault(delta.query_id, []).append(delta)
+        for session in active:
+            if not session.active:
+                continue
+            batch = by_query.get(session.query_id)
+            if batch:
+                session._deliver(batch)
+        return deltas
 
     # ------------------------------------------------------------------
     # session assembly
@@ -365,15 +508,29 @@ class SkylineService:
                 still_running.append(session)
         self._running = still_running
 
+    def _stream_publishable(self) -> bool:
+        return (
+            self.auto_publish
+            and self._stream_dirty
+            and any(s.active for s in self._subscriptions)
+        )
+
     async def _scheduler(self) -> None:
         while True:
-            if not self._pending and not self._running:
+            if (
+                not self._pending
+                and not self._running
+                and not self._stream_publishable()
+            ):
                 if self._stopping:
                     return
                 self._work.clear()
-                # Woken by submit() or close(); never busy-waits idle.
+                # Woken by submit(), ingest(), or close(); never
+                # busy-waits idle.
                 await self._work.wait()
                 continue
             await self._admit()
             await self._step_all()
+            if self._stream_publishable():
+                await self.publish()
             await asyncio.sleep(0)

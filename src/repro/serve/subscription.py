@@ -1,0 +1,107 @@
+"""Long-lived subscription sessions: standing queries inside the service.
+
+A :class:`SubscriptionSession` is the continuous counterpart of a
+:class:`~repro.serve.session.QuerySession`: where a query session steps
+a coordinator until one answer is done, a subscription session stays
+registered on the service's :class:`~repro.stream.coordinator.ContinuousCoordinator`
+indefinitely and receives the ordered
+:class:`~repro.stream.deltas.ResultDelta` batches each published epoch
+produces for its query.
+
+Fan-out is asyncio-native: the service's publish step enqueues each
+batch on the session's private :class:`asyncio.Queue`, so any number of
+subscribers consume at their own pace (``async for batch in
+session.batches()``) without blocking the scheduler — the same
+one-loop, isolated-state discipline the one-shot sessions follow.
+
+Delta traffic is billed like query traffic: every published epoch's
+transmitted tuples are split equally across the active subscriptions
+and charged to their tenants' :class:`~repro.serve.admission.TenantLedger`
+accounts; a tenant over budget has its subscriptions cancelled at the
+next publish boundary, exactly as a one-shot session is aborted at its
+next step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from typing import AsyncIterator, List, Optional
+
+from ..stream.deltas import ResultDelta, StandingQuery
+
+__all__ = ["SubscriptionState", "SubscriptionSession"]
+
+
+class SubscriptionState(enum.Enum):
+    ACTIVE = "active"
+    CANCELLED = "cancelled"
+
+
+class SubscriptionSession:
+    """One standing query held open by a client.
+
+    Created by :meth:`~repro.serve.service.SkylineService.subscribe`;
+    not constructed directly.  ``query_id`` is the id under which the
+    query is registered on the stream coordinator — deltas carry it.
+    """
+
+    def __init__(self, session_id: int, query: StandingQuery, query_id: int) -> None:
+        self.session_id = session_id
+        self.query = query
+        self.query_id = query_id
+        self.state = SubscriptionState.ACTIVE
+        self.abort_reason: Optional[str] = None
+        #: Tuples of delta traffic billed to this subscription's tenant.
+        self.billed_tuples = 0.0
+        #: Total deltas delivered over the session's lifetime.
+        self.notified = 0
+        self._queue: "asyncio.Queue[Optional[List[ResultDelta]]]" = asyncio.Queue()
+
+    @property
+    def active(self) -> bool:
+        return self.state is SubscriptionState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # the service side
+    # ------------------------------------------------------------------
+
+    def _deliver(self, batch: List[ResultDelta]) -> None:
+        self.notified += len(batch)
+        self._queue.put_nowait(list(batch))
+
+    def _cancel(self, reason: Optional[str]) -> None:
+        if self.state is SubscriptionState.CANCELLED:
+            return
+        self.state = SubscriptionState.CANCELLED
+        self.abort_reason = reason
+        # The end-of-stream sentinel: consumers drain queued batches
+        # first, then see the close.
+        self._queue.put_nowait(None)
+
+    # ------------------------------------------------------------------
+    # the client side
+    # ------------------------------------------------------------------
+
+    async def next_batch(self) -> Optional[List[ResultDelta]]:
+        """Await one epoch's delta batch; ``None`` once cancelled.
+
+        Pending batches queued before cancellation are still delivered,
+        in order — the close lands after them.
+        """
+        if self.state is SubscriptionState.CANCELLED and self._queue.empty():
+            return None
+        batch = await self._queue.get()
+        if batch is None:
+            # Keep the sentinel in place for any other waiter.
+            self._queue.put_nowait(None)
+            return None
+        return batch
+
+    async def batches(self) -> AsyncIterator[List[ResultDelta]]:
+        """Iterate delta batches until the subscription closes."""
+        while True:
+            batch = await self.next_batch()
+            if batch is None:
+                return
+            yield batch

@@ -1,0 +1,39 @@
+"""Continuous skyline queries over sliding-window uncertain streams.
+
+The subsystem turns the repo's one-shot DSUD/e-DSUD machinery into a
+standing-query service: :class:`~repro.stream.site.StreamSite` ingests
+per-site streams under a :mod:`~repro.stream.windows` policy and
+pre-filters candidates at the edge; :class:`~repro.stream.coordinator.ContinuousCoordinator`
+maintains the registered result sets and emits ordered
+:class:`~repro.stream.deltas.ResultDelta` notifications at every epoch
+close.  See ``docs/streaming.md`` for the protocol and the bit-identical
+exactness contract.
+"""
+
+from .coordinator import ContinuousCoordinator
+from .deltas import DeltaKind, ResultDelta, StandingQuery
+from .site import StreamDigest, StreamSite, streaming_site_config
+from .windows import (
+    WINDOW_KINDS,
+    CountWindow,
+    SlidingTimeWindow,
+    TumblingTimeWindow,
+    Window,
+    make_window,
+)
+
+__all__ = [
+    "ContinuousCoordinator",
+    "DeltaKind",
+    "ResultDelta",
+    "StandingQuery",
+    "StreamDigest",
+    "StreamSite",
+    "streaming_site_config",
+    "Window",
+    "CountWindow",
+    "SlidingTimeWindow",
+    "TumblingTimeWindow",
+    "WINDOW_KINDS",
+    "make_window",
+]

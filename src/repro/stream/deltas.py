@@ -1,0 +1,85 @@
+"""Standing queries and the deltas their clients receive.
+
+A continuous client registers a :class:`StandingQuery` — the same knobs
+as a one-shot :class:`~repro.serve.session.QuerySpec` minus everything
+that only makes sense for a finite run — and from then on receives an
+ordered sequence of :class:`ResultDelta` notifications instead of a
+one-shot answer:
+
+* ``ENTER`` — the tuple joined the query's result set (probability and
+  tuple attached),
+* ``EXIT`` — it left (key only),
+* ``RESCORE`` — it stayed but its global skyline probability changed
+  (new probability attached).
+
+Within one epoch a query's deltas are emitted EXITs first (ascending
+key), then ENTER/RESCOREs in the result set's canonical order —
+descending probability, key-ascending on ties — so replaying a delta
+stream reconstructs, at every epoch, exactly the result a fresh
+:func:`~repro.distributed.query.distributed_skyline` run over the live
+window contents would report (the subsystem's exactness contract).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.dominance import Preference
+from ..core.tuples import UncertainTuple
+
+__all__ = ["StandingQuery", "DeltaKind", "ResultDelta"]
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """One registered continuous query.
+
+    ``threshold`` is the probability threshold ``p`` the paper's
+    one-shot queries take; ``preference`` optionally restricts dominance
+    to a subspace or flips directions; ``limit`` keeps only the top-k
+    most probable qualified tuples in the pushed result; ``tenant``
+    names the bandwidth account the serving layer bills delta traffic
+    to.
+    """
+
+    threshold: float
+    preference: Optional[Preference] = None
+    limit: Optional[int] = None
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {self.threshold!r}"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit!r}")
+
+
+class DeltaKind(enum.Enum):
+    """What one notification says about one tuple."""
+
+    ENTER = "enter"
+    EXIT = "exit"
+    RESCORE = "rescore"
+
+
+@dataclass(frozen=True)
+class ResultDelta:
+    """One ordered notification for one standing query."""
+
+    query_id: int
+    epoch: int
+    kind: DeltaKind
+    key: int
+    probability: Optional[float] = None
+    tuple: Optional[UncertainTuple] = None
+
+    def describe(self) -> str:
+        prob = "" if self.probability is None else f" P={self.probability:.6f}"
+        return (
+            f"epoch {self.epoch} query {self.query_id}: "
+            f"{self.kind.value.upper()} key={self.key}{prob}"
+        )

@@ -417,6 +417,145 @@ class Region:
 
 
 # ----------------------------------------------------------------------
+# The continuous-query (stream/) push path: SKY602's scope and SKY603's
+# ledger both learn the SUBSCRIBE/DELTA/NOTIFY/EXPIRE kinds.
+
+
+SKY602_BAD_STREAM_UNBILLED = {
+    "repro/stream/fake.py": """\
+class Hub:
+    def epoch(self, site):
+        return site.close_epoch("g0")
+"""
+}
+
+
+def test_sky602_covers_the_stream_push_path():
+    findings = _check(SKY602_BAD_STREAM_UNBILLED, [InterproceduralBillingRule()])
+    assert [f.rule for f in findings] == ["SKY602"]
+    assert "site.close_epoch" in findings[0].message
+
+
+def test_sky602_stream_site_module_is_the_endpoint_not_a_sender():
+    files = {
+        "repro/stream/site.py": SKY602_BAD_STREAM_UNBILLED["repro/stream/fake.py"]
+    }
+    assert _check(files, [InterproceduralBillingRule()]) == []
+
+
+def test_sky602_accepts_a_locally_billed_stream_epoch():
+    files = {
+        "repro/stream/fake.py": """\
+class Hub:
+    def epoch(self, site):
+        self._account("DELTA")
+        return site.close_epoch("g0")
+
+    def _account(self, kind):
+        self.stats.record(kind)
+"""
+    }
+    assert _check(files, [InterproceduralBillingRule()]) == []
+
+
+def test_sky101_applies_to_stream_senders_but_not_the_stream_site():
+    source = SKY602_BAD_STREAM_UNBILLED["repro/stream/fake.py"]
+    flagged = run_rules(
+        [ModuleContext("repro/stream/fake.py", source)], [ProtocolAccountingRule()]
+    )
+    assert [f.rule for f in flagged] == ["SKY101"]
+    assert (
+        run_rules(
+            [ModuleContext("repro/stream/site.py", source)],
+            [ProtocolAccountingRule()],
+        )
+        == []
+    )
+
+
+_STREAM_MESSAGE_MODULE = """\
+import enum
+
+
+class MessageKind(enum.Enum):
+    SUBSCRIBE = "subscribe"
+    DELTA = "delta"
+    NOTIFY = "notify"
+    EXPIRE = "expire"
+"""
+
+
+def test_sky603_accepts_the_stream_kinds_billed_from_their_rpcs():
+    files = {
+        "repro/net/message.py": _STREAM_MESSAGE_MODULE,
+        "repro/stream/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Hub:
+    def register(self, site, query):
+        self.stats.record(MessageKind.SUBSCRIBE, "client", "server")
+        return site.register_group("g0", query)
+
+    def epoch(self, site):
+        self.stats.record(MessageKind.DELTA, "site-0", "server")
+        self.stats.record(MessageKind.EXPIRE, "site-0", "server")
+        self.stats.record(MessageKind.NOTIFY, "server", "client")
+        return site.close_epoch("g0")
+""",
+    }
+    assert _check(files, [LedgerSymmetryRule()]) == []
+
+
+def test_sky603_flags_stream_kinds_billed_away_from_their_rpcs():
+    # DELTA and EXPIRE price the close_epoch digest; billing them from
+    # the registration path (register_group) breaks the ledger pairing.
+    files = {
+        "repro/net/message.py": _STREAM_MESSAGE_MODULE,
+        "repro/stream/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Hub:
+    def register(self, site, query):
+        self.stats.record(MessageKind.SUBSCRIBE, "client", "server")
+        self.stats.record(MessageKind.DELTA, "site-0", "server")
+        self.stats.record(MessageKind.EXPIRE, "site-0", "server")
+        self.stats.record(MessageKind.NOTIFY, "server", "client")
+        return site.register_group("g0", query)
+""",
+    }
+    findings = _check(files, [LedgerSymmetryRule()])
+    assert [f.rule for f in findings] == ["SKY603", "SKY603"]
+    assert "DELTA" in findings[0].message
+    assert "EXPIRE" in findings[1].message
+
+
+def test_sky603_flags_a_stream_kind_nothing_ever_bills():
+    files = {
+        "repro/net/message.py": _STREAM_MESSAGE_MODULE,
+        "repro/stream/fake.py": """\
+from repro.net.message import MessageKind
+
+
+class Hub:
+    def register(self, site, query):
+        self.stats.record(MessageKind.SUBSCRIBE, "client", "server")
+        return site.register_group("g0", query)
+
+    def epoch(self, site):
+        self.stats.record(MessageKind.DELTA, "site-0", "server")
+        self.stats.record(MessageKind.NOTIFY, "server", "client")
+        return site.close_epoch("g0")
+""",
+    }
+    findings = _check(files, [LedgerSymmetryRule()])
+    assert [f.rule for f in findings] == ["SKY603"]
+    assert "EXPIRE" in findings[0].message
+    assert "no billed send site" in findings[0].message
+
+
+# ----------------------------------------------------------------------
 # SKY604 — seed-provenance
 
 

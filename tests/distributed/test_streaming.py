@@ -141,3 +141,73 @@ class TestAccounting:
         stream = DistributedStreamSkyline(sites=1, window=3, threshold=0.3)
         stream.drain(0, stream_tuples(5, seed=7))
         assert len(stream.events) == 5
+
+
+class TestEngineWiring:
+    """The adapter rides the repro.stream continuous-query engine; pin
+    the wiring, not just the answers."""
+
+    def test_standing_answer_is_bit_identical_to_a_fresh_run(self):
+        from repro.distributed.query import distributed_skyline
+        from repro.stream.site import streaming_site_config
+
+        stream = DistributedStreamSkyline(sites=3, window=6, threshold=0.3)
+        rng = random.Random(17)
+        for t in stream_tuples(40, seed=17, grid=8):
+            stream.arrive(rng.randrange(3), t)
+            got = [(m.key, m.probability) for m in stream.skyline().members]
+            want = distributed_skyline(
+                [stream.live_tuples(i) for i in range(3)],
+                stream.threshold,
+                algorithm="edsud",
+                site_config=streaming_site_config(),
+            ).answer
+            assert got == [(m.key, m.probability) for m in want.members]
+
+    def test_preference_passes_through_to_the_engine(self):
+        from repro.core.dominance import Preference
+        from repro.distributed.query import distributed_skyline
+        from repro.stream.site import streaming_site_config
+
+        preference = Preference(subspace=(0,))
+        stream = DistributedStreamSkyline(
+            sites=2, window=5, threshold=0.3, preference=preference
+        )
+        rng = random.Random(23)
+        for t in stream_tuples(20, seed=23, grid=6):
+            stream.arrive(rng.randrange(2), t)
+        want = distributed_skyline(
+            [stream.live_tuples(i) for i in range(2)],
+            stream.threshold,
+            algorithm="edsud",
+            preference=preference,
+            site_config=streaming_site_config(),
+        ).answer
+        assert [(m.key, m.probability) for m in stream.skyline().members] == [
+            (m.key, m.probability) for m in want.members
+        ]
+
+    def test_traffic_is_billed_under_the_stream_protocol_kinds(self):
+        stream = DistributedStreamSkyline(sites=2, window=4, threshold=0.3)
+        # Registration fans the suppression bound out as SUBSCRIBE.
+        assert stream.stats.by_kind.get("subscribe", 0) >= 1
+        rng = random.Random(29)
+        for t in stream_tuples(16, seed=29, grid=8):
+            stream.arrive(rng.randrange(2), t)
+        assert stream.stats.by_kind.get("delta", 0) >= 1
+        assert stream.stats.by_kind.get("notify", 0) >= 1
+        # Ledger identity: only entered candidates (up) and replicas
+        # (down) bear tuples.
+        hub = stream._coordinator
+        assert (
+            stream.stats.tuples_transmitted
+            == hub.candidates_shipped + hub.replicas_shipped
+        )
+
+    def test_changed_answer_flag_matches_the_deltas(self):
+        stream = DistributedStreamSkyline(sites=1, window=4, threshold=0.3)
+        first = stream.arrive(0, UncertainTuple(1, (0.0, 0.0), 0.9))
+        assert first.changed_answer and first.added == [1]
+        quiet = stream.arrive(0, UncertainTuple(2, (9.0, 9.0), 0.05))
+        assert not quiet.changed_answer
+        assert quiet.added == [] and quiet.removed == []

@@ -1,0 +1,243 @@
+"""Subscription sessions: the continuous plane of the service.
+
+Standing queries subscribe against the service's stream coordinator
+and receive each published epoch's ordered delta batch on a private
+asyncio queue.  These tests pin the plane's admission, billing,
+fan-out, and teardown contracts — the continuous mirrors of what
+test_session.py pins for one-shot queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List
+
+import pytest
+
+from repro.core.tuples import UncertainTuple
+from repro.serve import (
+    AdmissionPolicy,
+    AdmissionRejected,
+    SkylineService,
+    SubscriptionState,
+)
+from repro.stream import CountWindow, DeltaKind, StandingQuery
+
+
+def _windows(n: int = 2, capacity: int = 16) -> List[CountWindow]:
+    return [CountWindow(capacity) for _ in range(n)]
+
+
+def _t(key: int, values=(0.0, 0.0), p: float = 0.9) -> UncertainTuple:
+    return UncertainTuple(key, tuple(float(v) for v in values), p)
+
+
+# ----------------------------------------------------------------------
+# admission
+
+
+def test_subscribe_needs_a_stream_plane():
+    async def drive() -> None:
+        async with SkylineService([[_t(1)]]) as service:
+            with pytest.raises(RuntimeError, match="no stream plane"):
+                await service.subscribe(StandingQuery(threshold=0.3))
+
+    asyncio.run(drive())
+
+
+def test_subscribe_needs_a_started_service():
+    async def drive() -> None:
+        service = SkylineService(stream_windows=_windows())
+        with pytest.raises(RuntimeError, match="not started"):
+            await service.subscribe(StandingQuery(threshold=0.3))
+
+    asyncio.run(drive())
+
+
+def test_subscription_cap_rejects_outright():
+    """No queue behind the cap: standing queries never finish on their
+    own, so waiting for a slot would wait forever."""
+
+    async def drive() -> None:
+        policy = AdmissionPolicy(max_subscriptions=1)
+        async with SkylineService(
+            stream_windows=_windows(), policy=policy
+        ) as service:
+            first = await service.subscribe(StandingQuery(threshold=0.3))
+            with pytest.raises(AdmissionRejected, match="subscription cap"):
+                await service.subscribe(StandingQuery(threshold=0.4))
+            # A voluntary close frees the slot immediately.
+            service.unsubscribe(first)
+            again = await service.subscribe(StandingQuery(threshold=0.4))
+            assert again.active
+
+    asyncio.run(drive())
+
+
+def test_over_budget_tenant_is_rejected_at_subscribe():
+    async def drive() -> None:
+        async with SkylineService(
+            stream_windows=_windows(), tenant_budgets={"capped": 1.0}
+        ) as service:
+            service.ledger.charge("capped", 5.0)
+            with pytest.raises(AdmissionRejected, match="over its bandwidth budget"):
+                await service.subscribe(
+                    StandingQuery(threshold=0.3, tenant="capped")
+                )
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# fan-out delivery
+
+
+def test_published_deltas_fan_out_to_each_subscriber():
+    async def drive() -> None:
+        async with SkylineService(
+            stream_windows=_windows(), auto_publish=False
+        ) as service:
+            loose = await service.subscribe(StandingQuery(threshold=0.3))
+            tight = await service.subscribe(StandingQuery(threshold=0.95))
+            # Incomparable corners: both qualify loosely, only the
+            # 0.99-probability one clears the tight threshold.
+            service.ingest(0, _t(1, (0.0, 1.0), 0.9))
+            service.ingest(1, _t(2, (1.0, 0.0), 0.99))
+            await service.publish()
+            batch = await loose.next_batch()
+            assert batch is not None
+            assert all(d.query_id == loose.query_id for d in batch)
+            assert {d.key for d in batch if d.kind is DeltaKind.ENTER} == {1, 2}
+            tight_batch = await tight.next_batch()
+            assert tight_batch is not None
+            assert {d.key for d in tight_batch} == {2}
+            assert loose.notified == len(batch)
+
+    asyncio.run(drive())
+
+
+def test_batches_iterator_drains_then_terminates_on_close():
+    async def drive() -> List[int]:
+        async with SkylineService(
+            stream_windows=_windows(1), auto_publish=False
+        ) as service:
+            session = await service.subscribe(StandingQuery(threshold=0.3))
+            service.ingest(0, _t(1, (0.0, 1.0), 0.9))
+            await service.publish()
+            service.ingest(0, _t(2, (1.0, 0.0), 0.8))
+            await service.publish()
+            service.unsubscribe(session)
+            epochs = []
+            async for batch in session.batches():
+                epochs.append(batch[0].epoch)
+            # Queued batches delivered in order; then the iterator ends.
+            return epochs
+
+    assert asyncio.run(drive()) == [1, 2]
+
+
+def test_quiet_epoch_delivers_nothing():
+    async def drive() -> None:
+        async with SkylineService(
+            stream_windows=_windows(1), auto_publish=False
+        ) as service:
+            session = await service.subscribe(StandingQuery(threshold=0.3))
+            service.ingest(0, _t(1, (0.0, 0.0), 0.9))
+            await service.publish()
+            assert await session.next_batch() is not None
+            # A dominated straggler changes no result: no batch queued.
+            service.ingest(0, _t(2, (9.0, 9.0), 0.05))
+            await service.publish()
+            assert session._queue.empty()
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# billing
+
+
+def test_delta_traffic_is_split_across_subscriptions_and_billed():
+    async def drive() -> None:
+        async with SkylineService(
+            stream_windows=_windows(), auto_publish=False
+        ) as service:
+            a = await service.subscribe(StandingQuery(threshold=0.3, tenant="a"))
+            b = await service.subscribe(StandingQuery(threshold=0.3, tenant="b"))
+            service.ingest(0, _t(1, (0.0, 1.0), 0.9))
+            service.ingest(1, _t(2, (1.0, 0.0), 0.9))
+            await service.publish()
+            traffic = service.stream.stats.tuples_transmitted
+            assert traffic > 0
+            assert a.billed_tuples == b.billed_tuples == traffic / 2
+            assert service.ledger.spent["a"] == traffic / 2
+            assert service.ledger.spent["b"] == traffic / 2
+
+    asyncio.run(drive())
+
+
+def test_budget_exhaustion_cancels_the_subscription_with_a_reason():
+    async def drive() -> None:
+        async with SkylineService(
+            stream_windows=_windows(),
+            tenant_budgets={"capped": 0.5},
+            auto_publish=False,
+        ) as service:
+            session = await service.subscribe(
+                StandingQuery(threshold=0.3, tenant="capped")
+            )
+            service.ingest(0, _t(1, (0.0, 0.0), 0.9))
+            await service.publish()
+            assert session.state is SubscriptionState.CANCELLED
+            assert "bandwidth budget exhausted" in session.abort_reason
+            # The standing query is gone from the coordinator too.
+            with pytest.raises(KeyError):
+                service.stream.result(session.query_id)
+            # Cancellation lands before delivery — the epoch that blew
+            # the budget is never pushed; the consumer just sees close.
+            assert session.notified == 0
+            assert await session.next_batch() is None
+
+    asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# scheduler integration and teardown
+
+
+def test_auto_publish_pushes_without_a_manual_publish():
+    async def drive() -> int:
+        async with SkylineService(stream_windows=_windows(1)) as service:
+            session = await service.subscribe(StandingQuery(threshold=0.3))
+            service.ingest(0, _t(1, (0.0, 0.0), 0.9))
+            batch = await asyncio.wait_for(session.next_batch(), timeout=5.0)
+            assert batch is not None
+            return batch[0].key
+
+    assert asyncio.run(drive()) == 1
+
+
+def test_close_cancels_remaining_subscriptions():
+    async def drive() -> None:
+        service = SkylineService(stream_windows=_windows())
+        async with service:
+            session = await service.subscribe(StandingQuery(threshold=0.3))
+        assert session.state is SubscriptionState.CANCELLED
+        assert session.abort_reason == "service closed"
+        assert await session.next_batch() is None
+
+    asyncio.run(drive())
+
+
+def test_unsubscribe_is_idempotent():
+    async def drive() -> None:
+        async with SkylineService(stream_windows=_windows()) as service:
+            session = await service.subscribe(StandingQuery(threshold=0.3))
+            service.unsubscribe(session)
+            service.unsubscribe(session)  # second close is a no-op
+            assert session.state is SubscriptionState.CANCELLED
+            assert session.abort_reason is None
+            with pytest.raises(KeyError):
+                service.stream.result(session.query_id)
+
+    asyncio.run(drive())

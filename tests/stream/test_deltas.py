@@ -1,0 +1,52 @@
+"""Contracts for :class:`StandingQuery` and :class:`ResultDelta`."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.dominance import Preference
+from repro.core.tuples import UncertainTuple
+from repro.stream import DeltaKind, ResultDelta, StandingQuery
+
+
+class TestStandingQuery:
+    def test_threshold_must_be_in_unit_interval(self):
+        for bad in (0.0, -0.2, 1.0001):
+            with pytest.raises(ValueError, match="threshold"):
+                StandingQuery(threshold=bad)
+        assert StandingQuery(threshold=1.0).threshold == 1.0
+
+    def test_limit_must_be_positive_when_given(self):
+        with pytest.raises(ValueError, match="limit"):
+            StandingQuery(threshold=0.5, limit=0)
+        assert StandingQuery(threshold=0.5, limit=1).limit == 1
+
+    def test_defaults_and_immutability(self):
+        q = StandingQuery(threshold=0.3)
+        assert q.preference is None and q.limit is None and q.tenant == "default"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            q.threshold = 0.9  # type: ignore[misc]
+
+    def test_carries_a_preference(self):
+        q = StandingQuery(threshold=0.3, preference=Preference(subspace=(0, 1)))
+        assert q.preference.subspace == (0, 1)
+
+
+class TestResultDelta:
+    def test_describe_names_kind_key_and_probability(self):
+        t = UncertainTuple(7, (1.0, 2.0), 0.5)
+        enter = ResultDelta(3, 2, DeltaKind.ENTER, 7, probability=0.625, tuple=t)
+        assert "ENTER" in enter.describe()
+        assert "key=7" in enter.describe()
+        assert "0.625000" in enter.describe()
+
+    def test_exit_describes_without_probability(self):
+        exit_ = ResultDelta(1, 4, DeltaKind.EXIT, 9)
+        assert exit_.probability is None and exit_.tuple is None
+        assert "EXIT key=9" in exit_.describe()
+        assert "P=" not in exit_.describe()
+
+    def test_kinds_cover_the_protocol(self):
+        assert {k.value for k in DeltaKind} == {"enter", "exit", "rescore"}

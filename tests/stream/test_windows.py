@@ -1,0 +1,129 @@
+"""Unit contracts for the sliding-window policies.
+
+The one property every kind must uphold — live tuples in arrival
+order — is what the epoch-equivalence suite builds on: a standing
+engine over ``window.live()`` must equal a fresh site built over the
+same list.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuples import UncertainTuple
+from repro.stream import (
+    WINDOW_KINDS,
+    CountWindow,
+    SlidingTimeWindow,
+    TumblingTimeWindow,
+    make_window,
+)
+
+
+def _t(key: int) -> UncertainTuple:
+    return UncertainTuple(key, (float(key), float(key)), 0.5)
+
+
+class TestCountWindow:
+    def test_rejects_nonpositive_capacity(self):
+        for capacity in (0, -3):
+            with pytest.raises(ValueError, match="capacity"):
+                CountWindow(capacity)
+
+    def test_fifo_eviction_keeps_the_last_capacity_arrivals(self):
+        w = CountWindow(3)
+        evicted = []
+        for i in range(5):
+            evicted.extend(w.push(_t(i), float(i)))
+        assert [t.key for t in evicted] == [0, 1]
+        assert [t.key for t in w.live()] == [2, 3, 4]
+        assert len(w) == 3
+
+    def test_advance_never_expires_a_count_window(self):
+        w = CountWindow(2)
+        w.push(_t(0), 0.0)
+        w.push(_t(1), 1.0)
+        assert w.advance(1_000.0) == []
+        assert len(w) == 2
+
+
+class TestSlidingTimeWindow:
+    def test_rejects_nonpositive_span(self):
+        for span in (0.0, -1.0):
+            with pytest.raises(ValueError, match="span"):
+                SlidingTimeWindow(span)
+
+    def test_tuples_live_while_now_minus_stamp_below_span(self):
+        w = SlidingTimeWindow(10.0)
+        w.push(_t(0), 0.0)
+        w.push(_t(1), 5.0)
+        assert w.push(_t(2), 9.0) == []
+        assert [t.key for t in w.live()] == [0, 1, 2]
+        # At now=10 the stamp-0 tuple has aged exactly `span`: out.
+        evicted = w.push(_t(3), 10.0)
+        assert [t.key for t in evicted] == [0]
+        assert [t.key for t in w.live()] == [1, 2, 3]
+
+    def test_advance_expires_without_an_arrival(self):
+        w = SlidingTimeWindow(10.0)
+        w.push(_t(0), 0.0)
+        w.push(_t(1), 5.0)
+        expired = w.advance(14.0)
+        assert [t.key for t in expired] == [0]
+        assert [t.key for t in w.live()] == [1]
+        # At now=15 the stamp-5 tuple has aged exactly `span`: out too.
+        assert [t.key for t in w.advance(15.0)] == [1]
+
+
+class TestTumblingTimeWindow:
+    def test_rejects_nonpositive_span(self):
+        with pytest.raises(ValueError, match="span"):
+            TumblingTimeWindow(0.0)
+
+    def test_flushes_everything_on_a_bucket_boundary(self):
+        w = TumblingTimeWindow(10.0)
+        for i, stamp in enumerate((1.0, 4.0, 9.0)):
+            assert w.push(_t(i), stamp) == []
+        evicted = w.push(_t(3), 12.0)  # crosses into bucket 1
+        assert [t.key for t in evicted] == [0, 1, 2]
+        assert [t.key for t in w.live()] == [3]
+
+    def test_advance_across_the_boundary_flushes_too(self):
+        w = TumblingTimeWindow(10.0)
+        w.push(_t(0), 2.0)
+        assert w.advance(9.0) == []
+        assert [t.key for t in w.advance(10.0)] == [0]
+        assert len(w) == 0
+
+
+class TestStampDiscipline:
+    def test_regressing_stamp_raises_instead_of_reordering(self):
+        for w in (CountWindow(4), SlidingTimeWindow(5.0), TumblingTimeWindow(5.0)):
+            w.push(_t(0), 3.0)
+            with pytest.raises(ValueError, match="regresses"):
+                w.push(_t(1), 2.0)
+            with pytest.raises(ValueError, match="regresses"):
+                w.advance(1.0)
+
+    def test_equal_stamps_are_fine(self):
+        w = SlidingTimeWindow(5.0)
+        w.push(_t(0), 3.0)
+        w.push(_t(1), 3.0)
+        assert len(w) == 2
+
+
+class TestMakeWindow:
+    def test_builds_every_registered_kind(self):
+        assert set(WINDOW_KINDS) == {"count", "sliding-time", "tumbling-time"}
+        assert isinstance(make_window("count", 8.0), CountWindow)
+        assert isinstance(make_window("sliding-time", 8.0), SlidingTimeWindow)
+        assert isinstance(make_window("tumbling-time", 8.0), TumblingTimeWindow)
+
+    def test_count_takes_a_cardinality(self):
+        w = make_window("count", 3.9)
+        assert isinstance(w, CountWindow)
+        assert w.capacity == 3
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown window kind"):
+            make_window("hopping", 4)
